@@ -1,0 +1,77 @@
+description = ""
+requires = "fmt ooc.dsim"
+archive(byte) = "consensus.cma"
+archive(native) = "consensus.cmxa"
+plugin(byte) = "consensus.cma"
+plugin(native) = "consensus.cmxs"
+package "ben-or" (
+  directory = "ben-or"
+  description = ""
+  requires = "fmt ooc ooc.dsim ooc.netsim"
+  archive(byte) = "ben_or.cma"
+  archive(native) = "ben_or.cmxa"
+  plugin(byte) = "ben_or.cma"
+  plugin(native) = "ben_or.cmxs"
+)
+package "dsim" (
+  directory = "dsim"
+  description = ""
+  requires = "fmt"
+  archive(byte) = "dsim.cma"
+  archive(native) = "dsim.cmxa"
+  plugin(byte) = "dsim.cma"
+  plugin(native) = "dsim.cmxs"
+)
+package "netsim" (
+  directory = "netsim"
+  description = ""
+  requires = "fmt ooc.dsim"
+  archive(byte) = "netsim.cma"
+  archive(native) = "netsim.cmxa"
+  plugin(byte) = "netsim.cma"
+  plugin(native) = "netsim.cmxs"
+)
+package "phase-king" (
+  directory = "phase-king"
+  description = ""
+  requires = "fmt ooc ooc.dsim ooc.netsim"
+  archive(byte) = "phase_king.cma"
+  archive(native) = "phase_king.cmxa"
+  plugin(byte) = "phase_king.cma"
+  plugin(native) = "phase_king.cmxs"
+)
+package "raft" (
+  directory = "raft"
+  description = ""
+  requires = "fmt ooc ooc.dsim ooc.netsim"
+  archive(byte) = "raft.cma"
+  archive(native) = "raft.cmxa"
+  plugin(byte) = "raft.cma"
+  plugin(native) = "raft.cmxs"
+)
+package "sharedmem" (
+  directory = "sharedmem"
+  description = ""
+  requires = "fmt ooc ooc.dsim"
+  archive(byte) = "sharedmem.cma"
+  archive(native) = "sharedmem.cmxa"
+  plugin(byte) = "sharedmem.cma"
+  plugin(native) = "sharedmem.cmxs"
+)
+package "workload" (
+  directory = "workload"
+  description = ""
+  requires =
+  "fmt
+   ooc
+   ooc.ben-or
+   ooc.dsim
+   ooc.netsim
+   ooc.phase-king
+   ooc.raft
+   ooc.sharedmem"
+  archive(byte) = "workload.cma"
+  archive(native) = "workload.cmxa"
+  plugin(byte) = "workload.cma"
+  plugin(native) = "workload.cmxs"
+)

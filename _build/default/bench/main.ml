@@ -1,0 +1,192 @@
+(* Benchmark harness.
+
+   Two parts, mirroring the per-experiment index in DESIGN.md:
+
+   1. The table harness — regenerates every experiment table (E1..E8) by
+      calling [Workload.Experiments], exactly what `oocon experiments`
+      does.  Pass "tables-only" or "bench-only" to run half.  Pass "full"
+      for the full-scale workloads (default: quick).
+
+   2. Bechamel micro-benchmarks — one [Test.make] per experiment id,
+      timing the core simulated run each table is built from, plus the
+      decomposed-vs-monolithic pairs behind E8's modularity-cost claim. *)
+
+open Bechamel
+open Toolkit
+
+let split_inputs n = Array.init n (fun i -> i mod 2 = 0)
+
+(* --- benchmark bodies (one representative run per experiment) ---------- *)
+
+let benor_run mode seed =
+  let cfg =
+    {
+      (Ben_or.Runner.default_config ~n:8 ~inputs:(split_inputs 8)) with
+      seed = Int64.of_int seed;
+      mode;
+    }
+  in
+  ignore (Ben_or.Runner.run cfg : Ben_or.Runner.report)
+
+let benor_crashy seed =
+  let cfg =
+    {
+      (Ben_or.Runner.default_config ~n:8 ~inputs:(split_inputs 8)) with
+      seed = Int64.of_int seed;
+      crash_schedule = [ (10, 0); (21, 2); (32, 4) ];
+    }
+  in
+  ignore (Ben_or.Runner.run cfg : Ben_or.Runner.report)
+
+let phase_king_run ?(n = 10) mode seed =
+  let cfg =
+    {
+      (Phase_king.Runner.default_config ~n ~inputs:(Array.init n (fun i -> i mod 2)))
+      with
+      seed = Int64.of_int seed;
+      strategy = Phase_king.Strategies.camp_splitter;
+      mode;
+    }
+  in
+  ignore (Phase_king.Runner.run cfg : Phase_king.Runner.report)
+
+let raft_run ?(crash = false) seed =
+  let cl = Raft.Cluster.create ~seed:(Int64.of_int seed) ~n:5 () in
+  let cons =
+    Raft.Consensus_raft.create ~cluster:cl ~inputs:(Array.init 5 (fun i -> 100 + i))
+  in
+  Raft.Cluster.start cl;
+  if crash then begin
+    ignore
+      (Raft.Cluster.run_until cl (fun () -> Raft.Cluster.current_leader cl <> None)
+      : bool);
+    match Raft.Cluster.current_leader cl with
+    | Some l -> Raft.Cluster.crash cl l
+    | None -> ()
+  end;
+  ignore (Raft.Consensus_raft.run_until_all_decided ~timeout:300_000 cons : bool)
+
+module Sm = Sharedmem.Protocol.Make (Consensus.Objects.Bool_value)
+
+let sharedmem_run seed =
+  let eng = Dsim.Engine.create ~seed:(Int64.of_int seed) () in
+  let world = Sharedmem.World.create eng () in
+  let shared = Sm.create_shared ~n:6 world in
+  for i = 0 to 5 do
+    ignore
+      (Dsim.Engine.spawn eng (fun ectx ->
+           let ctx = { Sm.shared; proc = { Sharedmem.World.world; me = i; ectx } } in
+           ignore (Sm.Consensus_sm.consensus ctx (i mod 2 = 0) : bool * int))
+      : Dsim.Engine.pid)
+  done;
+  ignore (Dsim.Engine.run eng : Dsim.Engine.outcome)
+
+let vac_from_two_ac_run seed =
+  let eng = Dsim.Engine.create ~seed:(Int64.of_int seed) () in
+  let world = Sharedmem.World.create eng () in
+  let shared = Sm.create_shared ~n:5 world in
+  for i = 0 to 4 do
+    ignore
+      (Dsim.Engine.spawn eng (fun ectx ->
+           let ctx = { Sm.shared; proc = { Sharedmem.World.world; me = i; ectx } } in
+           ignore (Sm.Vac.invoke ctx ~round:1 (i mod 2 = 0) : bool Consensus.Types.vac_result))
+      : Dsim.Engine.pid)
+  done;
+  ignore (Dsim.Engine.run eng : Dsim.Engine.outcome)
+
+let decentralized_run seed =
+  let eng = Dsim.Engine.create ~seed:(Int64.of_int seed) ~trace_capacity:1_000 () in
+  let net = Netsim.Async_net.create eng ~n:7 ~retain_inbox:false () in
+  for i = 0 to 6 do
+    ignore
+      (Dsim.Engine.spawn eng (fun _ectx ->
+           let ctx =
+             Raft.Decentralized.make_ctx ~net ~me:i ~faults:3 ~input:(100 + (i mod 3))
+           in
+           ignore
+             (Raft.Decentralized.Consensus_decentralized.consensus ~max_rounds:500 ctx
+                (100 + (i mod 3))
+             : int * int))
+      : Dsim.Engine.pid)
+  done;
+  ignore (Dsim.Engine.run eng : Dsim.Engine.outcome)
+
+(* Rotate seeds so the benchmark averages over schedules instead of
+   re-simulating one fixed run. *)
+let rotating f =
+  let seed = ref 0 in
+  Staged.stage (fun () ->
+      incr seed;
+      f ((!seed mod 97) + 1))
+
+let tests =
+  Test.make_grouped ~name:"ooc"
+    [
+      Test.make_grouped ~name:"e1-e2.ben-or"
+        [
+          Test.make ~name:"decomposed.n8" (rotating (benor_run Ben_or.Runner.Decomposed));
+          Test.make ~name:"monolithic.n8" (rotating (benor_run Ben_or.Runner.Monolithic));
+          Test.make ~name:"decomposed.crashes" (rotating benor_crashy);
+        ];
+      Test.make_grouped ~name:"e3-e4.phase-king"
+        [
+          Test.make ~name:"decomposed.n10"
+            (rotating (phase_king_run Phase_king.Runner.Decomposed));
+          Test.make ~name:"monolithic.n10"
+            (rotating (phase_king_run Phase_king.Runner.Monolithic));
+          Test.make ~name:"decomposed.n19"
+            (rotating (phase_king_run ~n:19 Phase_king.Runner.Decomposed));
+        ];
+      Test.make_grouped ~name:"e5-e6.raft"
+        [
+          Test.make ~name:"consensus.n5" (rotating (raft_run ~crash:false));
+          Test.make ~name:"consensus.leader-crash" (rotating (raft_run ~crash:true));
+          Test.make ~name:"decentralized.n7" (rotating decentralized_run);
+        ];
+      Test.make_grouped ~name:"e7.sharedmem"
+        [
+          Test.make ~name:"consensus.n6" (rotating sharedmem_run);
+          Test.make ~name:"vac-from-two-ac.n5" (rotating vac_from_two_ac_run);
+        ];
+      (* E8 is the decomposed/monolithic pairs above read side by side. *)
+    ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true
+      ~compaction:false ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  (* Plain-text report: one line per test, nanoseconds per run. *)
+  Format.printf "@.Bechamel micro-benchmarks (ns per simulated run, OLS fit)@.";
+  Format.printf "%s@." (String.make 72 '-');
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Format.printf "%-44s %14.0f ns/run@." name est
+      | Some _ | None -> Format.printf "%-44s (no estimate)@." name)
+    (List.sort compare rows);
+  Format.printf "@."
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let scale =
+    if has "full" then Workload.Experiments.Full else Workload.Experiments.Quick
+  in
+  if not (has "bench-only") then begin
+    Format.printf "Experiment tables (scale: %s) — paper-shape checks@.@."
+      (if scale = Workload.Experiments.Full then "full" else "quick");
+    Workload.Experiments.run_all ~scale Format.std_formatter
+  end;
+  if not (has "tables-only") then run_benchmarks ()

@@ -1,0 +1,303 @@
+(* oocon — object-oriented consensus CLI.
+
+   Run any of the repository's consensus algorithms under simulated
+   adversity, inspect traces, or regenerate the experiment tables. *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Deterministic simulation seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let show_trace_arg =
+  let doc = "Dump the last N structured trace events after the run." in
+  Arg.(value & opt int 0 & info [ "show-trace" ] ~docv:"N" ~doc)
+
+let dump_trace ~limit events =
+  if limit > 0 then begin
+    let total = List.length events in
+    let tail =
+      if total <= limit then events
+      else List.filteri (fun i _ -> i >= total - limit) events
+    in
+    Format.printf "@.--- trace (last %d of %d events) ---@." (List.length tail) total;
+    List.iter (fun ev -> Format.printf "%a@." Dsim.Trace.pp_event ev) tail
+  end
+
+let n_arg default =
+  let doc = "Number of processors." in
+  Arg.(value & opt int default & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+
+let split_inputs n = Array.init n (fun i -> i mod 2 = 0)
+
+(* ------------------------------------------------------------- ben-or -- *)
+
+let benor_cmd =
+  let mode_arg =
+    let doc = "Implementation: $(b,decomposed) (VAC+reconciliator template) or $(b,monolithic)." in
+    Arg.(
+      value
+      & opt (enum [ ("decomposed", Ben_or.Runner.Decomposed); ("monolithic", Ben_or.Runner.Monolithic) ])
+          Ben_or.Runner.Decomposed
+      & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let crashes_arg =
+    let doc = "Number of processors to crash (staggered early in the run)." in
+    Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"K" ~doc)
+  in
+  let unanimous_arg =
+    let doc = "All processors start with the same input (default: even split)." in
+    Arg.(value & flag & info [ "unanimous" ] ~doc)
+  in
+  let coin_arg =
+    let doc =
+      "Use a weak common coin with this per-round agreement probability as the \
+       reconciliator (default: the paper's private coin flips)."
+    in
+    Arg.(value & opt (some float) None & info [ "common-coin" ] ~docv:"DELTA" ~doc)
+  in
+  let run n seed mode crashes unanimous common_coin show_trace =
+    let inputs = if unanimous then Array.make n true else split_inputs n in
+    let crash_schedule = List.init crashes (fun k -> (10 + (13 * k), 2 * k)) in
+    let cfg =
+      {
+        (Ben_or.Runner.default_config ~n ~inputs) with
+        seed = Int64.of_int seed;
+        mode;
+        crash_schedule;
+        common_coin;
+      }
+    in
+    let r = Ben_or.Runner.run cfg in
+    Format.printf "Ben-Or n=%d seed=%d crashes=%d@." n seed (List.length r.crashed);
+    List.iter
+      (fun (p, v, m) -> Format.printf "  p%d decided %b in round %d@." p v m)
+      r.decisions;
+    Format.printf "virtual time %d, %d messages sent, %d delivered@." r.virtual_time
+      r.messages_sent r.messages_delivered;
+    (match r.violations with
+    | [] -> Format.printf "all object and consensus guarantees hold@."
+    | vs ->
+        Format.printf "VIOLATIONS:@.";
+        List.iter (fun v -> Format.printf "  %a@." Consensus.Monitor.pp_violation v) vs);
+    dump_trace ~limit:show_trace r.trace;
+    if r.violations <> [] then exit 1
+  in
+  let term =
+    Term.(
+      const run $ n_arg 8 $ seed_arg $ mode_arg $ crashes_arg $ unanimous_arg
+      $ coin_arg $ show_trace_arg)
+  in
+  Cmd.v (Cmd.info "ben-or" ~doc:"Run Ben-Or's randomized consensus (async, crash faults).") term
+
+(* --------------------------------------------------------- phase-king -- *)
+
+let phase_king_cmd =
+  let strategy_arg =
+    let strategies =
+      [
+        ("silent", `Silent);
+        ("random", `Random);
+        ("split-world", `Split);
+        ("camp-splitter", `Camp);
+        ("vote-inflater", `Inflate);
+      ]
+    in
+    let doc = "Byzantine strategy: silent, random, split-world, camp-splitter, vote-inflater." in
+    Arg.(value & opt (enum strategies) `Camp & info [ "strategy" ] ~docv:"STRAT" ~doc)
+  in
+  let mode_arg =
+    let doc = "Implementation: $(b,decomposed) (AC+conciliator template) or $(b,monolithic)." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("decomposed", Phase_king.Runner.Decomposed); ("monolithic", Phase_king.Runner.Monolithic) ])
+          Phase_king.Runner.Decomposed
+      & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let algorithm_arg =
+    let doc = "Royal flavour: $(b,king) (3t < n, 3 rounds/phase) or $(b,queen) (4t < n, 2 rounds/phase)." in
+    Arg.(
+      value
+      & opt (enum [ ("king", Phase_king.Runner.King); ("queen", Phase_king.Runner.Queen) ])
+          Phase_king.Runner.King
+      & info [ "algorithm" ] ~docv:"ALGO" ~doc)
+  in
+  let run n seed strategy mode algorithm =
+    let strategy =
+      match strategy with
+      | `Silent -> Netsim.Byzantine.silent
+      | `Random -> Netsim.Byzantine.random_of [| 0; 1; 2 |]
+      | `Split -> Netsim.Byzantine.split_world 0 1
+      | `Camp -> Phase_king.Strategies.camp_splitter
+      | `Inflate -> Phase_king.Strategies.vote_inflater 1
+    in
+    let inputs = Array.init n (fun i -> i mod 2) in
+    let base =
+      match algorithm with
+      | Phase_king.Runner.King -> Phase_king.Runner.default_config ~n ~inputs
+      | Phase_king.Runner.Queen -> Phase_king.Runner.default_queen_config ~n ~inputs
+    in
+    let cfg = { base with seed = Int64.of_int seed; strategy; mode } in
+    let r = Phase_king.Runner.run cfg in
+    Format.printf "Phase-%s n=%d t=%d strategy=%s@."
+      (match algorithm with Phase_king.Runner.King -> "King" | Queen -> "Queen")
+      n cfg.Phase_king.Runner.faults strategy.Netsim.Sync_net.strategy_name;
+    List.iter
+      (fun (p, v) -> Format.printf "  p%d decided %d after %d rounds@." p v r.template_rounds)
+      r.final_decisions;
+    List.iter
+      (fun (p, v, m) -> Format.printf "  (p%d first committed %d in round %d)@." p v m)
+      r.first_commits;
+    Format.printf "%d lock-step rounds, ~%d messages@." r.sync_rounds r.messages;
+    (match r.violations with
+    | [] -> Format.printf "all object and consensus guarantees hold@."
+    | vs ->
+        Format.printf "VIOLATIONS:@.";
+        List.iter (fun v -> Format.printf "  %a@." Consensus.Monitor.pp_violation v) vs);
+    if r.violations <> [] then exit 1
+  in
+  let term =
+    Term.(const run $ n_arg 7 $ seed_arg $ strategy_arg $ mode_arg $ algorithm_arg)
+  in
+  Cmd.v
+    (Cmd.info "phase-king"
+       ~doc:"Run Phase-King or Phase-Queen Byzantine consensus (synchronous).")
+    term
+
+(* --------------------------------------------------------------- raft -- *)
+
+let raft_cmd =
+  let fault_arg =
+    let doc = "Fault plan: none, crash-leader, crash-restart, partition." in
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("crash-leader", `Crash); ("crash-restart", `Restart); ("partition", `Partition) ]) `None
+      & info [ "fault" ] ~docv:"FAULT" ~doc)
+  in
+  let run n seed fault show_trace =
+    let cl = Raft.Cluster.create ~seed:(Int64.of_int seed) ~n () in
+    let inputs = Array.init n (fun i -> 100 + i) in
+    let cons = Raft.Consensus_raft.create ~cluster:cl ~inputs in
+    Raft.Cluster.start cl;
+    ignore (Raft.Cluster.run_until cl (fun () -> Raft.Cluster.current_leader cl <> None) : bool);
+    (match (fault, Raft.Cluster.current_leader cl) with
+    | `None, _ | _, None -> ()
+    | `Crash, Some l -> Raft.Cluster.crash cl l
+    | `Restart, Some l ->
+        Raft.Cluster.crash cl l;
+        Dsim.Engine.schedule (Raft.Cluster.engine cl) ~delay:2000 (fun () ->
+            Raft.Cluster.restart cl l)
+    | `Partition, Some l ->
+        let others = List.filter (fun i -> i <> l) (List.init n Fun.id) in
+        Raft.Cluster.partition cl [ [ l ]; others ];
+        Dsim.Engine.schedule (Raft.Cluster.engine cl) ~delay:3000 (fun () ->
+            Raft.Cluster.heal cl));
+    let all = Raft.Consensus_raft.run_until_all_decided ~timeout:300_000 cons in
+    Format.printf "Raft n=%d seed=%d: all live replicas decided: %b (t=%d)@." n seed all
+      (Dsim.Engine.now (Raft.Cluster.engine cl));
+    List.iter
+      (fun (p, v) -> Format.printf "  p%d decided %d@." p v)
+      (Raft.Consensus_raft.decisions cons);
+    Format.printf "leaders by term: %s@."
+      (String.concat ", "
+         (List.map
+            (fun (t, l) -> Printf.sprintf "t%d->p%d" t l)
+            (Raft.Cluster.leaders_by_term cl)));
+    Format.printf "timer-reconciliator invocations: %d@."
+      (List.length (Raft.Consensus_raft.reconciliator_invocations cons));
+    let problems =
+      Raft.Cluster.violations cl
+      @ Raft.Cluster.check_log_matching cl
+      @ Raft.Consensus_raft.check_vac_view cons
+    in
+    (match problems with
+    | [] -> Format.printf "all Raft invariants and VAC-view guarantees hold@."
+    | ps ->
+        Format.printf "VIOLATIONS:@.";
+        List.iter (Format.printf "  %s@.") ps);
+    dump_trace ~limit:show_trace
+      (Dsim.Trace.events (Dsim.Engine.trace (Raft.Cluster.engine cl)));
+    if problems <> [] then exit 1
+  in
+  let term = Term.(const run $ n_arg 5 $ seed_arg $ fault_arg $ show_trace_arg) in
+  Cmd.v (Cmd.info "raft" ~doc:"Run consensus through Raft with the D&S(v) command.") term
+
+(* --------------------------------------------------------- sharedmem -- *)
+
+let sharedmem_cmd =
+  let run n seed =
+    let module P = Sharedmem.Protocol.Make (Consensus.Objects.Bool_value) in
+    let module M = Consensus.Monitor.Make (Consensus.Objects.Bool_value) in
+    let eng = Dsim.Engine.create ~seed:(Int64.of_int seed) () in
+    let world = Sharedmem.World.create eng () in
+    let shared = P.create_shared ~n world in
+    let monitor = M.create () in
+    let decisions = ref [] in
+    for i = 0 to n - 1 do
+      let input = i mod 2 = 0 in
+      M.record_initial monitor ~pid:i input;
+      ignore
+        (Dsim.Engine.spawn eng (fun ectx ->
+             let ctx = { P.shared; proc = { Sharedmem.World.world; me = i; ectx } } in
+             let observer = M.observer monitor ~pid:i in
+             let v, m = P.Consensus_sm.consensus ~observer ctx input in
+             decisions := (i, v, m) :: !decisions)
+        : Dsim.Engine.pid)
+    done;
+    ignore (Dsim.Engine.run eng : Dsim.Engine.outcome);
+    Format.printf "Shared-memory consensus (Gafni AC + Aspnes conciliator) n=%d@." n;
+    List.iter
+      (fun (p, v, m) -> Format.printf "  p%d decided %b in round %d@." p v m)
+      (List.rev !decisions);
+    Format.printf "%d register operations@." (P.register_operations shared);
+    let problems = M.check_ac monitor @ M.check_consensus monitor in
+    (match problems with
+    | [] -> Format.printf "all object and consensus guarantees hold@."
+    | ps ->
+        Format.printf "VIOLATIONS:@.";
+        List.iter (fun v -> Format.printf "  %a@." Consensus.Monitor.pp_violation v) ps);
+    if problems <> [] then exit 1
+  in
+  let term = Term.(const run $ n_arg 6 $ seed_arg) in
+  Cmd.v
+    (Cmd.info "sharedmem"
+       ~doc:"Run wait-free shared-memory consensus (registers, Aspnes' framework).")
+    term
+
+(* -------------------------------------------------------- experiments -- *)
+
+let experiments_cmd =
+  let scale_arg =
+    let doc = "Workload scale: quick or full." in
+    Arg.(
+      value
+      & opt (enum [ ("quick", Workload.Experiments.Quick); ("full", Workload.Experiments.Full) ])
+          Workload.Experiments.Quick
+      & info [ "scale" ] ~docv:"SCALE" ~doc)
+  in
+  let ids_arg =
+    let doc = "Experiment ids to run (e1..e8); default all." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let csv_arg =
+    let doc = "Also write machine-readable eN.csv files into this directory (created if missing)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+  in
+  let run scale ids csv_dir =
+    let only = match ids with [] -> None | ids -> Some ids in
+    Option.iter
+      (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
+      csv_dir;
+    Workload.Experiments.run_all ~scale ?only ?csv_dir Format.std_formatter
+  in
+  let term = Term.(const run $ scale_arg $ ids_arg $ csv_arg) in
+  Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the experiment tables (E1..E8).") term
+
+let main_cmd =
+  let doc = "object-oriented consensus: decomposed consensus algorithms under simulation" in
+  let info = Cmd.info "oocon" ~version:"1.0.0" ~doc in
+  Cmd.group info [ benor_cmd; phase_king_cmd; raft_cmd; sharedmem_cmd; experiments_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

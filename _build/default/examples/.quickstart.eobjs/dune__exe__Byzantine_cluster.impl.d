@@ -1,0 +1,1 @@
+examples/byzantine_cluster.ml: Array Consensus Format List Phase_king

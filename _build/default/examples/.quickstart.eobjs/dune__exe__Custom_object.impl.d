@@ -1,0 +1,1 @@
+examples/custom_object.ml: Consensus Dsim Format List Sharedmem

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ben_or Consensus Dsim Format List Netsim Printf

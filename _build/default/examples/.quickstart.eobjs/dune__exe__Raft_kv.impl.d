@@ -1,0 +1,1 @@
+examples/raft_kv.ml: Array Dsim Format Hashtbl List Option Raft String

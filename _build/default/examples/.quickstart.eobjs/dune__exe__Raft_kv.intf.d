@@ -1,0 +1,1 @@
+examples/raft_kv.mli:

@@ -1,0 +1,1 @@
+lib/ben_or/ac_variant.ml: Array Common_coin Consensus Dsim Hashtbl Netsim Option

@@ -1,0 +1,1 @@
+lib/ben_or/ac_variant.mli: Common_coin Consensus Dsim Netsim

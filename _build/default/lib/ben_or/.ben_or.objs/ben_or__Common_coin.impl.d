@@ -1,0 +1,1 @@
+lib/ben_or/common_coin.ml: Dsim Float Hashtbl

@@ -1,0 +1,1 @@
+lib/ben_or/common_coin.mli: Dsim

@@ -1,0 +1,1 @@
+lib/ben_or/messages.ml: Format

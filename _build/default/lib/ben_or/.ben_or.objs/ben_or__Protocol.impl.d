@@ -1,0 +1,1 @@
+lib/ben_or/protocol.ml: Common_coin Consensus Dsim Messages Netsim Tally

@@ -1,0 +1,1 @@
+lib/ben_or/runner.ml: Array Bool Common_coin Consensus Dsim Fun List Messages Netsim Option Printf Protocol

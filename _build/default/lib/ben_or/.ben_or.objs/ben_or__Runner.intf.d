@@ -1,0 +1,1 @@
+lib/ben_or/runner.mli: Consensus Dsim Messages Netsim

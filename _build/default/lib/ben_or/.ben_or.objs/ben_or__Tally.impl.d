@@ -1,0 +1,1 @@
+lib/ben_or/tally.ml: Array Hashtbl Messages Netsim

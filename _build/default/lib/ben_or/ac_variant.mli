@@ -1,0 +1,63 @@
+(** Ben-Or rebuilt through {e Aspnes' AC template} (paper Algorithm 2) —
+    the control experiment for the paper's closing claim.
+
+    The paper's conclusion: VAC "simplifies the role of the reconciliator
+    such that in some cases it is only a procedure that flips a coin and
+    does not require machinery to ensure validity".  Here is the other
+    side of that trade, concretely: a correct asynchronous adopt-commit
+    (two exchanges) paired with a conciliator that {e must} carry validity
+    machinery (a third exchange) — a bare coin would break the template's
+    commit⇒decide rule exactly as the Phase-King counterexample does.
+
+    Per template round:
+
+    - {!Ac}: broadcast ⟨1, v⟩, await [n-t]; flag "agreement seen" iff all
+      received phase-1 values were equal; broadcast the flag; await [n-t];
+      commit when only agreeing flags (necessarily on one value) were
+      received, adopt a flagged value otherwise.
+    - {!Conciliator}: broadcast the carried value, await [n-t]; if all
+      received values agree return that value (this is the validity
+      machinery — unanimity must survive the conciliator), otherwise flip
+      the coin (private, or the weak common coin when installed).
+
+    The cost: three broadcasts per processor per round against the VAC
+    decomposition's two.  The E7 machinery-cost table quantifies it.
+
+    Model: asynchronous message passing, [2t < n] crash failures, binary
+    values.  All counts are distinct-sender. *)
+
+type msg =
+  | Propose of { phase : int; value : bool }  (** AC exchange 1 *)
+  | Flag of { phase : int; saw_agreement : bool; value : bool }
+      (** AC exchange 2 *)
+  | Suggest of { phase : int; value : bool }  (** conciliator exchange *)
+
+type ctx
+
+val make_ctx :
+  ?coin:Common_coin.t ->
+  net:msg Netsim.Async_net.t ->
+  me:int ->
+  faults:int ->
+  rng:Dsim.Rng.t ->
+  unit ->
+  ctx
+(** Installs the node's tally as its delivery handler.
+    @raise Invalid_argument unless [0 <= me < n] and [2 * faults < n]. *)
+
+module Ac : Consensus.Objects.AC with type ctx = ctx and type Value.t = bool
+
+module Conciliator :
+  Consensus.Objects.CONCILIATOR with type ctx = ctx and type Value.t = bool
+
+module Consensus_ac : sig
+  val consensus :
+    ?max_rounds:int ->
+    ?observer:bool Consensus.Template.observer ->
+    ctx ->
+    bool ->
+    bool * int
+end
+
+val broadcasts_per_round : int
+(** 3 — against the VAC decomposition's 2. *)

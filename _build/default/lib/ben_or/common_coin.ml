@@ -1,0 +1,37 @@
+type round_coin = Common of bool | Independent
+
+type t = {
+  dealer : Dsim.Rng.t;
+  agreement : float;
+  rounds : (int, round_coin) Hashtbl.t;
+  mutable commons : int;
+}
+
+let create ~rng ~agreement =
+  let agreement = Float.max 0.0 (Float.min 1.0 agreement) in
+  { dealer = rng; agreement; rounds = Hashtbl.create 16; commons = 0 }
+
+let agreement t = t.agreement
+
+(* Rounds may be queried out of order (processors run at different
+   speeds), so each round's nature is fixed on first touch. *)
+let round_coin t round =
+  match Hashtbl.find_opt t.rounds round with
+  | Some c -> c
+  | None ->
+      let c =
+        if Dsim.Rng.float t.dealer 1.0 < t.agreement then begin
+          t.commons <- t.commons + 1;
+          Common (Dsim.Rng.bool t.dealer)
+        end
+        else Independent
+      in
+      Hashtbl.replace t.rounds round c;
+      c
+
+let flip t ~local_rng ~round =
+  match round_coin t round with
+  | Common b -> b
+  | Independent -> Dsim.Rng.bool local_rng
+
+let common_rounds t = t.commons

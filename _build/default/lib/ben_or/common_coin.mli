@@ -1,0 +1,31 @@
+(** A weak common coin — the "better reconciliator" ablation.
+
+    Ben-Or's local coin flips give exponential expected round complexity
+    against a splitting adversary; the classic remedy (Rabin) is a shared
+    coin: in each round, with probability at least [agreement] every
+    processor observes the {e same} uniformly random bit, and otherwise
+    each flips locally.
+
+    The real construction needs a dealer or cryptographic setup the paper
+    does not provide, so this module {e simulates} the object's interface
+    contract (see DESIGN.md substitutions): a per-round draw decides —
+    deterministically from the simulation seed — whether the round's coin
+    is common, and the per-processor [flip] answers accordingly.  With
+    [agreement = 1.0] it is a perfect common coin; with [agreement = 0.0]
+    it degenerates to Ben-Or's local coins. *)
+
+type t
+
+val create : rng:Dsim.Rng.t -> agreement:float -> t
+(** [create ~rng ~agreement] makes a coin shared by all processors of one
+    consensus instance.  [rng] should be split off the engine seed;
+    [agreement] is clamped to [0..1]. *)
+
+val agreement : t -> float
+
+val flip : t -> local_rng:Dsim.Rng.t -> round:int -> bool
+(** The bit processor with private stream [local_rng] sees in [round].
+    All calls for the same round agree when the round drew common. *)
+
+val common_rounds : t -> int
+(** How many rounds drew a common coin so far (for experiment reporting). *)

@@ -1,0 +1,22 @@
+type t =
+  | Report of { phase : int; value : bool }
+  | Ratify of { phase : int; value : bool }
+  | Question of { phase : int }
+
+let phase = function
+  | Report { phase; _ } | Ratify { phase; _ } | Question { phase } -> phase
+
+let is_step1 ~phase:m = function
+  | Report { phase; _ } -> phase = m
+  | Ratify _ | Question _ -> false
+
+let is_step2 ~phase:m = function
+  | Ratify { phase; _ } | Question { phase } -> phase = m
+  | Report _ -> false
+
+let pp ppf = function
+  | Report { phase; value } -> Format.fprintf ppf "<1, %b>@%d" value phase
+  | Ratify { phase; value } -> Format.fprintf ppf "<2, %b, ratify>@%d" value phase
+  | Question { phase } -> Format.fprintf ppf "<2, ?>@%d" phase
+
+let to_string m = Format.asprintf "%a" pp m

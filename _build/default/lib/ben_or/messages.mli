@@ -1,0 +1,23 @@
+(** Wire messages of Ben-Or's randomized binary consensus.
+
+    Each template round (the paper's [m]) has two message exchanges:
+    a report ⟨1, v⟩ carrying the processor's current preference, then a
+    ratification ⟨2, v, ratify⟩ — or the non-committal ⟨2, ?⟩ — depending
+    on whether a majority preference was observed. *)
+
+type t =
+  | Report of { phase : int; value : bool }  (** ⟨1, v⟩ *)
+  | Ratify of { phase : int; value : bool }  (** ⟨2, v, ratify⟩ *)
+  | Question of { phase : int }  (** ⟨2, ?⟩ *)
+
+val phase : t -> int
+(** The template round the message belongs to. *)
+
+val is_step1 : phase:int -> t -> bool
+(** Report of the given phase. *)
+
+val is_step2 : phase:int -> t -> bool
+(** Ratify or Question of the given phase. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,65 @@
+(** Ben-Or's algorithm, decomposed per the paper (Section 4.2) and as the
+    original monolithic loop.
+
+    Model: asynchronous message passing, [t < n/2] crash failures.
+
+    The decomposition (paper Algorithms 5 and 6):
+    - {!Vac}: ⟨1, v⟩ exchange, majority test, ⟨2, ·⟩ exchange; commit on
+      more than [t] ratifies, adopt on at least one, vacillate otherwise.
+    - {!Reconciliator}: a local fair coin flip.
+
+    Both are instantiated in {!Consensus_decomposed} through the generic
+    template; {!monolithic_consensus} is the control implementation that
+    fuses the same steps into one loop. *)
+
+type ctx = {
+  net : Messages.t Netsim.Async_net.t;
+  me : int;  (** this processor's id, also its engine pid by construction *)
+  faults : int;  (** the resilience parameter t, with [2t < n] *)
+  rng : Dsim.Rng.t;  (** private stream for coin flips *)
+  tally : Tally.t;  (** incremental quorum counters (distinct senders) *)
+  coin : Common_coin.t option;
+      (** when present, the reconciliator uses this weak common coin
+          instead of the paper's private coin flip *)
+}
+
+val make_ctx :
+  ?coin:Common_coin.t ->
+  net:Messages.t Netsim.Async_net.t ->
+  me:int ->
+  faults:int ->
+  rng:Dsim.Rng.t ->
+  unit ->
+  ctx
+(** Builds the context and installs the node's tally as its delivery
+    handler — call it before any messages start flowing.
+    @raise Invalid_argument unless [0 <= me < n] and [2 * faults < n]. *)
+
+(** Paper Algorithm 5. *)
+module Vac :
+  Consensus.Objects.VAC with type ctx = ctx and type Value.t = bool
+
+(** Paper Algorithm 6: [Reconciliator(X, σ, m) = CoinFlip()]. *)
+module Reconciliator :
+  Consensus.Objects.RECONCILIATOR with type ctx = ctx and type Value.t = bool
+
+(** Algorithm 1 instantiated with {!Vac} and {!Reconciliator}. *)
+module Consensus_decomposed : sig
+  val consensus :
+    ?max_rounds:int ->
+    ?observer:bool Consensus.Template.observer ->
+    ctx ->
+    bool ->
+    bool * int
+end
+
+val monolithic_consensus :
+  ?max_rounds:int ->
+  ?observer:bool Consensus.Template.observer ->
+  ctx ->
+  bool ->
+  bool * int
+(** The textbook single-loop Ben-Or, with the same observation hooks (its
+    per-phase outcome classes are reported through the VAC vocabulary so
+    the same monitors apply).  Message-for-message identical behaviour to
+    the decomposed version is asserted by the E1 experiment. *)

@@ -1,0 +1,79 @@
+type phase_tally = {
+  seen1 : bool array;
+  seen2 : bool array;
+  mutable step1 : int;
+  mutable reports_true : int;
+  mutable reports_false : int;
+  mutable step2 : int;
+  mutable ratify_true : int;
+  mutable ratify_false : int;
+}
+
+type t = { n : int; phases : (int, phase_tally) Hashtbl.t }
+
+let phase_tally t phase =
+  match Hashtbl.find_opt t.phases phase with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          seen1 = Array.make t.n false;
+          seen2 = Array.make t.n false;
+          step1 = 0;
+          reports_true = 0;
+          reports_false = 0;
+          step2 = 0;
+          ratify_true = 0;
+          ratify_false = 0;
+        }
+      in
+      Hashtbl.replace t.phases phase p;
+      p
+
+let ingest t env =
+  let src = env.Netsim.Async_net.src in
+  match env.Netsim.Async_net.payload with
+  | Messages.Report { phase; value } ->
+      let p = phase_tally t phase in
+      if not p.seen1.(src) then begin
+        p.seen1.(src) <- true;
+        p.step1 <- p.step1 + 1;
+        if value then p.reports_true <- p.reports_true + 1
+        else p.reports_false <- p.reports_false + 1
+      end
+  | Messages.Ratify { phase; value } ->
+      let p = phase_tally t phase in
+      if not p.seen2.(src) then begin
+        p.seen2.(src) <- true;
+        p.step2 <- p.step2 + 1;
+        if value then p.ratify_true <- p.ratify_true + 1
+        else p.ratify_false <- p.ratify_false + 1
+      end
+  | Messages.Question { phase } ->
+      let p = phase_tally t phase in
+      if not p.seen2.(src) then begin
+        p.seen2.(src) <- true;
+        p.step2 <- p.step2 + 1
+      end
+
+let attach net ~me =
+  let t = { n = Netsim.Async_net.n net; phases = Hashtbl.create 32 } in
+  Netsim.Async_net.set_handler net me (ingest t);
+  t
+
+let step1_senders t ~phase = (phase_tally t phase).step1
+
+let reports_for t ~phase value =
+  let p = phase_tally t phase in
+  if value then p.reports_true else p.reports_false
+
+let step2_senders t ~phase = (phase_tally t phase).step2
+
+let ratifies_for t ~phase value =
+  let p = phase_tally t phase in
+  if value then p.ratify_true else p.ratify_false
+
+let forget_below t ~phase =
+  Hashtbl.iter
+    (fun ph _ -> if ph < phase then Hashtbl.remove t.phases ph)
+    (Hashtbl.copy t.phases)

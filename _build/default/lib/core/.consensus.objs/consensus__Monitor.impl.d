@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Format Hashtbl Int List Map Objects Template Types

@@ -1,0 +1,1 @@
+lib/core/objects.ml: Bool Format Int String Types

@@ -1,0 +1,30 @@
+module Vac_of_two_ac
+    (A : Objects.AC)
+    (B : Objects.AC with type ctx = A.ctx and type Value.t = A.Value.t) =
+struct
+  type ctx = A.ctx
+
+  module Value = A.Value
+
+  let invoke ctx ~round v =
+    match A.invoke ctx ~round v with
+    | Types.AC_commit u -> (
+        match B.invoke ctx ~round u with
+        | Types.AC_commit w -> Types.Commit w
+        | Types.AC_adopt w -> Types.Adopt w)
+    | Types.AC_adopt u -> (
+        match B.invoke ctx ~round u with
+        | Types.AC_commit w -> Types.Adopt w
+        | Types.AC_adopt w -> Types.Vacillate w)
+end
+
+module Ac_of_vac (V : Objects.VAC) = struct
+  type ctx = V.ctx
+
+  module Value = V.Value
+
+  let invoke ctx ~round v =
+    match V.invoke ctx ~round v with
+    | Types.Commit u -> Types.AC_commit u
+    | Types.Adopt u | Types.Vacillate u -> Types.AC_adopt u
+end

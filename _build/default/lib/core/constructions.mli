@@ -1,0 +1,44 @@
+(** Object-to-object constructions (paper Section 5).
+
+    The paper states that vacillate-adopt-commit can be implemented from
+    two adopt-commit objects (making AC "slightly weaker" than VAC); this
+    module gives the construction, generically over the substrate:
+
+    {v
+      VAC(v, m):               AC_a      AC_b      output
+        (c1, u) = AC_a(v, m)   commit    commit    (commit,    w)
+        (c2, w) = AC_b(u, m)   adopt     commit    (adopt,     w)
+                               commit    adopt     (adopt,     w)
+                               adopt     adopt     (vacillate, w)
+    v}
+
+    Correctness sketch — every output value is AC_b's value [w]:
+    - {e coherence over adopt & commit}: a commit means AC_a committed [u],
+      so by AC_a's coherence everyone fed [u] to AC_b, whose convergence
+      makes everyone commit [u] in AC_b — nobody can vacillate, and all
+      values are [u].
+    - {e coherence over vacillate & adopt}: adopt-receivers either saw
+      AC_b commit (AC_b's coherence pins one value) or saw AC_a commit
+      with AC_b adopt (AC_a's coherence pins everyone's AC_b {e input},
+      and AC_b validity pins its outputs).
+    - {e convergence} and {e validity} compose directly.
+
+    The two AC objects must be {e distinct instances} (they may share a
+    round counter but not internal state). *)
+
+module Vac_of_two_ac
+    (A : Objects.AC)
+    (B : Objects.AC with type ctx = A.ctx and type Value.t = A.Value.t) :
+  Objects.VAC with type ctx = A.ctx and type Value.t = A.Value.t
+
+(** The converse direction is trivial — demoting vacillate to adopt turns
+    any VAC into a correct AC (which is why AC is the {e weaker} object):
+
+    - AC coherence: a commit on [u] means, by VAC coherence over adopt &
+      commit, every output value is [u] — demotion does not change values.
+    - Convergence and validity carry over unchanged.
+
+    Together with {!Vac_of_two_ac} this pins the paper's Section-5
+    hierarchy: one VAC ⇒ one AC, two ACs ⇒ one VAC. *)
+module Ac_of_vac (V : Objects.VAC) :
+  Objects.AC with type ctx = V.ctx and type Value.t = V.Value.t

@@ -1,0 +1,236 @@
+type violation = { round : int option; property : string; message : string }
+
+let pp_violation ppf v =
+  match v.round with
+  | Some r -> Format.fprintf ppf "[round %d] %s: %s" r v.property v.message
+  | None -> Format.fprintf ppf "%s: %s" v.property v.message
+
+module Make (V : Objects.VALUE) = struct
+  module Int_map = Map.Make (Int)
+
+  type round_data = {
+    mutable inputs : V.t Int_map.t;  (* pid -> preference entering the round *)
+    mutable outs : V.t Types.vac_result Int_map.t;  (* pid -> detector output *)
+  }
+
+  type t = {
+    mutable initials : V.t Int_map.t;
+    rounds_tbl : (int, round_data) Hashtbl.t;
+    mutable decisions_rev : (int * int * V.t) list;
+  }
+
+  let create () =
+    { initials = Int_map.empty; rounds_tbl = Hashtbl.create 16; decisions_rev = [] }
+
+  let round_data t round =
+    match Hashtbl.find_opt t.rounds_tbl round with
+    | Some rd -> rd
+    | None ->
+        let rd = { inputs = Int_map.empty; outs = Int_map.empty } in
+        Hashtbl.replace t.rounds_tbl round rd;
+        rd
+
+  let record_initial t ~pid v =
+    t.initials <- Int_map.add pid v t.initials;
+    let rd = round_data t 1 in
+    rd.inputs <- Int_map.add pid v rd.inputs
+
+  let record_output t ~round ~pid out =
+    let rd = round_data t round in
+    rd.outs <- Int_map.add pid out rd.outs
+
+  let record_decision t ~round ~pid v =
+    t.decisions_rev <- (pid, round, v) :: t.decisions_rev
+
+  let record_preference t ~round ~pid v =
+    (* The preference leaving round [round] is the input to round+1. *)
+    let rd = round_data t (round + 1) in
+    rd.inputs <- Int_map.add pid v rd.inputs
+
+  let observer t ~pid =
+    {
+      Template.on_detect = (fun ~round out -> record_output t ~round ~pid out);
+      on_new_preference = (fun ~round v -> record_preference t ~round ~pid v);
+      on_decide = (fun ~round v -> record_decision t ~round ~pid v);
+    }
+
+  let rounds t =
+    Hashtbl.fold (fun r rd acc -> if Int_map.is_empty rd.outs then acc else r :: acc)
+      t.rounds_tbl []
+    |> List.sort compare
+
+  let outputs t ~round =
+    match Hashtbl.find_opt t.rounds_tbl round with
+    | None -> []
+    | Some rd -> Int_map.bindings rd.outs
+
+  let decisions t = List.rev t.decisions_rev
+
+  let str_of pp v = Format.asprintf "%a" pp v
+  let str_v v = str_of V.pp v
+  let str_out out = str_of (Types.pp_vac V.pp) out
+
+  let violation ?round property fmt =
+    Format.kasprintf (fun message -> { round; property; message }) fmt
+
+  (* --- per-round checks -------------------------------------------------- *)
+
+  let check_coherence_ac ~round outs acc =
+    (* If anyone committed u: everyone committed or adopted u. *)
+    let commit =
+      Int_map.fold
+        (fun pid out found ->
+          match (out, found) with
+          | Types.Commit u, None -> Some (pid, u)
+          | (Types.Commit _ | Types.Adopt _ | Types.Vacillate _), found -> found)
+        outs None
+    in
+    match commit with
+    | None -> acc
+    | Some (cp, u) ->
+        Int_map.fold
+          (fun pid out acc ->
+            match out with
+            | Types.Commit w | Types.Adopt w ->
+                if V.equal u w then acc
+                else
+                  violation ~round "coherence(adopt&commit)"
+                    "p%d committed %s but p%d has value %s" cp (str_v u) pid
+                    (str_v w)
+                  :: acc
+            | Types.Vacillate _ ->
+                violation ~round "coherence(adopt&commit)"
+                  "p%d committed %s but p%d vacillates (%s)" cp (str_v u) pid
+                  (str_out out)
+                :: acc)
+          outs acc
+
+  let check_coherence_va ~round outs acc =
+    (* If nobody committed and someone adopted u: all adopts carry u. *)
+    let any_commit =
+      Int_map.exists
+        (fun _ out ->
+          match out with
+          | Types.Commit _ -> true
+          | Types.Adopt _ | Types.Vacillate _ -> false)
+        outs
+    in
+    if any_commit then acc
+    else
+      let adopts =
+        Int_map.fold
+          (fun pid out l ->
+            match out with
+            | Types.Adopt u -> (pid, u) :: l
+            | Types.Commit _ | Types.Vacillate _ -> l)
+          outs []
+      in
+      match adopts with
+      | [] | [ _ ] -> acc
+      | (p0, u0) :: rest ->
+          List.fold_left
+            (fun acc (pid, u) ->
+              if V.equal u u0 then acc
+              else
+                violation ~round "coherence(vacillate&adopt)"
+                  "p%d adopted %s but p%d adopted %s" p0 (str_v u0) pid (str_v u)
+                :: acc)
+            acc rest
+
+  let check_convergence ~round inputs outs acc =
+    (* Unanimous inputs must yield unanimous commits on that value. *)
+    match Int_map.choose_opt inputs with
+    | None -> acc
+    | Some (_, v0) ->
+        let unanimous = Int_map.for_all (fun _ v -> V.equal v v0) inputs in
+        (* Only meaningful when every processor that produced an output also
+           has a recorded input. *)
+        let covered = Int_map.for_all (fun pid _ -> Int_map.mem pid inputs) outs in
+        if not (unanimous && covered) then acc
+        else
+          Int_map.fold
+            (fun pid out acc ->
+              match out with
+              | Types.Commit w when V.equal w v0 -> acc
+              | Types.Commit _ | Types.Adopt _ | Types.Vacillate _ ->
+                  violation ~round "convergence"
+                    "all inputs were %s but p%d got %s" (str_v v0) pid
+                    (str_out out)
+                  :: acc)
+            outs acc
+
+  let check_validity ~round inputs outs acc =
+    match Int_map.choose_opt inputs with
+    | None -> acc  (* inputs unknown: nothing to check *)
+    | Some _ ->
+        Int_map.fold
+          (fun pid out acc ->
+            let u = Types.vac_value out in
+            if Int_map.exists (fun _ v -> V.equal v u) inputs then acc
+            else
+              violation ~round "validity" "p%d's output value %s was nobody's input"
+                pid (str_v u)
+              :: acc)
+          outs acc
+
+  let check_no_vacillate ~round outs acc =
+    Int_map.fold
+      (fun pid out acc ->
+        match out with
+        | Types.Vacillate _ ->
+            violation ~round "ac-shape" "p%d got a vacillate from an AC object" pid
+            :: acc
+        | Types.Adopt _ | Types.Commit _ -> acc)
+      outs acc
+
+  let fold_rounds t f =
+    List.fold_left
+      (fun acc r ->
+        let rd = Hashtbl.find t.rounds_tbl r in
+        f ~round:r rd acc)
+      [] (rounds t)
+
+  let check_vac ?(validity = true) t =
+    fold_rounds t (fun ~round rd acc ->
+        let acc = check_coherence_ac ~round rd.outs acc in
+        let acc = check_coherence_va ~round rd.outs acc in
+        let acc = check_convergence ~round rd.inputs rd.outs acc in
+        if validity then check_validity ~round rd.inputs rd.outs acc else acc)
+    |> List.rev
+
+  let check_ac ?(validity = true) t =
+    fold_rounds t (fun ~round rd acc ->
+        let acc = check_no_vacillate ~round rd.outs acc in
+        let acc = check_coherence_ac ~round rd.outs acc in
+        let acc = check_convergence ~round rd.inputs rd.outs acc in
+        if validity then check_validity ~round rd.inputs rd.outs acc else acc)
+    |> List.rev
+
+  let check_consensus t =
+    let ds = decisions t in
+    let acc =
+      match ds with
+      | [] -> []
+      | (p0, _, v0) :: rest ->
+          List.fold_left
+            (fun acc (pid, _, v) ->
+              if V.equal v v0 then acc
+              else
+                violation "agreement" "p%d decided %s but p%d decided %s" p0
+                  (str_v v0) pid (str_v v)
+                :: acc)
+            [] rest
+    in
+    let acc =
+      List.fold_left
+        (fun acc (pid, _, v) ->
+          if Int_map.is_empty t.initials then acc
+          else if Int_map.exists (fun _ i -> V.equal i v) t.initials then acc
+          else
+            violation "consensus-validity"
+              "p%d decided %s, which was nobody's initial value" pid (str_v v)
+            :: acc)
+        acc ds
+    in
+    List.rev acc
+end

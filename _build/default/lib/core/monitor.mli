@@ -1,0 +1,67 @@
+(** Executable property monitors for the paper's object guarantees.
+
+    The paper proves lemmas of the form "Algorithm X is a correct VAC
+    implementation".  Here each guarantee is a predicate over a recorded
+    execution: plug a monitor's {!Make.observer} into a template run (or
+    record observations by hand), then ask for violations.  An empty
+    violation list over many adversarial runs is the experimental analogue
+    of the lemma.
+
+    Checked properties, per round [m] with outputs {(p, (X_p, u_p))}:
+
+    - {b VAC coherence over adopt & commit}: if some processor got
+      [(commit, u)], every processor got [(commit, u)] or [(adopt, u)].
+    - {b VAC coherence over vacillate & adopt}: if nobody committed and
+      someone got [(adopt, u)], every processor got [(adopt, u)] or
+      [(vacillate, _)].
+    - {b AC coherence}: if some processor got [(commit, u)], every
+      processor's value is [u] (no vacillate outputs may exist at all).
+    - {b Convergence}: if all of round [m]'s inputs equal [v], every output
+      is [(commit, v)].
+    - {b Validity}: every output value was some processor's input to that
+      round.
+    - {b Consensus agreement}: all decisions across the run are equal.
+    - {b Consensus validity}: every decision was some processor's initial
+      input. *)
+
+type violation = { round : int option; property : string; message : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+module Make (V : Objects.VALUE) : sig
+  type t
+
+  val create : unit -> t
+
+  val observer : t -> pid:int -> V.t Template.observer
+  (** Hook for {!Template}: records detector outputs, new preferences and
+      decisions for the given processor. *)
+
+  val record_initial : t -> pid:int -> V.t -> unit
+  (** Declare a processor's initial input (feeds round 1's input set and
+      the consensus-validity check). *)
+
+  val record_output : t -> round:int -> pid:int -> V.t Types.vac_result -> unit
+  (** Manual recording, for code that does not go through a template.
+      AC outputs are recorded via {!Types.vac_of_ac}. *)
+
+  val record_decision : t -> round:int -> pid:int -> V.t -> unit
+
+  val rounds : t -> int list
+  (** Rounds with at least one recorded output, ascending. *)
+
+  val outputs : t -> round:int -> (int * V.t Types.vac_result) list
+  val decisions : t -> (int * int * V.t) list
+  (** [(pid, round, value)] per decision, in recording order. *)
+
+  val check_vac : ?validity:bool -> t -> violation list
+  (** All VAC guarantees over all recorded rounds.  [validity] (default
+      true) additionally checks per-round validity — turn it off for
+      objects fed by coin flips. *)
+
+  val check_ac : ?validity:bool -> t -> violation list
+  (** All AC guarantees (vacillate outputs are themselves violations). *)
+
+  val check_consensus : t -> violation list
+  (** Agreement + validity over recorded decisions. *)
+end

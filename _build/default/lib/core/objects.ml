@@ -1,0 +1,67 @@
+module type VALUE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module type AC = sig
+  type ctx
+
+  module Value : VALUE
+
+  val invoke : ctx -> round:int -> Value.t -> Value.t Types.ac_result
+end
+
+module type CONCILIATOR = sig
+  type ctx
+
+  module Value : VALUE
+
+  val invoke : ctx -> round:int -> Value.t Types.ac_result -> Value.t
+end
+
+module type VAC = sig
+  type ctx
+
+  module Value : VALUE
+
+  val invoke : ctx -> round:int -> Value.t -> Value.t Types.vac_result
+end
+
+module type RECONCILIATOR = sig
+  type ctx
+
+  module Value : VALUE
+
+  val invoke : ctx -> round:int -> Value.t Types.vac_result -> Value.t
+end
+
+module type CONSENSUS = sig
+  type ctx
+
+  module Value : VALUE
+
+  val consensus : ctx -> Value.t -> Value.t
+end
+
+module Bool_value = struct
+  type t = bool
+
+  let equal = Bool.equal
+  let pp = Format.pp_print_bool
+end
+
+module Int_value = struct
+  type t = int
+
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+module String_value = struct
+  type t = string
+
+  let equal = String.equal
+  let pp = Format.pp_print_string
+end

@@ -1,0 +1,86 @@
+(** Module-type signatures for the paper's four consensus building blocks.
+
+    Each object is invoked once per template round by every participating
+    processor.  The [ctx] type carries whatever a concrete implementation
+    needs to talk to its substrate — a synchronous network handle for
+    Phase-King, an asynchronous one for Ben-Or, a Raft replica for Raft, a
+    register file for shared memory.  Invocations happen inside a
+    {!Dsim.Engine} process, so implementations may freely suspend.
+
+    The guarantees each signature must provide (paper Section 2):
+
+    - {b adopt-commit}: validity, termination, coherence (a commit forces
+      everyone's value), convergence (unanimous input commits).
+    - {b vacillate-adopt-commit}: validity, termination, convergence,
+      coherence over adopt & commit, coherence over vacillate & adopt.
+    - {b conciliator}: validity, termination, probabilistic agreement
+      (all outputs equal with probability bounded away from 0).
+    - {b reconciliator}: termination; weak agreement — with probability 1
+      some round eventually produces inputs on which the detector commits;
+      the returned value must respect the current round's adopt values when
+      any exist (footnote 1: otherwise any valid input). *)
+
+(** Values a consensus decides on. *)
+module type VALUE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Gafni's adopt-commit object. *)
+module type AC = sig
+  type ctx
+
+  module Value : VALUE
+
+  val invoke : ctx -> round:int -> Value.t -> Value.t Types.ac_result
+end
+
+(** Aspnes' conciliator object.  Receives the AC output of the round it
+    follows (the paper's [Conciliator(X, σ, m)]). *)
+module type CONCILIATOR = sig
+  type ctx
+
+  module Value : VALUE
+
+  val invoke : ctx -> round:int -> Value.t Types.ac_result -> Value.t
+end
+
+(** The paper's vacillate-adopt-commit object. *)
+module type VAC = sig
+  type ctx
+
+  module Value : VALUE
+
+  val invoke : ctx -> round:int -> Value.t -> Value.t Types.vac_result
+end
+
+(** The paper's reconciliator object.  Receives the VAC output of the round
+    it follows (the paper's [Reconciliator(X, σ, m)]). *)
+module type RECONCILIATOR = sig
+  type ctx
+
+  module Value : VALUE
+
+  val invoke : ctx -> round:int -> Value.t Types.vac_result -> Value.t
+end
+
+(** A whole consensus protocol (what the templates produce). *)
+module type CONSENSUS = sig
+  type ctx
+
+  module Value : VALUE
+
+  val consensus : ctx -> Value.t -> Value.t
+  (** Blocks until this processor decides; returns the decision. *)
+end
+
+(** The binary value domain used by Phase-King and Ben-Or. *)
+module Bool_value : VALUE with type t = bool
+
+(** Integer values, for multivalued consensus (Raft, examples). *)
+module Int_value : VALUE with type t = int
+
+(** String values (Raft commands in the key-value example). *)
+module String_value : VALUE with type t = string

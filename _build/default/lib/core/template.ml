@@ -1,0 +1,108 @@
+exception No_decision of int
+
+type 'v observer = {
+  on_detect : round:int -> 'v Types.vac_result -> unit;
+  on_new_preference : round:int -> 'v -> unit;
+  on_decide : round:int -> 'v -> unit;
+}
+
+let null_observer =
+  {
+    on_detect = (fun ~round:_ _ -> ());
+    on_new_preference = (fun ~round:_ _ -> ());
+    on_decide = (fun ~round:_ _ -> ());
+  }
+
+type 'v participating_result = {
+  final_preference : 'v;
+  first_commit : ('v * int) option;
+}
+
+module Make_vac
+    (V : Objects.VAC)
+    (R : Objects.RECONCILIATOR
+           with type ctx = V.ctx
+            and type Value.t = V.Value.t) =
+struct
+  let consensus ?(max_rounds = 10_000) ?(observer = null_observer) ctx init =
+    let rec go m v =
+      if m > max_rounds then raise (No_decision max_rounds);
+      let result = V.invoke ctx ~round:m v in
+      observer.on_detect ~round:m result;
+      match result with
+      | Types.Commit sigma ->
+          observer.on_decide ~round:m sigma;
+          (sigma, m)
+      | Types.Adopt sigma ->
+          observer.on_new_preference ~round:m sigma;
+          go (m + 1) sigma
+      | Types.Vacillate _ ->
+          let v' = R.invoke ctx ~round:m result in
+          observer.on_new_preference ~round:m v';
+          go (m + 1) v'
+    in
+    go 1 init
+
+  let consensus_participating ~rounds ?(observer = null_observer) ctx init =
+    let decision = ref None in
+    let v = ref init in
+    for m = 1 to rounds do
+      let result = V.invoke ctx ~round:m !v in
+      observer.on_detect ~round:m result;
+      (match result with
+      | Types.Commit sigma ->
+          if !decision = None then begin
+            observer.on_decide ~round:m sigma;
+            decision := Some (sigma, m)
+          end;
+          v := sigma
+      | Types.Adopt sigma -> v := sigma
+      | Types.Vacillate _ -> v := R.invoke ctx ~round:m result);
+      observer.on_new_preference ~round:m !v
+    done;
+    { final_preference = !v; first_commit = !decision }
+end
+
+module Make_ac
+    (A : Objects.AC)
+    (C : Objects.CONCILIATOR
+           with type ctx = A.ctx
+            and type Value.t = A.Value.t) =
+struct
+  let consensus ?(max_rounds = 10_000) ?(observer = null_observer) ctx init =
+    let rec go m v =
+      if m > max_rounds then raise (No_decision max_rounds);
+      let result = A.invoke ctx ~round:m v in
+      observer.on_detect ~round:m (Types.vac_of_ac result);
+      match result with
+      | Types.AC_commit sigma ->
+          observer.on_decide ~round:m sigma;
+          (sigma, m)
+      | Types.AC_adopt _ ->
+          let v' = C.invoke ctx ~round:m result in
+          observer.on_new_preference ~round:m v';
+          go (m + 1) v'
+    in
+    go 1 init
+
+  let consensus_participating ~rounds ?(observer = null_observer) ctx init =
+    let decision = ref None in
+    let v = ref init in
+    for m = 1 to rounds do
+      let result = A.invoke ctx ~round:m !v in
+      observer.on_detect ~round:m (Types.vac_of_ac result);
+      (match result with
+      | Types.AC_commit sigma ->
+          if !decision = None then begin
+            observer.on_decide ~round:m sigma;
+            decision := Some (sigma, m)
+          end;
+          (* Keep participating: join the conciliator exchange but ignore
+             its suggestion once decided. *)
+          let _suggestion = C.invoke ctx ~round:m result in
+          v := sigma
+      | Types.AC_adopt _ -> v := C.invoke ctx ~round:m result);
+      observer.on_new_preference ~round:m !v
+    done;
+    { final_preference = !v; first_commit = !decision }
+end

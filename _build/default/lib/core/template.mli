@@ -1,0 +1,94 @@
+(** The paper's generic consensus templates (Algorithms 1 and 2).
+
+    Both templates run in rounds.  Round [m] first invokes the agreement
+    detector with the current preference; depending on the confidence level
+    the processor either decides ([commit]), carries the detected value
+    ([adopt]), or asks the progress object for a fresh preference
+    ([vacillate], or [adopt] in the AC template).
+
+    Two driving modes are provided:
+
+    - [consensus]: the paper's Algorithm 1/2 — halt at the first commit.
+    - [consensus_participating]: run a {e fixed} number of rounds and keep
+      participating after deciding, as the paper's Phase-King section
+      requires ("every algorithm continues to participate in the overall
+      consensus template even after deciding"); lock-step substrates need
+      every correct processor in every round. *)
+
+exception No_decision of int
+(** Raised by [consensus] when [max_rounds] elapse without a commit. *)
+
+(** Observation hooks, consumed by monitors and tests.  All default to
+    no-ops. *)
+type 'v observer = {
+  on_detect : round:int -> 'v Types.vac_result -> unit;
+      (** detector output (AC outputs are embedded via {!Types.vac_of_ac}) *)
+  on_new_preference : round:int -> 'v -> unit;
+      (** preference entering the next round *)
+  on_decide : round:int -> 'v -> unit;  (** first decision *)
+}
+
+val null_observer : 'v observer
+
+(** Outcome of a fixed-length participating run. *)
+type 'v participating_result = {
+  final_preference : 'v;
+      (** the preference held after the last round — what the original
+          Phase-King decides *)
+  first_commit : ('v * int) option;
+      (** the first commit observed and its round, if any — what the
+          paper's template decides.  For the AC template with a
+          non-validity-preserving conciliator (Phase-King under a Byzantine
+          king) these two rules can disagree; see EXPERIMENTS.md E3. *)
+}
+
+(** Algorithm 1: vacillate-adopt-commit + reconciliator. *)
+module Make_vac
+    (V : Objects.VAC)
+    (R : Objects.RECONCILIATOR
+           with type ctx = V.ctx
+            and type Value.t = V.Value.t) : sig
+  val consensus :
+    ?max_rounds:int ->
+    ?observer:V.Value.t observer ->
+    V.ctx ->
+    V.Value.t ->
+    V.Value.t * int
+  (** [consensus ctx v] runs the template until commit; returns the decided
+      value and the deciding round (1-based).  [max_rounds] (default
+      10_000) bounds runaway executions. *)
+
+  val consensus_participating :
+    rounds:int ->
+    ?observer:V.Value.t observer ->
+    V.ctx ->
+    V.Value.t ->
+    V.Value.t participating_result
+  (** Run exactly [rounds] rounds, participating throughout. *)
+end
+
+(** Algorithm 2: adopt-commit + conciliator (Aspnes' framework). *)
+module Make_ac
+    (A : Objects.AC)
+    (C : Objects.CONCILIATOR
+           with type ctx = A.ctx
+            and type Value.t = A.Value.t) : sig
+  val consensus :
+    ?max_rounds:int ->
+    ?observer:A.Value.t observer ->
+    A.ctx ->
+    A.Value.t ->
+    A.Value.t * int
+
+  val consensus_participating :
+    rounds:int ->
+    ?observer:A.Value.t observer ->
+    A.ctx ->
+    A.Value.t ->
+    A.Value.t participating_result
+  (** As above.  In participating mode the conciliator is invoked in
+      {e every} round — a lock-step conciliator (Phase-King's king
+      broadcast) involves all correct processors whether or not their AC
+      confidence was commit; a processor that has seen a commit keeps its
+      committed preference and ignores the conciliator's suggestion. *)
+end

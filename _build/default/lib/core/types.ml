@@ -1,0 +1,35 @@
+type 'v ac_result = AC_adopt of 'v | AC_commit of 'v
+type 'v vac_result = Vacillate of 'v | Adopt of 'v | Commit of 'v
+
+let ac_value = function AC_adopt v | AC_commit v -> v
+let vac_value = function Vacillate v | Adopt v | Commit v -> v
+let ac_confidence = function AC_adopt _ -> "adopt" | AC_commit _ -> "commit"
+
+let vac_confidence = function
+  | Vacillate _ -> "vacillate"
+  | Adopt _ -> "adopt"
+  | Commit _ -> "commit"
+
+let vac_of_ac = function AC_adopt v -> Adopt v | AC_commit v -> Commit v
+
+let equal_ac eq a b =
+  match (a, b) with
+  | AC_adopt x, AC_adopt y | AC_commit x, AC_commit y -> eq x y
+  | AC_adopt _, AC_commit _ | AC_commit _, AC_adopt _ -> false
+
+let equal_vac eq a b =
+  match (a, b) with
+  | Vacillate x, Vacillate y | Adopt x, Adopt y | Commit x, Commit y -> eq x y
+  | Vacillate _, (Adopt _ | Commit _)
+  | Adopt _, (Vacillate _ | Commit _)
+  | Commit _, (Vacillate _ | Adopt _) ->
+      false
+
+let pp_ac pp_v ppf = function
+  | AC_adopt v -> Format.fprintf ppf "(adopt, %a)" pp_v v
+  | AC_commit v -> Format.fprintf ppf "(commit, %a)" pp_v v
+
+let pp_vac pp_v ppf = function
+  | Vacillate v -> Format.fprintf ppf "(vacillate, %a)" pp_v v
+  | Adopt v -> Format.fprintf ppf "(adopt, %a)" pp_v v
+  | Commit v -> Format.fprintf ppf "(commit, %a)" pp_v v

@@ -1,0 +1,47 @@
+(** Result types for the consensus building blocks of the paper.
+
+    An {e adopt-commit} object (Gafni) returns a value with one of two
+    confidence levels; the paper's {e vacillate-adopt-commit} adds a third,
+    weakest level.  The constructors mirror the paper's notation
+    [(confidence, u)]. *)
+
+(** Output of an adopt-commit object. *)
+type 'v ac_result =
+  | AC_adopt of 'v
+      (** some processor may have committed to this value — carry it *)
+  | AC_commit of 'v  (** safe to decide this value *)
+
+(** Output of a vacillate-adopt-commit object. *)
+type 'v vac_result =
+  | Vacillate of 'v
+      (** no information: the system is undecided; the value is only a
+          preference (subject to validity) *)
+  | Adopt of 'v
+      (** some processors may have agreed on this value; all non-vacillating
+          processors saw the same value *)
+  | Commit of 'v  (** agreement reached on this value: decide *)
+
+val ac_value : 'v ac_result -> 'v
+(** The value component, ignoring confidence. *)
+
+val vac_value : 'v vac_result -> 'v
+(** The value component, ignoring confidence. *)
+
+val ac_confidence : _ ac_result -> string
+(** ["adopt"] or ["commit"]. *)
+
+val vac_confidence : _ vac_result -> string
+(** ["vacillate"], ["adopt"] or ["commit"]. *)
+
+val vac_of_ac : 'v ac_result -> 'v vac_result
+(** Forget nothing: embeds AC output into VAC output (adopt ↦ adopt,
+    commit ↦ commit). *)
+
+val equal_ac : ('v -> 'v -> bool) -> 'v ac_result -> 'v ac_result -> bool
+val equal_vac : ('v -> 'v -> bool) -> 'v vac_result -> 'v vac_result -> bool
+
+val pp_ac :
+  (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v ac_result -> unit
+
+val pp_vac :
+  (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v vac_result -> unit

@@ -1,0 +1,1 @@
+lib/dsim/engine.ml: Effect Hashtbl Heap List Printexc Printf Rng Trace

@@ -1,0 +1,1 @@
+lib/dsim/engine.mli: Rng Trace

@@ -1,0 +1,222 @@
+type pid = int
+
+exception Killed
+exception Not_in_process
+
+type proc_state = Running | Finished | Dead
+
+type proc = {
+  p_pid : pid;
+  p_name : string;
+  mutable p_state : proc_state;
+  mutable p_failure : exn option;
+}
+
+type blocked =
+  | Blocked : {
+      b_pid : pid;
+      b_poll : unit -> 'a option;
+      b_k : ('a, unit) Effect.Deep.continuation;
+    }
+      -> blocked
+
+type t = {
+  mutable now : int;
+  events : (unit -> unit) Heap.t;
+  tr : Trace.t;
+  engine_rng : Rng.t;
+  procs : (pid, proc) Hashtbl.t;
+  mutable blocked : blocked list;
+  mutable next_pid : int;
+}
+
+type ctx = { engine : t; pid : pid; rng : Rng.t }
+
+type outcome = Quiescent | Deadlock of pid list | Time_limit | Event_limit
+
+type _ Effect.t +=
+  | Await : (unit -> 'a option) -> 'a Effect.t
+  | Sleep : int -> unit Effect.t
+  | Yield : unit Effect.t
+
+let create ?(seed = 1L) ?trace_capacity () =
+  {
+    now = 0;
+    events = Heap.create ();
+    tr = Trace.create ?capacity:trace_capacity ();
+    engine_rng = Rng.create seed;
+    procs = Hashtbl.create 64;
+    blocked = [];
+    next_pid = 0;
+  }
+
+let now t = t.now
+let rng t = t.engine_rng
+let trace t = t.tr
+let emit t ?pid ~tag detail = Trace.emit t.tr ~time:t.now ?pid ~tag detail
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  Heap.add t.events ~key:(t.now + delay) f
+
+let proc t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Engine: unknown pid %d" pid)
+
+let alive t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | Some p -> p.p_state = Running
+  | None -> false
+
+let name t pid = (proc t pid).p_name
+let process_failed t pid = (proc t pid).p_failure
+
+(* Suspension primitives: plain effect performers.  They raise
+   [Unhandled] as [Not_in_process] when no engine handler is installed. *)
+
+let await poll =
+  match poll () with
+  | Some v -> v
+  | None -> ( try Effect.perform (Await poll) with Effect.Unhandled _ -> raise Not_in_process)
+
+let await_cond p = await (fun () -> if p () then Some () else None)
+
+let sleep _ctx d =
+  try Effect.perform (Sleep d) with Effect.Unhandled _ -> raise Not_in_process
+
+let yield _ctx =
+  try Effect.perform Yield with Effect.Unhandled _ -> raise Not_in_process
+
+(* Fiber plumbing -------------------------------------------------------- *)
+
+let run_fiber t (p : proc) body =
+  let handler : type b. b Effect.t -> ((b, unit) Effect.Deep.continuation -> unit) option
+      = function
+    | Await poll ->
+        Some
+          (fun k ->
+            match poll () with
+            | Some v -> Effect.Deep.continue k v
+            | None ->
+                t.blocked <-
+                  Blocked { b_pid = p.p_pid; b_poll = poll; b_k = k } :: t.blocked)
+    | Sleep d ->
+        Some
+          (fun k ->
+            let d = if d < 0 then 0 else d in
+            schedule t ~delay:d (fun () ->
+                if p.p_state = Running then Effect.Deep.continue k ()
+                else Effect.Deep.discontinue k Killed))
+    | Yield ->
+        Some
+          (fun k ->
+            schedule t ~delay:0 (fun () ->
+                if p.p_state = Running then Effect.Deep.continue k ()
+                else Effect.Deep.discontinue k Killed))
+    | _ -> None
+  in
+  Effect.Deep.match_with body ()
+    {
+      retc =
+        (fun () ->
+          if p.p_state = Running then p.p_state <- Finished);
+      exnc =
+        (fun exn ->
+          match exn with
+          | Killed -> p.p_state <- Dead
+          | exn ->
+              p.p_state <- Dead;
+              p.p_failure <- Some exn;
+              emit t ~pid:p.p_pid ~tag:"crash"
+                (Printf.sprintf "uncaught exception: %s" (Printexc.to_string exn)));
+      effc = handler;
+    }
+
+let spawn t ?name body =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let p_name = match name with Some n -> n | None -> Printf.sprintf "p%d" pid in
+  let p = { p_pid = pid; p_name; p_state = Running; p_failure = None } in
+  Hashtbl.replace t.procs pid p;
+  let proc_rng = Rng.split t.engine_rng in
+  let ctx = { engine = t; pid; rng = proc_rng } in
+  schedule t ~delay:0 (fun () ->
+      if p.p_state = Running then run_fiber t p (fun () -> body ctx));
+  pid
+
+let kill t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | None -> ()
+  | Some p ->
+      if p.p_state = Running then begin
+        p.p_state <- Dead;
+        emit t ~pid ~tag:"kill" p.p_name;
+        (* Discontinue any blocked continuation belonging to this pid so the
+           fiber unwinds now; sleeping continuations notice at wake-up. *)
+        let mine, others =
+          List.partition (fun (Blocked b) -> b.b_pid = pid) t.blocked
+        in
+        t.blocked <- others;
+        List.iter (fun (Blocked b) -> Effect.Deep.discontinue b.b_k Killed) mine
+      end
+
+(* Resume every blocked process whose poll condition now holds.  Each
+   resumption may change the world, so we restart the scan after each one
+   until a full pass makes no progress. *)
+let drain_ready t =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let rec scan acc = function
+      | [] -> t.blocked <- List.rev acc
+      | (Blocked b as entry) :: rest -> (
+          if not (alive t b.b_pid) then begin
+            (* Killed while blocked and already removed in [kill]; this
+               entry can only appear if the process died without [kill]
+               (impossible), so keep the invariant cheaply. *)
+            scan acc rest
+          end
+          else
+            match b.b_poll () with
+            | Some v ->
+                t.blocked <- List.rev_append acc rest;
+                progress := true;
+                Effect.Deep.continue b.b_k v;
+                raise_notrace Exit
+            | None -> scan (entry :: acc) rest)
+    in
+    try scan [] t.blocked with Exit -> ()
+  done
+
+let run ?until ?max_events t =
+  let executed = ref 0 in
+  let outcome = ref None in
+  drain_ready t;
+  while !outcome = None do
+    match Heap.pop t.events with
+    | None ->
+        outcome :=
+          Some
+            (if t.blocked = [] then Quiescent
+             else
+               Deadlock
+                 (List.sort_uniq compare
+                    (List.map (fun (Blocked b) -> b.b_pid) t.blocked)))
+    | Some (time, f) -> (
+        match until with
+        | Some limit when time > limit ->
+            (* Put the event back: a later [run] may still want it. *)
+            Heap.add t.events ~key:time f;
+            t.now <- limit;
+            outcome := Some Time_limit
+        | Some _ | None ->
+            t.now <- time;
+            f ();
+            drain_ready t;
+            incr executed;
+            (match max_events with
+            | Some m when !executed >= m -> outcome := Some Event_limit
+            | Some _ | None -> ()))
+  done;
+  match !outcome with Some o -> o | None -> assert false

@@ -1,0 +1,94 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns a virtual clock and an event queue.  Simulated
+    processes are written in direct style as ordinary OCaml functions; they
+    suspend through effects ({!await}, {!sleep}, {!yield}) and the engine
+    resumes them when their wake-up condition is met.  All scheduling is
+    deterministic: same seed, same program — same trace.
+
+    A process body receives a {!ctx} carrying its pid and a private
+    random-number stream split off the engine seed.  {!await}, {!sleep} and
+    {!yield} may only be called from inside a process body; calling them
+    elsewhere raises [Not_in_process]. *)
+
+type t
+type pid = int
+
+type ctx = {
+  engine : t;
+  pid : pid;
+  rng : Rng.t;  (** process-private deterministic stream *)
+}
+
+exception Killed
+(** Raised inside a process when it is killed while suspended.  Protocol
+    code must not catch it (or must re-raise). *)
+
+exception Not_in_process
+(** Raised when a suspension primitive is used outside a process body. *)
+
+(** Why {!run} returned. *)
+type outcome =
+  | Quiescent  (** no events left and no process blocked *)
+  | Deadlock of pid list  (** no events left but these pids still blocked *)
+  | Time_limit  (** virtual [until] reached *)
+  | Event_limit  (** [max_events] executed *)
+
+val create : ?seed:int64 -> ?trace_capacity:int -> unit -> t
+(** A fresh engine at time 0.  Default seed is 1. *)
+
+val now : t -> int
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine-level stream (used to split process streams). *)
+
+val trace : t -> Trace.t
+(** The engine's trace; emit protocol events through {!emit}. *)
+
+val emit : t -> ?pid:pid -> tag:string -> string -> unit
+(** Append a trace event stamped with the current virtual time. *)
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** Run a callback [delay] time units from now (same tick if [delay = 0]).
+    @raise Invalid_argument if [delay < 0]. *)
+
+val spawn : t -> ?name:string -> (ctx -> unit) -> pid
+(** Register a new process; its body starts at the current time (the spawn
+    event is queued, not run inline). *)
+
+val kill : t -> pid -> unit
+(** Terminate a process.  If it is suspended, its continuation is
+    discontinued with {!Killed}; it will never run again. *)
+
+val alive : t -> pid -> bool
+(** True while the process has neither finished nor been killed. *)
+
+val name : t -> pid -> string
+(** Diagnostic name given at spawn time (defaults to ["p<pid>"]). *)
+
+val process_failed : t -> pid -> exn option
+(** The exception that terminated the process abnormally, if any ([Killed]
+    does not count as a failure). *)
+
+val run : ?until:int -> ?max_events:int -> t -> outcome
+(** Drive the simulation until quiescence, deadlock, the virtual-time limit
+    or the event budget.  Can be called repeatedly (e.g. after scheduling
+    more events). *)
+
+(** {1 Suspension primitives — call only inside a process body} *)
+
+val await : (unit -> 'a option) -> 'a
+(** [await poll] suspends until [poll ()] returns [Some v], then evaluates
+    to [v].  [poll] must be side-effect-free; it may be called many times.
+    If the condition already holds the process continues immediately
+    without yielding. *)
+
+val await_cond : (unit -> bool) -> unit
+(** [await_cond p] is [await (fun () -> if p () then Some () else None)]. *)
+
+val sleep : ctx -> int -> unit
+(** Suspend for a fixed amount of virtual time. *)
+
+val yield : ctx -> unit
+(** Suspend until the current tick's already-queued events have run. *)

@@ -1,0 +1,29 @@
+(** A classic array-backed binary min-heap, specialized for the event queue.
+
+    Elements are ordered by an integer key (the virtual timestamp) with a
+    monotonically increasing sequence number as a tiebreaker, so two events
+    scheduled for the same instant fire in insertion order — a requirement
+    for deterministic simulation. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** An empty heap. *)
+
+val length : 'a t -> int
+(** Number of queued elements. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> 'a -> unit
+(** [add t ~key v] inserts [v] with priority [key]. Insertion order breaks
+    ties. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-key element, or [None] when empty. *)
+
+val peek_key : 'a t -> int option
+(** The smallest key currently queued, without removing it. *)
+
+val clear : 'a t -> unit
+(** Drop all elements. *)

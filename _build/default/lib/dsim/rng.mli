@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation for simulations.
+
+    The generator is splitmix64: tiny state, excellent statistical quality
+    for simulation purposes, and — crucially — {e splittable}, so every
+    process in a simulation can own an independent stream derived from the
+    engine seed.  Identical seeds always reproduce identical simulations. *)
+
+type t
+(** A mutable generator. Not thread-safe; simulations are single-domain. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator.  Any seed is acceptable. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (the copies then diverge). *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int
+(** 30 uniform random bits as a non-negative [int]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val exponential : t -> mean:float -> float
+(** An exponentially distributed value with the given mean. *)
+
+val pick : t -> 'a array -> 'a
+(** A uniformly random element. @raise Invalid_argument on empty arrays. *)
+
+val pick_list : t -> 'a list -> 'a
+(** A uniformly random element. @raise Invalid_argument on empty lists. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+(** A uniformly random permutation of the list. *)

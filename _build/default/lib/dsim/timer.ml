@@ -1,0 +1,24 @@
+type t = {
+  engine : Engine.t;
+  callback : unit -> unit;
+  mutable generation : int;
+  mutable armed : bool;
+}
+
+let create engine callback = { engine; callback; generation = 0; armed = false }
+
+let arm t ~delay =
+  t.generation <- t.generation + 1;
+  t.armed <- true;
+  let gen = t.generation in
+  Engine.schedule t.engine ~delay (fun () ->
+      if t.armed && t.generation = gen then begin
+        t.armed <- false;
+        t.callback ()
+      end)
+
+let cancel t =
+  t.generation <- t.generation + 1;
+  t.armed <- false
+
+let is_armed t = t.armed

@@ -1,0 +1,20 @@
+(** Cancellable, resettable one-shot timers on top of {!Engine}.
+
+    Raft-style protocols continually reset election timers; this module
+    implements that cheaply with a generation counter, so stale scheduled
+    events fall through without firing. *)
+
+type t
+
+val create : Engine.t -> (unit -> unit) -> t
+(** [create engine f] makes an idle timer that runs [f] when it fires.
+    [f] runs in plain scheduler context (not inside any process). *)
+
+val arm : t -> delay:int -> unit
+(** (Re)arm to fire [delay] units from now, replacing any pending firing. *)
+
+val cancel : t -> unit
+(** Disarm; a pending firing is dropped. *)
+
+val is_armed : t -> bool
+(** True if armed and not yet fired. *)

@@ -1,0 +1,39 @@
+(** Structured execution traces.
+
+    Every simulation carries a trace: a time-ordered sequence of tagged
+    events.  Protocol implementations emit events; property monitors and
+    tests read them back.  The trace is append-only during a run. *)
+
+type event = {
+  time : int;  (** virtual time at which the event was emitted *)
+  pid : int option;  (** emitting process, when applicable *)
+  tag : string;  (** machine-matchable category, e.g. ["send"] *)
+  detail : string;  (** human-readable payload *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh empty trace.  [capacity] bounds retained events; beyond it the
+    oldest events are discarded (default: unbounded). *)
+
+val emit : t -> time:int -> ?pid:int -> tag:string -> string -> unit
+(** Append one event. *)
+
+val events : t -> event list
+(** All retained events, oldest first. *)
+
+val with_tag : t -> string -> event list
+(** Retained events carrying the given tag, oldest first. *)
+
+val count : t -> string -> int
+(** Number of retained events with the given tag. *)
+
+val length : t -> int
+(** Total number of retained events. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** Render one event as [t=... pid=... tag detail]. *)
+
+val dump : Format.formatter -> t -> unit
+(** Render the whole trace, one event per line. *)

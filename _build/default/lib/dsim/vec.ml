@@ -1,0 +1,54 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let check t i what =
+  if i < 0 || i >= t.size then
+    invalid_arg (Printf.sprintf "Vec.%s: index %d out of bounds (size %d)" what i t.size)
+
+let get t i =
+  check t i "get";
+  t.data.(i)
+
+let set t i v =
+  check t i "set";
+  t.data.(i) <- v
+
+let push t v =
+  if t.size = Array.length t.data then begin
+    let cap = if t.size = 0 then 8 else t.size * 2 in
+    let data = Array.make cap v in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- v;
+  t.size <- t.size + 1
+
+let last t = if t.size = 0 then None else Some t.data.(t.size - 1)
+
+let truncate t len =
+  if len < 0 || len > t.size then invalid_arg "Vec.truncate: bad length";
+  t.size <- len
+
+let to_list t = Array.to_list (Array.sub t.data 0 t.size)
+
+let of_list l =
+  let t = create () in
+  List.iter (push t) l;
+  t
+
+let iteri f t =
+  for i = 0 to t.size - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let copy t = { data = Array.copy t.data; size = t.size }

@@ -1,0 +1,29 @@
+(** A growable array (OCaml 5.1 predates [Dynarray]).
+
+    Used for logs and sample buffers.  Indices are 0-based; {!truncate}
+    supports Raft-style conflict deletion. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val push : 'a t -> 'a -> unit
+val last : 'a t -> 'a option
+
+val truncate : 'a t -> int -> unit
+(** [truncate t len] drops elements so that exactly [len] remain.
+    @raise Invalid_argument if [len] is negative or exceeds the length. *)
+
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val copy : 'a t -> 'a t

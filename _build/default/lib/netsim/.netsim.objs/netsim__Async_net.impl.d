@@ -1,0 +1,1 @@
+lib/netsim/async_net.ml: Array Dsim Latency List Printf String

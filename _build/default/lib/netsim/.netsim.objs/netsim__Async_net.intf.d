@@ -1,0 +1,1 @@
+lib/netsim/async_net.mli: Dsim Latency

@@ -1,0 +1,1 @@
+lib/netsim/byzantine.ml: Array Dsim Printf Sync_net

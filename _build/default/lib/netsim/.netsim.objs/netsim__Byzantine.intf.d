@@ -1,0 +1,1 @@
+lib/netsim/byzantine.mli: Dsim Sync_net

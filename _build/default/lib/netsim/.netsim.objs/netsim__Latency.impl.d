@@ -1,0 +1,1 @@
+lib/netsim/latency.ml: Dsim Format

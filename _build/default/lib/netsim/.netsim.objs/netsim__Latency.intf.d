@@ -1,0 +1,1 @@
+lib/netsim/latency.mli: Dsim Format

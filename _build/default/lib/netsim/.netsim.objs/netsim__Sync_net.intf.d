@@ -1,0 +1,1 @@
+lib/netsim/sync_net.mli: Dsim

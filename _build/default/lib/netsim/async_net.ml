@@ -1,0 +1,188 @@
+type 'msg envelope = {
+  env_id : int;
+  src : int;
+  dst : int;
+  sent_at : int;
+  payload : 'msg;
+}
+
+type policy_verdict = Deliver | Drop | Duplicate of int | Delay_extra of int
+
+type 'msg node = {
+  mutable delivered : 'msg envelope list;  (* newest first *)
+  mutable crashed : bool;
+  mutable handler : ('msg envelope -> unit) option;
+}
+
+type 'msg t = {
+  eng : Dsim.Engine.t;
+  size : int;
+  latency : Latency.t;
+  policy : 'msg envelope -> policy_verdict;
+  rng : Dsim.Rng.t;
+  retain_inbox : bool;
+  nodes : 'msg node array;
+  mutable partition : int array option;  (* node -> group id; -1 isolated *)
+  mutable next_env : int;
+  mutable sent : int;
+  mutable deliveries : int;
+}
+
+let create eng ~n ?(latency = Latency.Uniform (1, 10)) ?(policy = fun _ -> Deliver)
+    ?(retain_inbox = true) () =
+  if n <= 0 then invalid_arg "Async_net.create: n must be positive";
+  {
+    eng;
+    size = n;
+    latency;
+    policy;
+    rng = Dsim.Rng.split (Dsim.Engine.rng eng);
+    retain_inbox;
+    nodes = Array.init n (fun _ -> { delivered = []; crashed = false; handler = None });
+    partition = None;
+    next_env = 0;
+    sent = 0;
+    deliveries = 0;
+  }
+
+let n t = t.size
+let engine t = t.eng
+
+let check_id t id what =
+  if id < 0 || id >= t.size then
+    invalid_arg (Printf.sprintf "Async_net.%s: bad node id %d" what id)
+
+let same_side t ~src ~dst =
+  match t.partition with
+  | None -> true
+  | Some groups ->
+      let gs = groups.(src) and gd = groups.(dst) in
+      gs >= 0 && gs = gd
+
+let deliver t env ~delay =
+  Dsim.Engine.schedule t.eng ~delay (fun () ->
+      let node = t.nodes.(env.dst) in
+      if not node.crashed then begin
+        if t.retain_inbox then begin
+          node.delivered <- env :: node.delivered;
+          (* Per-message tracing is only affordable at inbox-retention
+             scale; counter-based protocols run millions of messages. *)
+          Dsim.Engine.emit t.eng ~pid:env.dst ~tag:"recv"
+            (Printf.sprintf "#%d from %d" env.env_id env.src)
+        end;
+        t.deliveries <- t.deliveries + 1;
+        match node.handler with Some f -> f env | None -> ()
+      end)
+
+let send t ~src ~dst msg =
+  check_id t src "send";
+  check_id t dst "send";
+  t.sent <- t.sent + 1;
+  if t.nodes.(src).crashed then ()
+  else if not (same_side t ~src ~dst) then
+    Dsim.Engine.emit t.eng ~pid:src ~tag:"drop-partition"
+      (Printf.sprintf "to %d" dst)
+  else begin
+    let env =
+      {
+        env_id = t.next_env;
+        src;
+        dst;
+        sent_at = Dsim.Engine.now t.eng;
+        payload = msg;
+      }
+    in
+    t.next_env <- t.next_env + 1;
+    let delay_once ?(extra = 0) () =
+      extra + Latency.draw t.latency ~src ~dst ~rng:t.rng
+    in
+    match t.policy env with
+    | Drop -> Dsim.Engine.emit t.eng ~pid:src ~tag:"drop-policy" (Printf.sprintf "to %d" dst)
+    | Deliver -> deliver t env ~delay:(delay_once ())
+    | Delay_extra extra -> deliver t env ~delay:(delay_once ~extra ())
+    | Duplicate copies ->
+        for _ = 0 to copies do
+          deliver t env ~delay:(delay_once ())
+        done
+  end
+
+let broadcast t ~src msg =
+  for dst = 0 to t.size - 1 do
+    send t ~src ~dst msg
+  done
+
+let broadcast_to t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
+
+let inbox t id =
+  check_id t id "inbox";
+  List.rev t.nodes.(id).delivered
+
+let inbox_count t id pred =
+  check_id t id "inbox_count";
+  List.fold_left
+    (fun acc env -> if pred env then acc + 1 else acc)
+    0 t.nodes.(id).delivered
+
+let distinct_senders t id pred =
+  check_id t id "distinct_senders";
+  let seen = Array.make t.size false in
+  let count = ref 0 in
+  List.iter
+    (fun env ->
+      if pred env && not seen.(env.src) then begin
+        seen.(env.src) <- true;
+        incr count
+      end)
+    t.nodes.(id).delivered;
+  !count
+
+let set_handler t id f =
+  check_id t id "set_handler";
+  t.nodes.(id).handler <- Some f
+
+let clear_handler t id =
+  check_id t id "clear_handler";
+  t.nodes.(id).handler <- None
+
+let crash t id =
+  check_id t id "crash";
+  if not t.nodes.(id).crashed then begin
+    t.nodes.(id).crashed <- true;
+    Dsim.Engine.emit t.eng ~pid:id ~tag:"crash-net" "node crashed"
+  end
+
+let restart t id =
+  check_id t id "restart";
+  if t.nodes.(id).crashed then begin
+    t.nodes.(id).crashed <- false;
+    Dsim.Engine.emit t.eng ~pid:id ~tag:"restart-net" "node restarted"
+  end
+
+let is_crashed t id =
+  check_id t id "is_crashed";
+  t.nodes.(id).crashed
+
+let crashed_count t =
+  Array.fold_left (fun acc node -> if node.crashed then acc + 1 else acc) 0 t.nodes
+
+let set_partition t groups =
+  let map = Array.make t.size (-1) in
+  List.iteri
+    (fun gid members ->
+      List.iter
+        (fun id ->
+          check_id t id "set_partition";
+          map.(id) <- gid)
+        members)
+    groups;
+  t.partition <- Some map;
+  Dsim.Engine.emit t.eng ~tag:"partition"
+    (String.concat " | "
+       (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups))
+
+let heal t =
+  t.partition <- None;
+  Dsim.Engine.emit t.eng ~tag:"heal" "partition removed"
+
+let messages_sent t = t.sent
+let messages_delivered t = t.deliveries

@@ -1,0 +1,58 @@
+open Sync_net
+
+let silent =
+  { strategy_name = "silent"; act = (fun ~round:_ ~byz:_ ~view:_ ~dst:_ ~rng:_ -> None) }
+
+let constant msg =
+  {
+    strategy_name = "constant";
+    act = (fun ~round:_ ~byz:_ ~view:_ ~dst:_ ~rng:_ -> Some msg);
+  }
+
+let random_of choices =
+  {
+    strategy_name = "random";
+    act =
+      (fun ~round:_ ~byz:_ ~view:_ ~dst:_ ~rng ->
+        if Array.length choices = 0 then None else Some (Dsim.Rng.pick rng choices));
+  }
+
+let split_world low high =
+  {
+    strategy_name = "split-world";
+    act =
+      (fun ~round:_ ~byz:_ ~view ~dst ~rng:_ ->
+        let n = Array.length view in
+        if dst < n / 2 then Some low else Some high);
+  }
+
+let echo_first_honest =
+  {
+    strategy_name = "echo-first-honest";
+    act =
+      (fun ~round:_ ~byz:_ ~view ~dst:_ ~rng:_ ->
+        let rec first i =
+          if i >= Array.length view then None
+          else match view.(i) with Some _ as m -> m | None -> first (i + 1)
+        in
+        first 0);
+  }
+
+let crash_after rounds inner =
+  {
+    strategy_name = Printf.sprintf "%s-then-crash@%d" inner.strategy_name rounds;
+    act =
+      (fun ~round ~byz ~view ~dst ~rng ->
+        if round >= rounds then None else inner.act ~round ~byz ~view ~dst ~rng);
+  }
+
+let alternate even odd =
+  {
+    strategy_name = Printf.sprintf "alt(%s,%s)" even.strategy_name odd.strategy_name;
+    act =
+      (fun ~round ~byz ~view ~dst ~rng ->
+        let s = if round mod 2 = 0 then even else odd in
+        s.act ~round ~byz ~view ~dst ~rng);
+  }
+
+let custom ~name act = { strategy_name = name; act }

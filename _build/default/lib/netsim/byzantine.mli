@@ -1,0 +1,42 @@
+(** A library of reusable Byzantine strategies for {!Sync_net}.
+
+    Strategies here are generic in the message type; algorithm-specific
+    attacks (e.g. against Phase-King's vote counting) live next to the
+    algorithm they target. *)
+
+val silent : 'msg Sync_net.strategy
+(** Never sends anything (fail-stop behaviour from round 0). *)
+
+val constant : 'msg -> 'msg Sync_net.strategy
+(** Sends the same fixed message to everyone in every round. *)
+
+val random_of : 'msg array -> 'msg Sync_net.strategy
+(** Sends an independently random choice from the array to {e each}
+    destination — maximal noise, with equivocation. *)
+
+val split_world : 'msg -> 'msg -> 'msg Sync_net.strategy
+(** Classic equivocation: the lower half of destinations gets the first
+    message, the upper half the second. *)
+
+val echo_first_honest : 'msg Sync_net.strategy
+(** Rushing copycat: repeats the first correct processor's message of the
+    current round (silent if the view is empty). *)
+
+val crash_after : int -> 'msg Sync_net.strategy -> 'msg Sync_net.strategy
+(** Behaves like the inner strategy for the given number of rounds, then
+    goes permanently silent. *)
+
+val alternate :
+  'msg Sync_net.strategy -> 'msg Sync_net.strategy -> 'msg Sync_net.strategy
+(** Uses the first strategy on even rounds, the second on odd rounds. *)
+
+val custom :
+  name:string ->
+  (round:int ->
+  byz:int ->
+  view:'msg option array ->
+  dst:int ->
+  rng:Dsim.Rng.t ->
+  'msg option) ->
+  'msg Sync_net.strategy
+(** Escape hatch for bespoke adversaries. *)

@@ -1,0 +1,23 @@
+type t =
+  | Fixed of int
+  | Uniform of int * int
+  | Exponential of { mean : float; cap : int }
+  | Per_link of (src:int -> dst:int -> rng:Dsim.Rng.t -> int)
+
+let draw t ~src ~dst ~rng =
+  let d =
+    match t with
+    | Fixed d -> d
+    | Uniform (lo, hi) -> Dsim.Rng.int_in rng lo hi
+    | Exponential { mean; cap } ->
+        let d = int_of_float (Dsim.Rng.exponential rng ~mean) in
+        if d > cap then cap else d
+    | Per_link f -> f ~src ~dst ~rng
+  in
+  if d < 0 then 0 else d
+
+let pp ppf = function
+  | Fixed d -> Format.fprintf ppf "fixed(%d)" d
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%d,%d)" lo hi
+  | Exponential { mean; cap } -> Format.fprintf ppf "exp(mean=%g,cap=%d)" mean cap
+  | Per_link _ -> Format.fprintf ppf "per-link(fn)"

@@ -1,0 +1,18 @@
+(** Message-delay models for the asynchronous network.
+
+    A latency model is consulted once per message send and returns the
+    virtual-time delay until delivery.  All randomness comes from the
+    network's private deterministic stream. *)
+
+type t =
+  | Fixed of int  (** every message takes exactly this long *)
+  | Uniform of int * int  (** uniform in [\[lo, hi\]] inclusive *)
+  | Exponential of { mean : float; cap : int }
+      (** memoryless delays, truncated at [cap] to keep runs finite *)
+  | Per_link of (src:int -> dst:int -> rng:Dsim.Rng.t -> int)
+      (** fully programmable, e.g. an adversarial scheduler *)
+
+val draw : t -> src:int -> dst:int -> rng:Dsim.Rng.t -> int
+(** Sample a delay (always >= 0). *)
+
+val pp : Format.formatter -> t -> unit

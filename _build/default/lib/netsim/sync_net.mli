@@ -1,0 +1,55 @@
+(** Lock-step synchronous network with Byzantine processes.
+
+    The synchronous model of Phase-King: computation proceeds in rounds; in
+    each round every correct processor broadcasts one message and then
+    receives the messages all processors sent that round.
+
+    Correct processors run direct-style protocol code and call {!exchange}
+    once per round.  Byzantine processors do not run code at all — they are
+    a {!strategy} value the network consults when building each round's
+    delivery matrix.  The strategy sees the correct processors' messages of
+    the {e current} round before choosing its own (a rushing adversary) and
+    may send different messages to different destinations (equivocation). *)
+
+type 'msg strategy = {
+  strategy_name : string;
+  act :
+    round:int ->
+    byz:int ->
+    view:'msg option array ->
+    dst:int ->
+    rng:Dsim.Rng.t ->
+    'msg option;
+      (** [act ~round ~byz ~view ~dst ~rng] is what Byzantine processor
+          [byz] sends to [dst] in [round], given the correct processors'
+          messages [view] (indexed by source; [None] for Byzantine or
+          crashed slots).  [None] means send nothing. *)
+}
+
+type 'msg t
+
+val create :
+  Dsim.Engine.t -> n:int -> byzantine:int list -> strategy:'msg strategy -> 'msg t
+(** A synchronous network of [n] processors; those whose ids appear in
+    [byzantine] are controlled by [strategy].
+    @raise Invalid_argument on out-of-range or duplicate ids. *)
+
+val n : 'msg t -> int
+val engine : 'msg t -> Dsim.Engine.t
+
+val is_byzantine : 'msg t -> int -> bool
+val byzantine_count : 'msg t -> int
+
+val exchange : 'msg t -> me:int -> 'msg -> 'msg option array
+(** Broadcast [msg] and block until the round completes; returns the
+    messages received, indexed by source ([None] = nothing received from
+    that processor).  Must be called from inside the engine process running
+    correct processor [me]; every live correct processor must call it the
+    same number of times. *)
+
+val current_round : 'msg t -> int
+(** Rounds completed so far. *)
+
+val crash : 'msg t -> int -> unit
+(** Remove a correct processor from the lock-step barrier (used to model a
+    correct processor stopping early); its subsequent rows are [None]. *)

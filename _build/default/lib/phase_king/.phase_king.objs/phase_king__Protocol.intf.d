@@ -1,0 +1,1 @@
+lib/phase_king/protocol.mli: Consensus Netsim

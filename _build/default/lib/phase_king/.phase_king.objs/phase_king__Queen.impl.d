@@ -1,0 +1,1 @@
+lib/phase_king/queen.ml: Array Consensus Netsim Protocol

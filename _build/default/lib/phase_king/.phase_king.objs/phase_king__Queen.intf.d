@@ -1,0 +1,1 @@
+lib/phase_king/queen.mli: Consensus Netsim Protocol

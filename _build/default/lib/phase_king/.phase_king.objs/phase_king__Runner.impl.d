@@ -1,0 +1,1 @@
+lib/phase_king/runner.ml: Array Consensus Dsim Fun Hashtbl List Netsim Printf Protocol Queen Strategies

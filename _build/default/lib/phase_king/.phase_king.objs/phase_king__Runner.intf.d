@@ -1,0 +1,1 @@
+lib/phase_king/runner.mli: Consensus Dsim Netsim

@@ -1,0 +1,1 @@
+lib/phase_king/strategies.ml: Array Netsim Printf

@@ -1,0 +1,115 @@
+module Types = Consensus.Types
+module Sync_net = Netsim.Sync_net
+
+type ctx = { net : int Sync_net.t; me : int; faults : int }
+
+let make_ctx ~net ~me ~faults =
+  let n = Sync_net.n net in
+  if me < 0 || me >= n then invalid_arg "Phase_king.make_ctx: bad processor id";
+  if 3 * faults >= n then invalid_arg "Phase_king.make_ctx: requires 3t < n";
+  { net; me; faults }
+
+let king_of_round ~n ~round = (round - 1) mod n
+
+let count_value received k =
+  Array.fold_left
+    (fun acc msg -> match msg with Some v when v = k -> acc + 1 | Some _ | None -> acc)
+    0 received
+
+(* Paper Algorithm 3: two exchanges with thresholds n-t and t. *)
+let ac_invoke ctx ~round:_ v =
+  let n = Sync_net.n ctx.net in
+  let t = ctx.faults in
+  let received1 = Sync_net.exchange ctx.net ~me:ctx.me v in
+  let v = ref 2 in
+  for k = 0 to 1 do
+    if count_value received1 k >= n - t then v := k
+  done;
+  let received2 = Sync_net.exchange ctx.net ~me:ctx.me !v in
+  let d = Array.init 3 (fun k -> count_value received2 k) in
+  for k = 2 downto 0 do
+    if d.(k) > t then v := k
+  done;
+  if !v <> 2 && d.(!v) >= n - t then Types.AC_commit !v else Types.AC_adopt !v
+
+(* Paper Algorithm 4: one king-broadcast round.  Our lock-step barrier
+   needs every correct processor to submit each round, so non-kings submit
+   too and receivers only read the king's slot; message accounting treats
+   the round as a single broadcast (see [messages_per_template_round]). *)
+let conciliator_invoke ctx ~round result =
+  let n = Sync_net.n ctx.net in
+  let v = Types.ac_value result in
+  let king = king_of_round ~n ~round in
+  let received = Sync_net.exchange ctx.net ~me:ctx.me (min 1 v) in
+  match received.(king) with
+  | Some king_value -> min 1 king_value
+  | None ->
+      (* A silent Byzantine king: keep the current preference (clamped, so
+         the sentinel never becomes a round input). *)
+      min 1 v
+
+module Ac = struct
+  type nonrec ctx = ctx
+
+  module Value = Consensus.Objects.Int_value
+
+  let invoke = ac_invoke
+end
+
+module Conciliator = struct
+  type nonrec ctx = ctx
+
+  module Value = Consensus.Objects.Int_value
+
+  let invoke = conciliator_invoke
+end
+
+module Consensus_decomposed = struct
+  module T = Consensus.Template.Make_ac (Ac) (Conciliator)
+
+  let run ?observer ctx init =
+    T.consensus_participating ~rounds:(ctx.faults + 1) ?observer ctx init
+end
+
+(* The textbook fused loop: t+1 phases of [exchange; threshold; exchange;
+   threshold; king], written independently of the object layer. *)
+let monolithic_run ?observer ctx init =
+  let observer =
+    match observer with Some o -> o | None -> Consensus.Template.null_observer
+  in
+  let n = Sync_net.n ctx.net in
+  let t = ctx.faults in
+  let v = ref init in
+  let first_commit = ref None in
+  for m = 1 to t + 1 do
+    let received1 = Sync_net.exchange ctx.net ~me:ctx.me !v in
+    v := 2;
+    for k = 0 to 1 do
+      if count_value received1 k >= n - t then v := k
+    done;
+    let received2 = Sync_net.exchange ctx.net ~me:ctx.me !v in
+    let d = Array.init 3 (fun k -> count_value received2 k) in
+    for k = 2 downto 0 do
+      if d.(k) > t then v := k
+    done;
+    let strong = !v <> 2 && d.(!v) >= n - t in
+    observer.on_detect ~round:m
+      (if strong then Types.Commit !v else Types.Adopt !v);
+    if strong && !first_commit = None then begin
+      observer.on_decide ~round:m !v;
+      first_commit := Some (!v, m)
+    end;
+    (* King broadcast: processors without strong support take the king's
+       value. *)
+    let king = king_of_round ~n ~round:m in
+    let received = Sync_net.exchange ctx.net ~me:ctx.me (min 1 !v) in
+    if not strong then begin
+      match received.(king) with
+      | Some king_value -> v := min 1 king_value
+      | None -> v := min 1 !v
+    end;
+    observer.on_new_preference ~round:m !v
+  done;
+  { Consensus.Template.final_preference = !v; first_commit = !first_commit }
+
+let messages_per_template_round ~n ~correct = (2 * correct * n) + n

@@ -1,0 +1,65 @@
+(** The Phase-King Byzantine consensus of Berman, Garay and Perry,
+    decomposed per the paper (Section 4.1) into an adopt-commit object and
+    a conciliator, plus the original monolithic loop.
+
+    Model: synchronous message passing, [t] Byzantine processors with
+    [3t < n].  Values are [0], [1] and the sentinel [2] ("undecided") —
+    inputs must be binary, but the adopt-commit object may legitimately
+    hand back the sentinel when nothing has enough support, which is why
+    the value domain is [int] rather than [bool].
+
+    Round structure: each template round consumes three lock-step network
+    rounds — AC exchange 1, AC exchange 2, and the king broadcast inside
+    the conciliator.  The king of template round [m] is processor
+    [(m - 1) mod n].
+
+    Decision rule: the faithful BGP rule is to run [t + 1] template rounds
+    and decide the {e final} preference ({!Consensus.Template.participating_result.final_preference}).
+    Deciding at the first commit (the paper's Algorithm-2 rule) is unsafe
+    here because the conciliator does not preserve unanimity under a
+    Byzantine king; {!Strategies.commit_then_steal} is a concrete adversary
+    separating the two rules. *)
+
+type ctx = {
+  net : int Netsim.Sync_net.t;
+  me : int;
+  faults : int;  (** the resilience parameter t, with [3t < n] *)
+}
+
+val make_ctx : net:int Netsim.Sync_net.t -> me:int -> faults:int -> ctx
+(** @raise Invalid_argument unless [0 <= me < n] and [3 * faults < n]. *)
+
+val king_of_round : n:int -> round:int -> int
+(** [(round - 1) mod n] — template rounds are 1-based. *)
+
+(** Paper Algorithm 3. *)
+module Ac : Consensus.Objects.AC with type ctx = ctx and type Value.t = int
+
+(** Paper Algorithm 4: the king broadcasts [min 1 v]; everyone returns the
+    king's value (falling back to their own when a Byzantine king stays
+    silent). *)
+module Conciliator :
+  Consensus.Objects.CONCILIATOR with type ctx = ctx and type Value.t = int
+
+(** Algorithm 2 instantiated with {!Ac} and {!Conciliator}. *)
+module Consensus_decomposed : sig
+  val run :
+    ?observer:int Consensus.Template.observer ->
+    ctx ->
+    int ->
+    int Consensus.Template.participating_result
+  (** Runs exactly [faults + 1] template rounds and reports both the final
+      preference (BGP's decision) and the first commit (the paper's). *)
+end
+
+val monolithic_run :
+  ?observer:int Consensus.Template.observer ->
+  ctx ->
+  int ->
+  int Consensus.Template.participating_result
+(** The textbook fused Phase-King loop over the same network, with the
+    per-phase outcome reported through the same vocabulary. *)
+
+val messages_per_template_round : n:int -> correct:int -> int
+(** Analytic message count of one template round: two full exchanges by
+    the correct processors plus one king broadcast ([2*correct*n + n]). *)

@@ -1,0 +1,92 @@
+module Types = Consensus.Types
+module Sync_net = Netsim.Sync_net
+
+let queen_of_round ~n ~round = (round - 1) mod n
+
+let make_ctx ~net ~me ~faults =
+  let n = Sync_net.n net in
+  if me < 0 || me >= n then invalid_arg "Queen.make_ctx: bad processor id";
+  if 4 * faults >= n then invalid_arg "Queen.make_ctx: requires 4t < n";
+  { Protocol.net; me; faults }
+
+let count_value received k =
+  Array.fold_left
+    (fun acc msg -> match msg with Some v when v = k -> acc + 1 | Some _ | None -> acc)
+    0 received
+
+(* One exchange: w is the strict-majority vote (own value if none); commit
+   needs support past n/2 + t so that every correct processor saw the same
+   majority (Byzantine slots shift counts by at most t). *)
+let ac_invoke (ctx : Protocol.ctx) ~round:_ v =
+  let n = Sync_net.n ctx.Protocol.net in
+  let t = ctx.Protocol.faults in
+  let received = Sync_net.exchange ctx.Protocol.net ~me:ctx.Protocol.me v in
+  let c0 = count_value received 0 and c1 = count_value received 1 in
+  let w = if 2 * c0 > n then 0 else if 2 * c1 > n then 1 else v in
+  let support = if w = 0 then c0 else c1 in
+  if 2 * support > n + (2 * t) then Types.AC_commit w else Types.AC_adopt w
+
+let conciliator_invoke (ctx : Protocol.ctx) ~round result =
+  let n = Sync_net.n ctx.Protocol.net in
+  let v = Types.ac_value result in
+  let queen = queen_of_round ~n ~round in
+  let received = Sync_net.exchange ctx.Protocol.net ~me:ctx.Protocol.me (min 1 v) in
+  match received.(queen) with
+  | Some queen_value -> min 1 queen_value
+  | None -> min 1 v
+
+module Ac = struct
+  type ctx = Protocol.ctx
+
+  module Value = Consensus.Objects.Int_value
+
+  let invoke = ac_invoke
+end
+
+module Conciliator = struct
+  type ctx = Protocol.ctx
+
+  module Value = Consensus.Objects.Int_value
+
+  let invoke = conciliator_invoke
+end
+
+module Consensus_decomposed = struct
+  module T = Consensus.Template.Make_ac (Ac) (Conciliator)
+
+  let run ?observer (ctx : Protocol.ctx) init =
+    T.consensus_participating ~rounds:(ctx.Protocol.faults + 1) ?observer ctx init
+end
+
+let monolithic_run ?observer (ctx : Protocol.ctx) init =
+  let observer =
+    match observer with Some o -> o | None -> Consensus.Template.null_observer
+  in
+  let n = Sync_net.n ctx.Protocol.net in
+  let t = ctx.Protocol.faults in
+  let v = ref init in
+  let first_commit = ref None in
+  for m = 1 to t + 1 do
+    let received = Sync_net.exchange ctx.Protocol.net ~me:ctx.Protocol.me !v in
+    let c0 = count_value received 0 and c1 = count_value received 1 in
+    let w = if 2 * c0 > n then 0 else if 2 * c1 > n then 1 else !v in
+    let support = if w = 0 then c0 else c1 in
+    let strong = 2 * support > n + (2 * t) in
+    v := w;
+    observer.on_detect ~round:m (if strong then Types.Commit w else Types.Adopt w);
+    if strong && !first_commit = None then begin
+      observer.on_decide ~round:m w;
+      first_commit := Some (w, m)
+    end;
+    let queen = queen_of_round ~n ~round:m in
+    let received = Sync_net.exchange ctx.Protocol.net ~me:ctx.Protocol.me (min 1 !v) in
+    if not strong then begin
+      match received.(queen) with
+      | Some queen_value -> v := min 1 queen_value
+      | None -> v := min 1 !v
+    end;
+    observer.on_new_preference ~round:m !v
+  done;
+  { Consensus.Template.final_preference = !v; first_commit = !first_commit }
+
+let messages_per_template_round ~n ~correct = (correct * n) + n

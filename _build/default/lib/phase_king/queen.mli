@@ -1,0 +1,46 @@
+(** The Phase-Queen consensus of Berman and Garay, decomposed into the
+    same adopt-commit + conciliator shape as Phase-King.
+
+    Queen trades resilience for round complexity: it needs [4t < n]
+    (King: [3t < n]) but spends only {e two} lock-step rounds per template
+    round (King: three) — one voting exchange and one queen broadcast.
+
+    - {!Ac}: one exchange; [w] is the strict-majority value among the
+      received votes (own value when none); commit when [w]'s count
+      clears the [n/2 + t] bar, adopt otherwise.
+    - {!Conciliator}: the queen of round [m] — processor [(m-1) mod n] —
+      broadcasts her value; adopters take it (their own when a Byzantine
+      queen stays silent).
+
+    The decision rule is the same faithful one as King: run [t + 1]
+    template rounds and decide the final preference. *)
+
+val queen_of_round : n:int -> round:int -> int
+(** Same rotation as the king: [(round - 1) mod n]. *)
+
+val make_ctx : net:int Netsim.Sync_net.t -> me:int -> faults:int -> Protocol.ctx
+(** Shares {!Protocol.ctx}; checks the stronger [4t < n] bound.
+    @raise Invalid_argument when violated. *)
+
+module Ac : Consensus.Objects.AC with type ctx = Protocol.ctx and type Value.t = int
+
+module Conciliator :
+  Consensus.Objects.CONCILIATOR with type ctx = Protocol.ctx and type Value.t = int
+
+module Consensus_decomposed : sig
+  val run :
+    ?observer:int Consensus.Template.observer ->
+    Protocol.ctx ->
+    int ->
+    int Consensus.Template.participating_result
+end
+
+val monolithic_run :
+  ?observer:int Consensus.Template.observer ->
+  Protocol.ctx ->
+  int ->
+  int Consensus.Template.participating_result
+(** The fused two-round-per-phase loop. *)
+
+val messages_per_template_round : n:int -> correct:int -> int
+(** One full exchange plus one queen broadcast: [correct*n + n]. *)

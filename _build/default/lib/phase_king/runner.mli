@@ -1,0 +1,48 @@
+(** Whole-system simulation harness for Phase-King runs. *)
+
+type mode = Decomposed | Monolithic
+
+(** Which royal algorithm to run: King needs [3t < n] and three lock-step
+    rounds per phase; Queen needs [4t < n] and two. *)
+type algorithm = King | Queen
+
+type config = {
+  n : int;
+  faults : int;  (** the resilience parameter t *)
+  byzantine : int list;  (** ids controlled by the strategy, at most t *)
+  strategy : int Netsim.Sync_net.strategy;
+  seed : int64;
+  inputs : int array;
+      (** length [n]; only the correct processors' slots are read and they
+          must be binary *)
+  mode : mode;
+  algorithm : algorithm;
+}
+
+val default_config : n:int -> inputs:int array -> config
+(** King with [t = (n-1)/3], Byzantine ids [0 .. t-1] running
+    {!Strategies.camp_splitter}, seed 1, decomposed mode. *)
+
+val default_queen_config : n:int -> inputs:int array -> config
+(** Queen with [t = (n-1)/4], otherwise as {!default_config}. *)
+
+type report = {
+  final_decisions : (int * int) list;
+      (** (correct pid, preference after t+1 rounds) — BGP's decisions *)
+  first_commits : (int * int * int) list;
+      (** (correct pid, value, round) — the paper-template rule *)
+  template_rounds : int;  (** always [faults + 1] *)
+  sync_rounds : int;  (** lock-step rounds consumed *)
+  messages : int;  (** analytic count, see {!Protocol.messages_per_template_round} *)
+  engine_outcome : Dsim.Engine.outcome;
+  process_failures : (int * exn) list;
+  violations : Consensus.Monitor.violation list;
+      (** AC-object properties (coherence, convergence; validity is off —
+          the [2] sentinel is a legal AC output here) + agreement/validity
+          over the final decisions *)
+  first_commit_agreement_broken : bool;
+      (** true when the first-commit rule would have produced disagreement
+          — the counterexample signal *)
+}
+
+val run : config -> report

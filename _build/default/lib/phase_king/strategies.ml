@@ -1,0 +1,24 @@
+module Byz = Netsim.Byzantine
+
+let stage_of_sync_round r = r mod 3
+
+let camp_splitter =
+  Byz.custom ~name:"camp-splitter" (fun ~round ~byz:_ ~view ~dst ~rng:_ ->
+      let n = Array.length view in
+      match stage_of_sync_round round with
+      | 0 -> Some (if dst < n / 2 then 0 else 1)
+      | 1 -> Some 2
+      | _ -> Some (if dst < n / 2 then 1 else 0))
+
+let vote_inflater value =
+  Byz.custom
+    ~name:(Printf.sprintf "vote-inflater(%d)" value)
+    (fun ~round:_ ~byz:_ ~view:_ ~dst:_ ~rng:_ -> Some value)
+
+let commit_then_steal =
+  Byz.custom ~name:"commit-then-steal" (fun ~round ~byz:_ ~view:_ ~dst ~rng:_ ->
+      match round with
+      | 0 -> Some (if dst = 3 then 0 else 1) (* exchange 1, phase 1 *)
+      | 1 -> Some (if dst = 1 then 1 else 2) (* exchange 2, phase 1 *)
+      | 2 -> Some 0 (* king round, phase 1: we are the king *)
+      | _ -> Some 0)

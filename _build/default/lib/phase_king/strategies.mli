@@ -1,0 +1,34 @@
+(** Byzantine strategies specialized against Phase-King.
+
+    Phase-King consumes three lock-step rounds per template round:
+    stage 0 = AC exchange 1, stage 1 = AC exchange 2, stage 2 = the king
+    broadcast.  These adversaries exploit that structure; the generic
+    message-agnostic ones live in {!Netsim.Byzantine}. *)
+
+val stage_of_sync_round : int -> int
+(** [sync_round mod 3]. *)
+
+val camp_splitter : int Netsim.Sync_net.strategy
+(** Keeps the correct processors split as long as possible: equivocates
+    0/1 across the two halves during exchange 1, floods the sentinel [2]
+    during exchange 2, and splits again when it happens to be king. *)
+
+val vote_inflater : int -> int Netsim.Sync_net.strategy
+(** Pushes the given value everywhere in every stage — the strongest
+    honest-looking bias an adversary can apply. *)
+
+val commit_then_steal : int Netsim.Sync_net.strategy
+(** The executable counterexample to the "decide at first commit" rule
+    (see protocol.mli).  Crafted for [n = 4], [t = 1], Byzantine id 0 and
+    correct inputs [p1 = 1, p2 = 1, p3 = 0]:
+
+    - phase 1, exchange 1: report 1 to p1 and p2, 0 to p3 — this makes
+      p1/p2 see n-t support for 1 while p3 stays undecided;
+    - phase 1, exchange 2: report 1 to p1 only, the sentinel to the others
+      — p1 commits 1, p2/p3 merely adopt 1;
+    - phase 1, king round (the adversary is king): broadcast 0 — the
+      adopters follow the king to 0 while p1 is stuck on its commit;
+    - afterwards: behave like an honest processor holding 0.
+
+    Under the final-preference rule everyone decides 0; under the
+    first-commit rule p1 decides 1 against p2/p3's 0. *)

@@ -1,0 +1,1 @@
+lib/raft/cluster.ml: Array Dsim Hashtbl List Netsim Option Printf Replica String Types

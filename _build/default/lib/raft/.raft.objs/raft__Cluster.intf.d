@@ -1,0 +1,1 @@
+lib/raft/cluster.mli: Dsim Netsim Replica Types

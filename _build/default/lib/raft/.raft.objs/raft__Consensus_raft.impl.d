@@ -1,0 +1,1 @@
+lib/raft/consensus_raft.ml: Array Cluster Consensus Hashtbl List Printf Replica String Types

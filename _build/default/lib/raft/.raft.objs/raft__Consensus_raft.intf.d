@@ -1,0 +1,1 @@
+lib/raft/consensus_raft.mli: Cluster Consensus Types

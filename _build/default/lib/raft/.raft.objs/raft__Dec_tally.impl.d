@@ -1,0 +1,1 @@
+lib/raft/dec_tally.ml: Array Decentralized_msg Hashtbl List Netsim Option

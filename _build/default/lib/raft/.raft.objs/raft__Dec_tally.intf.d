@@ -1,0 +1,1 @@
+lib/raft/dec_tally.mli: Decentralized_msg Netsim

@@ -1,0 +1,1 @@
+lib/raft/decentralized.ml: Consensus Dec_tally Decentralized_msg Dsim Hashtbl List Netsim Option

@@ -1,0 +1,1 @@
+lib/raft/decentralized.mli: Consensus Dec_tally Decentralized_msg Netsim

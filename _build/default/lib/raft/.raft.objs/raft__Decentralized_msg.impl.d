@@ -1,0 +1,1 @@
+lib/raft/decentralized_msg.ml: Format

@@ -1,0 +1,1 @@
+lib/raft/replica.ml: Array Dsim Format Lazy List Netsim Printf Types

@@ -1,0 +1,1 @@
+lib/raft/replica.mli: Dsim Format Netsim Types

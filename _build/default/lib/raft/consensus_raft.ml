@@ -1,0 +1,197 @@
+module Types_c = Consensus.Types
+
+let command_of_value v = Printf.sprintf "D&S:%d" v
+
+let value_of_command cmd =
+  match String.index_opt cmd ':' with
+  | Some i -> int_of_string (String.sub cmd (i + 1) (String.length cmd - i - 1))
+  | None -> invalid_arg (Printf.sprintf "not a D&S command: %S" cmd)
+
+(* Vacillate is never stored — it is the absence of a record for a
+   (processor, term) pair; see [vac_view]. *)
+type confidence = Adopt | Commit
+
+type t = {
+  cl : Cluster.t;
+  inputs : int array;
+  decisions_tbl : (int, int) Hashtbl.t;
+  (* (pid, term) -> strongest confidence seen, with its value *)
+  view : (int * int, confidence * int) Hashtbl.t;
+  mutable reconciliations : (int * int) list;
+  mutable max_term : int;
+  mutable adopt_upgrades : int;
+      (* (pid, term) pairs that reached adopt before upgrading to commit —
+         the paper's "first kind of AppendEntries" stage *)
+}
+
+let cluster t = t.cl
+
+let rank = function Adopt -> 1 | Commit -> 2
+
+let record t ~pid ~term conf value =
+  if term > t.max_term then t.max_term <- term;
+  match Hashtbl.find_opt t.view (pid, term) with
+  | Some (old, _) when rank old >= rank conf -> ()
+  | Some (Adopt, _) ->
+      t.adopt_upgrades <- t.adopt_upgrades + 1;
+      Hashtbl.replace t.view (pid, term) (conf, value)
+  | Some (Commit, _) | None -> Hashtbl.replace t.view (pid, term) (conf, value)
+
+(* The value a replica is currently carrying: its first log entry (the
+   D&S command everything revolves around), or its input when the log is
+   still empty. *)
+let carried_value t i =
+  let r = Cluster.replica t.cl i in
+  if Replica.log_length r >= 1 then value_of_command (Replica.log_entry r 1).Types.cmd
+  else t.inputs.(i)
+
+let watch t i (ev : Replica.Event.t) =
+  match ev with
+  | Replica.Event.Became_leader { term } ->
+      (* Paper Alg. 10: the leader reaches (Adopt, v) after its vote
+         quorum. *)
+      record t ~pid:i ~term Adopt (carried_value t i)
+  | Replica.Event.Accepted_entries { term; count; commit_advanced } ->
+      if commit_advanced then record t ~pid:i ~term Commit (carried_value t i)
+      else if count > 0 then record t ~pid:i ~term Adopt (carried_value t i)
+  | Replica.Event.Committed { term; index = _ } ->
+      record t ~pid:i ~term Commit (carried_value t i)
+  | Replica.Event.Election_timeout { term } ->
+      t.reconciliations <- (i, term) :: t.reconciliations
+  | Replica.Event.Applied { index; cmd } ->
+      if index = 1 && not (Hashtbl.mem t.decisions_tbl i) then
+        Hashtbl.replace t.decisions_tbl i (value_of_command cmd)
+  | Replica.Event.Became_candidate _ | Replica.Event.Stepped_down _
+  | Replica.Event.Crashed | Replica.Event.Restarted ->
+      ()
+
+let create ~cluster:cl ~inputs =
+  if Array.length inputs <> Cluster.n cl then
+    invalid_arg "Consensus_raft.create: one input per replica required";
+  let t =
+    {
+      cl;
+      inputs;
+      decisions_tbl = Hashtbl.create 8;
+      view = Hashtbl.create 64;
+      reconciliations = [];
+      max_term = 0;
+      adopt_upgrades = 0;
+    }
+  in
+  Array.iteri
+    (fun i r ->
+      (* Paper Alg. 7: a fresh leader takes v from its last log entry (its
+         own input when the log is empty) and broadcasts D&S of that v.
+         The re-proposal doubles as Raft's no-op trick: it plants a
+         current-term entry, without which the figure-8 guard would keep a
+         previous term's D&S entry uncommittable forever. *)
+      Replica.set_on_leadership r (fun r ->
+          let v =
+            if Replica.log_length r = 0 then inputs.(i)
+            else
+              value_of_command
+                (Replica.log_entry r (Replica.log_length r)).Types.cmd
+          in
+          ignore (Replica.propose r (command_of_value v) : bool));
+      Replica.subscribe r (fun ev -> watch t i ev))
+    (Cluster.replicas cl);
+  t
+
+let decision t i = Hashtbl.find_opt t.decisions_tbl i
+
+let decisions t =
+  Hashtbl.fold (fun pid v acc -> (pid, v) :: acc) t.decisions_tbl []
+  |> List.sort compare
+
+let run_until_all_decided ?timeout t =
+  Cluster.run_until t.cl ?timeout (fun () ->
+      let all = ref true in
+      Array.iteri
+        (fun i r ->
+          if (not (Replica.is_stopped r)) && not (Hashtbl.mem t.decisions_tbl i)
+          then all := false)
+        (Cluster.replicas t.cl);
+      !all)
+
+type observation = {
+  obs_pid : int;
+  obs_term : int;
+  obs : int Types_c.vac_result;
+}
+
+let vac_view t =
+  let out = ref [] in
+  for term = t.max_term downto 1 do
+    for pid = Cluster.n t.cl - 1 downto 0 do
+      let obs =
+        match Hashtbl.find_opt t.view (pid, term) with
+        | Some (Commit, v) -> Types_c.Commit v
+        | Some (Adopt, v) -> Types_c.Adopt v
+        | None -> Types_c.Vacillate t.inputs.(pid)
+      in
+      out := { obs_pid = pid; obs_term = term; obs } :: !out
+    done
+  done;
+  !out
+
+let reconciliator_invocations t = List.rev t.reconciliations
+let adopt_upgrades t = t.adopt_upgrades
+
+let check_vac_view t =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let obs = vac_view t in
+  (* Per-term value coherence over adopt & commit. *)
+  for term = 1 to t.max_term do
+    let strong =
+      List.filter_map
+        (fun o ->
+          if o.obs_term <> term then None
+          else
+            match o.obs with
+            | Types_c.Adopt v | Types_c.Commit v -> Some (o.obs_pid, v)
+            | Types_c.Vacillate _ -> None)
+        obs
+    in
+    match strong with
+    | [] | [ _ ] -> ()
+    | (p0, v0) :: rest ->
+        List.iter
+          (fun (p, v) ->
+            if v <> v0 then
+              add "term %d: p%d carries %d but p%d carries %d" term p0 v0 p v)
+          rest
+  done;
+  (* Cross-term commit agreement. *)
+  let commits =
+    List.filter_map
+      (fun o ->
+        match o.obs with
+        | Types_c.Commit v -> Some (o.obs_pid, o.obs_term, v)
+        | Types_c.Adopt _ | Types_c.Vacillate _ -> None)
+      obs
+  in
+  (match commits with
+  | [] -> ()
+  | (p0, t0, v0) :: rest ->
+      List.iter
+        (fun (p, term, v) ->
+          if v <> v0 then
+            add "commit disagreement: p%d@t%d committed %d, p%d@t%d committed %d"
+              p0 t0 v0 p term v)
+        rest);
+  (* Decision agreement + validity. *)
+  (match decisions t with
+  | [] -> ()
+  | (p0, v0) :: rest ->
+      List.iter
+        (fun (p, v) ->
+          if v <> v0 then add "decision disagreement: p%d=%d vs p%d=%d" p0 v0 p v)
+        rest;
+      List.iter
+        (fun (p, v) ->
+          if not (Array.exists (fun i -> i = v) t.inputs) then
+            add "decision validity: p%d decided %d, nobody's input" p v)
+        ((p0, v0) :: rest));
+  List.rev !problems

@@ -1,0 +1,91 @@
+(** Consensus through Raft with the single [D&S(v)] command
+    (paper Section 4.3, Algorithms 7–11).
+
+    Every processor starts with an input value.  Whenever a replica wins an
+    election and its log is empty it proposes [D&S(v)] with its own value;
+    if its log already holds a command it simply keeps replicating it (the
+    paper's [v* ← log\[lastLogIndex*\]]).  A processor {e decides} the value
+    of the first log entry it applies; [D&S] semantics make the decision
+    permanent.
+
+    {2 The VAC view}
+
+    The paper maps each Raft term to one template round and classifies the
+    processors of a term into the three VAC confidences:
+
+    - {e vacillate} — heard from no leader this term;
+    - {e adopt} — accepted an AppendEntries of the first kind (entries, no
+      commit-index movement), or won the election (the leader sets adopt
+      after its vote quorum);
+    - {e commit} — moved its commit index (second-kind AppendEntries, or
+      the leader seeing an ack quorum).
+
+    The reconciliator is the randomized election timer (Algorithm 11):
+    its "invocation" is the election-timeout event, and its effect is the
+    timing shake-up rather than the returned value.
+
+    {2 What is checked}
+
+    The literal per-round VAC coherence over adopt & commit cannot hold in
+    Raft: a processor cut off from the leader stays {e vacillate} in the
+    very term the leader commits (the paper's own proof of Lemma 7
+    restricts attention to processors "which have not failed during the
+    term").  {!check_vac_view} therefore checks the defensible core:
+
+    - per-term value coherence: all adopt/commit outputs of one term carry
+      the same value;
+    - cross-term commit agreement: every commit of the whole execution
+      carries one value (leader completeness + state machine safety);
+    - decision agreement and validity.
+
+    Convergence is also not claimed — the paper notes Raft lacks it as-is
+    and sketches a decentralized variant (see {!Decentralized}). *)
+
+val command_of_value : int -> Types.command
+(** ["D&S:<v>"] — the decide-and-stop-applying command. *)
+
+val value_of_command : Types.command -> int
+(** @raise Invalid_argument on anything but a D&S command. *)
+
+type t
+
+val create : cluster:Cluster.t -> inputs:int array -> t
+(** Wire a consensus instance onto a (not yet started) cluster: sets each
+    replica's leadership hook and apply callback.  [inputs] has one value
+    per replica. *)
+
+val cluster : t -> Cluster.t
+
+val decision : t -> int -> int option
+(** The value processor [i] has decided, if any. *)
+
+val decisions : t -> (int * int) list
+(** All decisions so far as [(pid, value)]. *)
+
+val run_until_all_decided : ?timeout:int -> t -> bool
+(** Advance the simulation until every non-stopped replica has decided. *)
+
+(** One processor's VAC output for one term. *)
+type observation = {
+  obs_pid : int;
+  obs_term : int;
+  obs : int Consensus.Types.vac_result;
+}
+
+val vac_view : t -> observation list
+(** Per-(processor, term) VAC classification of everything observed so
+    far.  Terms with no event for a processor count as vacillate with the
+    processor's input value. *)
+
+val reconciliator_invocations : t -> (int * int) list
+(** [(pid, term)] pairs at which the timer reconciliator fired (election
+    timeouts). *)
+
+val adopt_upgrades : t -> int
+(** How many (processor, term) observations passed through the adopt
+    stage (first-kind AppendEntries accepted, or election won) before
+    upgrading to commit — {!vac_view} reports only the strongest level
+    per pair, so this counter preserves the intermediate stage. *)
+
+val check_vac_view : t -> string list
+(** The checks described above; empty = all hold. *)

@@ -1,0 +1,80 @@
+type phase_tally = {
+  seen1 : bool array;
+  seen2 : bool array;
+  mutable proposers : int;
+  mutable arrivals_rev : (int * int) list;  (* (src, value), newest first *)
+  proposal_counts : (int, int) Hashtbl.t;
+  mutable seconds : int;
+  ratify_counts : (int, int) Hashtbl.t;
+}
+
+type t = { n : int; phases : (int, phase_tally) Hashtbl.t }
+
+let phase_tally t phase =
+  match Hashtbl.find_opt t.phases phase with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          seen1 = Array.make t.n false;
+          seen2 = Array.make t.n false;
+          proposers = 0;
+          arrivals_rev = [];
+          proposal_counts = Hashtbl.create 8;
+          seconds = 0;
+          ratify_counts = Hashtbl.create 8;
+        }
+      in
+      Hashtbl.replace t.phases phase p;
+      p
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let ingest t env =
+  let src = env.Netsim.Async_net.src in
+  match env.Netsim.Async_net.payload with
+  | Decentralized_msg.Propose { phase; value } ->
+      let p = phase_tally t phase in
+      if not p.seen1.(src) then begin
+        p.seen1.(src) <- true;
+        p.proposers <- p.proposers + 1;
+        p.arrivals_rev <- (src, value) :: p.arrivals_rev;
+        bump p.proposal_counts value
+      end
+  | Decentralized_msg.Second { phase; ratify } ->
+      let p = phase_tally t phase in
+      if not p.seen2.(src) then begin
+        p.seen2.(src) <- true;
+        p.seconds <- p.seconds + 1;
+        match ratify with Some v -> bump p.ratify_counts v | None -> ()
+      end
+
+let attach net ~me =
+  let t = { n = Netsim.Async_net.n net; phases = Hashtbl.create 32 } in
+  Netsim.Async_net.set_handler net me (ingest t);
+  t
+
+let proposers t ~phase = (phase_tally t phase).proposers
+
+let proposals_in_arrival_order t ~phase =
+  List.rev (phase_tally t phase).arrivals_rev
+
+let majority_value t ~phase ~n =
+  Hashtbl.fold
+    (fun v c acc -> if 2 * c > n then Some v else acc)
+    (phase_tally t phase).proposal_counts None
+
+let second_senders t ~phase = (phase_tally t phase).seconds
+
+let ratifies_for t ~phase v =
+  Option.value ~default:0 (Hashtbl.find_opt (phase_tally t phase).ratify_counts v)
+
+let ratified_values t ~phase =
+  Hashtbl.fold (fun v _ acc -> v :: acc) (phase_tally t phase).ratify_counts []
+  |> List.sort_uniq compare
+
+let forget_below t ~phase =
+  Hashtbl.iter
+    (fun ph _ -> if ph < phase then Hashtbl.remove t.phases ph)
+    (Hashtbl.copy t.phases)

@@ -1,0 +1,50 @@
+(** The decentralized, convergence-restoring Raft variant sketched at the
+    end of paper Section 4.3.
+
+    The paper notes that leader-based Raft lacks the VAC convergence
+    property, and that decentralizing it — everyone broadcasts the command
+    it wants logged, and whoever sees a majority announces commitment —
+    yields an algorithm "that highly resembles Ben-Or's", differing only
+    in the reconciliator: where Ben-Or flips a coin, the Raft lineage
+    breaks stalemates by {e timing} (randomized timers deciding who moves
+    first).
+
+    This module implements exactly that reading, multivalued:
+
+    - {!Vac}: broadcast ⟨1, v⟩; on [n-t] proposals, ratify the strict
+      majority value if one exists; on [n-t] second-step messages, commit
+      past [t] ratifications, adopt one, vacillate on none.
+    - {!Reconciliator}: return the {e plurality} value among this round's
+      received proposals (earliest sender breaking ties) — a deterministic
+      rule whose randomness comes entirely from message timing, the
+      network analogue of Raft's randomized election timer.
+
+    Model: asynchronous message passing, [t < n/2] crash failures,
+    arbitrary (multivalued) inputs. *)
+
+type ctx = {
+  net : Decentralized_msg.t Netsim.Async_net.t;
+  me : int;
+  faults : int;
+  input : int;
+  tally : Dec_tally.t;
+}
+
+val make_ctx :
+  net:Decentralized_msg.t Netsim.Async_net.t -> me:int -> faults:int -> input:int -> ctx
+(** Builds the context and installs the node's tally as its delivery
+    handler. *)
+
+module Vac : Consensus.Objects.VAC with type ctx = ctx and type Value.t = int
+
+module Reconciliator :
+  Consensus.Objects.RECONCILIATOR with type ctx = ctx and type Value.t = int
+
+module Consensus_decentralized : sig
+  val consensus :
+    ?max_rounds:int ->
+    ?observer:int Consensus.Template.observer ->
+    ctx ->
+    int ->
+    int * int
+end

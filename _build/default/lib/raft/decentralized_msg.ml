@@ -1,0 +1,10 @@
+type t =
+  | Propose of { phase : int; value : int }
+  | Second of { phase : int; ratify : int option }
+
+let phase = function Propose { phase; _ } | Second { phase; _ } -> phase
+
+let pp ppf = function
+  | Propose { phase; value } -> Format.fprintf ppf "<1, %d>@%d" value phase
+  | Second { phase; ratify = Some v } -> Format.fprintf ppf "<2, %d, ratify>@%d" v phase
+  | Second { phase; ratify = None } -> Format.fprintf ppf "<2, ?>@%d" phase

@@ -1,0 +1,11 @@
+(** Wire messages of the decentralized (leaderless) variant of paper
+    Section 4.3. *)
+
+type t =
+  | Propose of { phase : int; value : int }  (** ⟨1, v⟩ *)
+  | Second of { phase : int; ratify : int option }
+      (** ⟨2, v, ratify⟩ when [Some v]; the non-committal ⟨2, ?⟩ when
+          [None] *)
+
+val phase : t -> int
+val pp : Format.formatter -> t -> unit

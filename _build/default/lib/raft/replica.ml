@@ -1,0 +1,408 @@
+module Net = Netsim.Async_net
+module Timer = Dsim.Timer
+module Vec = Dsim.Vec
+
+type role = Follower | Candidate | Leader
+
+type config = { election_timeout : int * int; heartbeat_interval : int }
+
+let default_config = { election_timeout = (150, 300); heartbeat_interval = 50 }
+
+module Event = struct
+  type t =
+    | Became_candidate of { term : Types.term }
+    | Became_leader of { term : Types.term }
+    | Stepped_down of { term : Types.term }
+    | Election_timeout of { term : Types.term }
+    | Accepted_entries of {
+        term : Types.term;
+        count : int;
+        commit_advanced : bool;
+      }
+    | Committed of { term : Types.term; index : int }
+    | Applied of { index : int; cmd : Types.command }
+    | Crashed
+    | Restarted
+
+  let pp ppf = function
+    | Became_candidate { term } -> Format.fprintf ppf "became-candidate(t%d)" term
+    | Became_leader { term } -> Format.fprintf ppf "became-leader(t%d)" term
+    | Stepped_down { term } -> Format.fprintf ppf "stepped-down(t%d)" term
+    | Election_timeout { term } -> Format.fprintf ppf "election-timeout(t%d)" term
+    | Accepted_entries { term; count; commit_advanced } ->
+        Format.fprintf ppf "accepted-entries(t%d,%d,%b)" term count commit_advanced
+    | Committed { term; index } -> Format.fprintf ppf "committed(t%d,i%d)" term index
+    | Applied { index; cmd } -> Format.fprintf ppf "applied(i%d,%S)" index cmd
+    | Crashed -> Format.fprintf ppf "crashed"
+    | Restarted -> Format.fprintf ppf "restarted"
+end
+
+type t = {
+  net : Types.msg Net.t;
+  me : int;
+  n : int;
+  config : config;
+  rng : Dsim.Rng.t;
+  apply : int -> Types.command -> unit;
+  (* Persistent state (survives stop/restart). *)
+  mutable current_term : Types.term;
+  mutable voted_for : int option;
+  log : Types.entry Vec.t;
+  (* Volatile state. *)
+  mutable role : role;
+  mutable commit_index : int;
+  mutable last_applied : int;
+  mutable votes : bool array;
+  next_index : int array;
+  match_index : int array;
+  mutable stopped : bool;
+  election_timer : Timer.t;
+  heartbeat_timer : Timer.t;
+  mutable listeners : (Event.t -> unit) list;
+  mutable on_leadership : (t -> unit) option;
+}
+
+let id t = t.me
+let role t = t.role
+let current_term t = t.current_term
+let voted_for t = t.voted_for
+let log_length t = Vec.length t.log
+
+let log_entry t i =
+  if i < 1 || i > Vec.length t.log then
+    invalid_arg (Printf.sprintf "Raft.log_entry: index %d out of range" i);
+  Vec.get t.log (i - 1)
+
+let log_term_at t i = if i = 0 then 0 else (log_entry t i).Types.entry_term
+let commit_index t = t.commit_index
+let last_applied t = t.last_applied
+let is_stopped t = t.stopped
+let subscribe t f = t.listeners <- t.listeners @ [ f ]
+let set_on_leadership t f = t.on_leadership <- Some f
+
+let emit_event t ev = List.iter (fun f -> f ev) t.listeners
+
+let emit_trace t detail =
+  Dsim.Engine.emit (Net.engine t.net) ~pid:t.me ~tag:"raft" detail
+
+let send t ~dst msg =
+  emit_trace t (Printf.sprintf "-> %d %s" dst (Types.msg_kind msg));
+  Net.send t.net ~src:t.me ~dst msg
+
+let quorum t votes = 2 * votes > t.n
+
+let arm_election_timer t =
+  let lo, hi = t.config.election_timeout in
+  Timer.arm t.election_timer ~delay:(Dsim.Rng.int_in t.rng lo hi)
+
+let apply_committed t =
+  while t.last_applied < t.commit_index do
+    t.last_applied <- t.last_applied + 1;
+    let entry = log_entry t t.last_applied in
+    t.apply t.last_applied entry.Types.cmd;
+    emit_event t (Event.Applied { index = t.last_applied; cmd = entry.Types.cmd })
+  done
+
+let step_down t term =
+  let was_leader = t.role = Leader in
+  if term > t.current_term then begin
+    t.current_term <- term;
+    t.voted_for <- None
+  end;
+  if t.role <> Follower then begin
+    t.role <- Follower;
+    emit_event t (Event.Stepped_down { term = t.current_term })
+  end;
+  if was_leader then Timer.cancel t.heartbeat_timer;
+  arm_election_timer t
+
+(* Replicate to one follower, starting from its next index. *)
+let send_append t ~dst =
+  let ni = t.next_index.(dst) in
+  let prev = ni - 1 in
+  let last = Vec.length t.log in
+  let rec collect i acc =
+    if i > last then List.rev acc else collect (i + 1) (log_entry t i :: acc)
+  in
+  let entries = collect ni [] in
+  send t ~dst
+    (Types.Append_entries
+       {
+         term = t.current_term;
+         leader_id = t.me;
+         prev_log_index = prev;
+         prev_log_term = log_term_at t prev;
+         entries;
+         leader_commit = t.commit_index;
+       })
+
+let broadcast_append t =
+  for dst = 0 to t.n - 1 do
+    if dst <> t.me then send_append t ~dst
+  done
+
+(* Leader rule: commit index N when a majority's matchIndex reaches N and
+   log[N] belongs to the current term (the Raft paper's figure-8 guard). *)
+let advance_commit t =
+  let last = Vec.length t.log in
+  let n_matching target =
+    let count = ref 0 in
+    for j = 0 to t.n - 1 do
+      if t.match_index.(j) >= target then incr count
+    done;
+    !count
+  in
+  let advanced = ref false in
+  let candidate = ref (t.commit_index + 1) in
+  let best = ref t.commit_index in
+  while !candidate <= last do
+    if log_term_at t !candidate = t.current_term && quorum t (n_matching !candidate)
+    then best := !candidate;
+    incr candidate
+  done;
+  if !best > t.commit_index then begin
+    t.commit_index <- !best;
+    advanced := true;
+    emit_event t (Event.Committed { term = t.current_term; index = !best });
+    apply_committed t
+  end;
+  !advanced
+
+let become_leader t =
+  t.role <- Leader;
+  Timer.cancel t.election_timer;
+  let last = Vec.length t.log in
+  for j = 0 to t.n - 1 do
+    t.next_index.(j) <- last + 1;
+    t.match_index.(j) <- 0
+  done;
+  t.match_index.(t.me) <- last;
+  emit_trace t (Printf.sprintf "leader of term %d" t.current_term);
+  emit_event t (Event.Became_leader { term = t.current_term });
+  (match t.on_leadership with Some f -> f t | None -> ());
+  (* First replication wave (doubles as the leadership announcement). *)
+  broadcast_append t;
+  ignore (advance_commit t : bool);
+  Timer.arm t.heartbeat_timer ~delay:t.config.heartbeat_interval
+
+let become_candidate t =
+  t.role <- Candidate;
+  t.current_term <- t.current_term + 1;
+  t.voted_for <- Some t.me;
+  Array.fill t.votes 0 t.n false;
+  t.votes.(t.me) <- true;
+  emit_event t (Event.Became_candidate { term = t.current_term });
+  let last = Vec.length t.log in
+  for dst = 0 to t.n - 1 do
+    if dst <> t.me then
+      send t ~dst
+        (Types.Request_vote
+           {
+             term = t.current_term;
+             candidate_id = t.me;
+             last_log_index = last;
+             last_log_term = log_term_at t last;
+           })
+  done;
+  arm_election_timer t;
+  if quorum t 1 then become_leader t (* single-node cluster *)
+
+let on_election_timeout t =
+  if not t.stopped && t.role <> Leader then begin
+    emit_event t (Event.Election_timeout { term = t.current_term });
+    become_candidate t
+  end
+
+let on_heartbeat t =
+  if (not t.stopped) && t.role = Leader then begin
+    broadcast_append t;
+    Timer.arm t.heartbeat_timer ~delay:t.config.heartbeat_interval
+  end
+
+(* --- message handlers --------------------------------------------------- *)
+
+let handle_request_vote t ~src ~term ~candidate_id ~last_log_index ~last_log_term =
+  if term > t.current_term then step_down t term;
+  if term < t.current_term then
+    send t ~dst:src
+      (Types.Request_vote_reply { term = t.current_term; granted = false })
+  else begin
+    let my_last = Vec.length t.log in
+    let my_last_term = log_term_at t my_last in
+    let up_to_date =
+      last_log_term > my_last_term
+      || (last_log_term = my_last_term && last_log_index >= my_last)
+    in
+    let free_to_vote =
+      match t.voted_for with None -> true | Some v -> v = candidate_id
+    in
+    if free_to_vote && up_to_date then begin
+      t.voted_for <- Some candidate_id;
+      arm_election_timer t;
+      send t ~dst:src
+        (Types.Request_vote_reply { term = t.current_term; granted = true })
+    end
+    else
+      send t ~dst:src
+        (Types.Request_vote_reply { term = t.current_term; granted = false })
+  end
+
+let handle_request_vote_reply t ~src ~term ~granted =
+  if term > t.current_term then step_down t term
+  else if t.role = Candidate && term = t.current_term && granted then begin
+    t.votes.(src) <- true;
+    let total = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.votes in
+    if quorum t total then become_leader t
+  end
+
+let handle_append_entries t ~src ~term ~leader_id:_ ~prev_log_index ~prev_log_term
+    ~entries ~leader_commit =
+  if term > t.current_term then step_down t term;
+  if term < t.current_term then
+    send t ~dst:src
+      (Types.Append_entries_reply
+         { term = t.current_term; success = false; match_index = 0 })
+  else begin
+    (* A current leader exists: candidates defer, everyone resets timers. *)
+    if t.role <> Follower then step_down t term;
+    arm_election_timer t;
+    let my_last = Vec.length t.log in
+    let consistent =
+      prev_log_index <= my_last && log_term_at t prev_log_index = prev_log_term
+    in
+    if not consistent then
+      send t ~dst:src
+        (Types.Append_entries_reply
+           { term = t.current_term; success = false; match_index = 0 })
+    else begin
+      (* Append new entries; delete conflicting ones and all that follow. *)
+      let count = List.length entries in
+      List.iteri
+        (fun k entry ->
+          let idx = prev_log_index + 1 + k in
+          if idx <= Vec.length t.log then begin
+            if (log_entry t idx).Types.entry_term <> entry.Types.entry_term then begin
+              Vec.truncate t.log (idx - 1);
+              Vec.push t.log entry
+            end
+          end
+          else Vec.push t.log entry)
+        entries;
+      let old_commit = t.commit_index in
+      let last_new = prev_log_index + count in
+      if leader_commit > t.commit_index then
+        t.commit_index <- min leader_commit (max last_new t.commit_index);
+      let commit_advanced = t.commit_index > old_commit in
+      if commit_advanced then
+        emit_event t
+          (Event.Committed { term = t.current_term; index = t.commit_index });
+      apply_committed t;
+      emit_event t
+        (Event.Accepted_entries { term = t.current_term; count; commit_advanced });
+      send t ~dst:src
+        (Types.Append_entries_reply
+           { term = t.current_term; success = true; match_index = last_new })
+    end
+  end
+
+let handle_append_entries_reply t ~src ~term ~success ~match_index =
+  if term > t.current_term then step_down t term
+  else if t.role = Leader && term = t.current_term then
+    if success then begin
+      if match_index > t.match_index.(src) then t.match_index.(src) <- match_index;
+      if t.next_index.(src) <= match_index then t.next_index.(src) <- match_index + 1;
+      ignore (advance_commit t : bool)
+    end
+    else begin
+      (* Log repair: back off and retry with an earlier prefix. *)
+      if t.next_index.(src) > 1 then t.next_index.(src) <- t.next_index.(src) - 1;
+      send_append t ~dst:src
+    end
+
+let handle t env =
+  if not t.stopped then
+    match env.Net.payload with
+    | Types.Request_vote { term; candidate_id; last_log_index; last_log_term } ->
+        handle_request_vote t ~src:env.Net.src ~term ~candidate_id ~last_log_index
+          ~last_log_term
+    | Types.Request_vote_reply { term; granted } ->
+        handle_request_vote_reply t ~src:env.Net.src ~term ~granted
+    | Types.Append_entries
+        { term; leader_id; prev_log_index; prev_log_term; entries; leader_commit }
+      ->
+        handle_append_entries t ~src:env.Net.src ~term ~leader_id ~prev_log_index
+          ~prev_log_term ~entries ~leader_commit
+    | Types.Append_entries_reply { term; success; match_index } ->
+        handle_append_entries_reply t ~src:env.Net.src ~term ~success ~match_index
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+let create ~net ~id ?(config = default_config) ~apply ~rng () =
+  let eng = Net.engine net in
+  let n = Net.n net in
+  if id < 0 || id >= n then invalid_arg "Raft.Replica.create: bad id";
+  let rec t =
+    lazy
+      {
+        net;
+        me = id;
+        n;
+        config;
+        rng;
+        apply;
+        current_term = 0;
+        voted_for = None;
+        log = Vec.create ();
+        role = Follower;
+        commit_index = 0;
+        last_applied = 0;
+        votes = Array.make n false;
+        next_index = Array.make n 1;
+        match_index = Array.make n 0;
+        stopped = false;
+        election_timer = Timer.create eng (fun () -> on_election_timeout (Lazy.force t));
+        heartbeat_timer = Timer.create eng (fun () -> on_heartbeat (Lazy.force t));
+        listeners = [];
+        on_leadership = None;
+      }
+  in
+  Lazy.force t
+
+let start t =
+  Net.set_handler t.net t.me (fun env -> handle t env);
+  arm_election_timer t
+
+let propose t cmd =
+  if t.stopped || t.role <> Leader then false
+  else begin
+    Vec.push t.log { Types.entry_term = t.current_term; cmd };
+    t.match_index.(t.me) <- Vec.length t.log;
+    (* Single-node clusters commit immediately; otherwise the next
+       replication wave carries the entry. *)
+    ignore (advance_commit t : bool);
+    broadcast_append t;
+    true
+  end
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Timer.cancel t.election_timer;
+    Timer.cancel t.heartbeat_timer;
+    Net.crash t.net t.me;
+    emit_event t Event.Crashed
+  end
+
+let restart t =
+  if t.stopped then begin
+    t.stopped <- false;
+    t.role <- Follower;
+    t.commit_index <- 0;
+    t.last_applied <- 0;
+    Array.fill t.votes 0 t.n false;
+    Array.fill t.next_index 0 t.n 1;
+    Array.fill t.match_index 0 t.n 0;
+    Net.restart t.net t.me;
+    emit_event t Event.Restarted;
+    arm_election_timer t
+  end

@@ -1,0 +1,102 @@
+(** A full Raft replica: leader election, log replication, commit-index
+    advancement, log repair through NextIndex/MatchIndex back-off, crash
+    and restart (paper Algorithms 7–9 and the rules of the original Raft
+    paper).
+
+    The replica is event-driven: it reacts to delivered messages (via
+    {!Netsim.Async_net.set_handler}) and to its two timers.  Handlers never
+    suspend, so no engine process is needed per replica.
+
+    Persistence model: [current_term], [voted_for] and the log survive a
+    {!stop}/{!restart} pair; volatile state (role, commit index, applied
+    index, leadership bookkeeping) is reset, and committed entries are
+    re-applied from index 1 — the [apply] callback must rebuild its state
+    machine from scratch after {!Event.Restarted}. *)
+
+type role = Follower | Candidate | Leader
+
+type config = {
+  election_timeout : int * int;
+      (** randomized in [\[lo, hi\]]; must dominate broadcast time (the
+          paper's timing property) *)
+  heartbeat_interval : int;  (** leader's replication cadence *)
+}
+
+val default_config : config
+(** election timeout 150–300, heartbeat 50 — the Raft paper's shape. *)
+
+(** Observable protocol events, consumed by invariant monitors, the VAC
+    view and the experiments. *)
+module Event : sig
+  type t =
+    | Became_candidate of { term : Types.term }
+    | Became_leader of { term : Types.term }
+    | Stepped_down of { term : Types.term }
+    | Election_timeout of { term : Types.term }
+        (** fired before the candidacy it triggers *)
+    | Accepted_entries of {
+        term : Types.term;
+        count : int;
+        commit_advanced : bool;
+      }  (** follower accepted an AppendEntries *)
+    | Committed of { term : Types.term; index : int }
+    | Applied of { index : int; cmd : Types.command }
+    | Crashed
+    | Restarted
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type t
+
+val create :
+  net:Types.msg Netsim.Async_net.t ->
+  id:int ->
+  ?config:config ->
+  apply:(int -> Types.command -> unit) ->
+  rng:Dsim.Rng.t ->
+  unit ->
+  t
+(** Create a replica for node [id] of the network.  [apply index cmd] is
+    called exactly once per committed index while up (and again from 1
+    after a restart). *)
+
+val start : t -> unit
+(** Install the delivery handler and arm the election timer. *)
+
+(** {1 Introspection} *)
+
+val id : t -> int
+val role : t -> role
+val current_term : t -> Types.term
+val voted_for : t -> int option
+val log_length : t -> int
+val log_entry : t -> int -> Types.entry
+(** 1-based. @raise Invalid_argument out of range. *)
+
+val log_term_at : t -> int -> Types.term
+(** Term of the entry at a 1-based index; 0 for index 0. *)
+
+val commit_index : t -> int
+val last_applied : t -> int
+val is_stopped : t -> bool
+
+val subscribe : t -> (Event.t -> unit) -> unit
+(** Register an event listener (called synchronously, in order). *)
+
+val set_on_leadership : t -> (t -> unit) -> unit
+(** Callback invoked right after this replica becomes leader, before the
+    first replication wave — the consensus reduction uses it to inject its
+    [D&S(v)] proposal into an empty log. *)
+
+(** {1 Actions} *)
+
+val propose : t -> Types.command -> bool
+(** Append a client command if this replica currently believes it is the
+    leader; returns false otherwise. *)
+
+val stop : t -> unit
+(** Crash: timers stop, the network stops delivering to this node. *)
+
+val restart : t -> unit
+(** Recover with persistent state intact and volatile state reset. *)

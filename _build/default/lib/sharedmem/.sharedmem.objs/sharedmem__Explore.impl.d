@@ -1,0 +1,1 @@
+lib/sharedmem/explore.ml: Array Consensus Dsim Format List Protocol World

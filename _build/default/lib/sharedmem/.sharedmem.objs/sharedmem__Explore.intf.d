@@ -1,0 +1,1 @@
+lib/sharedmem/explore.mli: Dsim World

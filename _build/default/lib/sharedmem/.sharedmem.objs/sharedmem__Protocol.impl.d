@@ -1,0 +1,1 @@
+lib/sharedmem/protocol.ml: Array Consensus Dsim Hashtbl World

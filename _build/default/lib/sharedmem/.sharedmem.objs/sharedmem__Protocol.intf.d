@@ -1,0 +1,1 @@
+lib/sharedmem/protocol.mli: Consensus World

@@ -1,0 +1,1 @@
+lib/sharedmem/world.ml: Dsim

@@ -1,0 +1,207 @@
+module Engine = Dsim.Engine
+
+let interleavings ~counts ~limit =
+  let n = Array.length counts in
+  let remaining = Array.copy counts in
+  let out = ref [] in
+  let produced = ref 0 in
+  let rec go acc =
+    if !produced >= limit then ()
+    else begin
+      let any = ref false in
+      for i = 0 to n - 1 do
+        if remaining.(i) > 0 then begin
+          any := true;
+          remaining.(i) <- remaining.(i) - 1;
+          go (i :: acc);
+          remaining.(i) <- remaining.(i) + 1
+        end
+      done;
+      if not !any then begin
+        out := List.rev acc :: !out;
+        incr produced
+      end
+    end
+  in
+  go [];
+  List.rev !out
+
+let count_interleavings ~counts =
+  (* multinomial (sum counts)! / prod counts.(i)! computed incrementally *)
+  let total = Array.fold_left ( + ) 0 counts in
+  let result = ref 1 in
+  let k = ref 0 in
+  Array.iter
+    (fun c ->
+      (* multiply by C(k + c, c) *)
+      for j = 1 to c do
+        incr k;
+        result := !result * !k / j
+      done)
+    counts;
+  ignore total;
+  !result
+
+let random_schedule ~counts ~rng =
+  let remaining = Array.copy counts in
+  let total = Array.fold_left ( + ) 0 counts in
+  let out = ref [] in
+  for _ = 1 to total do
+    (* weighted pick proportional to remaining ops — uniform over
+       interleavings *)
+    let left = Array.fold_left ( + ) 0 remaining in
+    let target = Dsim.Rng.int rng left in
+    let acc = ref 0 and chosen = ref (-1) in
+    Array.iteri
+      (fun i c ->
+        if !chosen < 0 then begin
+          acc := !acc + c;
+          if target < !acc then chosen := i
+        end)
+      remaining;
+    remaining.(!chosen) <- remaining.(!chosen) - 1;
+    out := !chosen :: !out
+  done;
+  List.rev !out
+
+(* Realize an exact operation order: process i's k-th operation happens at
+   virtual time (slot index + 1), where slots are the schedule positions
+   assigned to i.  The step policy pops the next target and sleeps until
+   it. *)
+let run_schedule ~n ~schedule ~body =
+  let targets = Array.make n [] in
+  List.iteri
+    (fun slot pid ->
+      if pid < 0 || pid >= n then invalid_arg "Explore.run_schedule: bad pid";
+      targets.(pid) <- (slot + 1) :: targets.(pid))
+    schedule;
+  let queues = Array.map (fun l -> ref (List.rev l)) targets in
+  let eng = Engine.create ~seed:1L () in
+  let steps =
+    World.Custom_steps
+      (fun ~me ~op:_ ~rng:_ ->
+        match !(queues.(me)) with
+        | [] -> invalid_arg "Explore.run_schedule: process exceeded its op budget"
+        | target :: rest ->
+            queues.(me) := rest;
+            target - Engine.now eng)
+  in
+  let world = World.create eng ~steps () in
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.spawn eng (fun ectx -> body { World.world; me = i; ectx })
+        : Engine.pid)
+  done;
+  Engine.run eng
+
+type report = {
+  schedules_run : int;
+  space_size : int;
+  exhaustive : bool;
+  violations : string list;
+}
+
+module P = Protocol.Make (Consensus.Objects.Bool_value)
+module M = Consensus.Monitor.Make (Consensus.Objects.Bool_value)
+
+(* One AC run under one schedule; returns the violations found. *)
+let ac_once ~inputs schedule =
+  let n = Array.length inputs in
+  let monitor = M.create () in
+  Array.iteri (fun i v -> M.record_initial monitor ~pid:i v) inputs;
+  (* [run_schedule] owns engine/world creation, so the shared state is
+     built lazily by the first process to run. *)
+  let shared = ref None in
+  let body (proc : World.proc) =
+    let s =
+      match !shared with
+      | Some s -> s
+      | None ->
+          let s = P.create_shared ~n proc.World.world in
+          shared := Some s;
+          s
+    in
+    let ctx = { P.shared = s; proc } in
+    let out = P.Ac_a.invoke ctx ~round:1 inputs.(proc.World.me) in
+    M.record_output monitor ~round:1 ~pid:proc.World.me
+      (Consensus.Types.vac_of_ac out)
+  in
+  let outcome = run_schedule ~n ~schedule ~body in
+  let viols = M.check_ac monitor in
+  let viols =
+    match outcome with
+    | Engine.Quiescent -> viols
+    | Engine.Deadlock _ | Engine.Time_limit | Engine.Event_limit ->
+        { Consensus.Monitor.round = None; property = "termination"; message = "run did not quiesce" }
+        :: viols
+  in
+  List.map (Format.asprintf "%a" Consensus.Monitor.pp_violation) viols
+
+let ops_per_process_ac n = 2 + (2 * n)
+
+let check_ac_exhaustive ~inputs ?(limit = 100_000) () =
+  let n = Array.length inputs in
+  let counts = Array.make n (ops_per_process_ac n) in
+  let space_size = count_interleavings ~counts in
+  let schedules = interleavings ~counts ~limit in
+  let run = List.length schedules in
+  let violations = ref [] in
+  List.iter
+    (fun schedule ->
+      if List.length !violations < 5 then
+        violations := !violations @ ac_once ~inputs schedule)
+    schedules;
+  {
+    schedules_run = run;
+    space_size;
+    exhaustive = run = space_size;
+    violations = !violations;
+  }
+
+let vac_once ~inputs schedule =
+  let n = Array.length inputs in
+  let monitor = M.create () in
+  Array.iteri (fun i v -> M.record_initial monitor ~pid:i v) inputs;
+  let shared = ref None in
+  let body (proc : World.proc) =
+    let s =
+      match !shared with
+      | Some s -> s
+      | None ->
+          let s = P.create_shared ~n proc.World.world in
+          shared := Some s;
+          s
+    in
+    let ctx = { P.shared = s; proc } in
+    let out = P.Vac.invoke ctx ~round:1 inputs.(proc.World.me) in
+    M.record_output monitor ~round:1 ~pid:proc.World.me out
+  in
+  let outcome = run_schedule ~n ~schedule ~body in
+  let viols = M.check_vac monitor in
+  let viols =
+    match outcome with
+    | Engine.Quiescent -> viols
+    | Engine.Deadlock _ | Engine.Time_limit | Engine.Event_limit ->
+        { Consensus.Monitor.round = None; property = "termination"; message = "run did not quiesce" }
+        :: viols
+  in
+  List.map (Format.asprintf "%a" Consensus.Monitor.pp_violation) viols
+
+let check_vac_sampled ~inputs ~samples ~seed =
+  let n = Array.length inputs in
+  let counts = Array.make n (2 * ops_per_process_ac n) in
+  let space_size = count_interleavings ~counts in
+  let rng = Dsim.Rng.create seed in
+  let violations = ref [] in
+  for _ = 1 to samples do
+    if List.length !violations < 5 then begin
+      let schedule = random_schedule ~counts ~rng in
+      violations := !violations @ vac_once ~inputs schedule
+    end
+  done;
+  {
+    schedules_run = samples;
+    space_size;
+    exhaustive = false;
+    violations = !violations;
+  }

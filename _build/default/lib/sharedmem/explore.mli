@@ -1,0 +1,55 @@
+(** Exhaustive and randomized schedule exploration for shared-memory
+    objects.
+
+    Statistical testing samples the schedule space; for small
+    configurations we can do better and run an object under {e every}
+    interleaving of its register operations.  A schedule is a sequence of
+    process ids — the global order in which the processes take their next
+    operation — and is realized exactly through a
+    {!World.Custom_steps} policy that stretches each process's pauses so
+    its k-th operation lands at its scheduled slot.
+
+    Straight-line protocols (the adopt-commit: one write, [n] reads, one
+    write, [n] reads per process) have a fixed operation count, so the
+    schedule space is the multiset permutations of
+    [{0^ops, 1^ops, ...}] — 924 schedules for two processes, which
+    {!check_ac_exhaustive} sweeps completely. *)
+
+val interleavings : counts:int array -> limit:int -> int list list
+(** All interleavings of [counts.(i)] operations per process [i], in
+    lexicographic order, truncated to at most [limit]. *)
+
+val count_interleavings : counts:int array -> int
+(** The exact number of interleavings (multinomial coefficient). *)
+
+val random_schedule : counts:int array -> rng:Dsim.Rng.t -> int list
+(** One uniformly random interleaving. *)
+
+val run_schedule :
+  n:int ->
+  schedule:int list ->
+  body:(World.proc -> unit) ->
+  Dsim.Engine.outcome
+(** Run [n] processes (each executing [body] with its own process handle)
+    under the exact operation order [schedule].  Processes must perform
+    exactly as many register operations as the schedule allots them —
+    a process attempting more raises; performing fewer leaves unused slots
+    (harmless). *)
+
+type report = {
+  schedules_run : int;
+  space_size : int;  (** total size of the schedule space *)
+  exhaustive : bool;  (** true when every schedule was run *)
+  violations : string list;  (** first few violations found, if any *)
+}
+
+val check_ac_exhaustive :
+  inputs:bool array -> ?limit:int -> unit -> report
+(** Run the register-based adopt-commit under every interleaving (up to
+    [limit], default 100_000) and check coherence, convergence and
+    validity on each.  [inputs] gives processor count and inputs. *)
+
+val check_vac_sampled :
+  inputs:bool array -> samples:int -> seed:int64 -> report
+(** The two-AC VAC has too many interleavings to sweep ([C(24,12)] at two
+    processes), so check a uniform sample of schedules instead. *)

@@ -1,0 +1,143 @@
+module Types = Consensus.Types
+module Reg = World.Reg
+
+module Make (V : Consensus.Objects.VALUE) = struct
+  type bank = {
+    proposals : V.t option Reg.reg array;  (* the A array *)
+    flags : (bool * V.t) option Reg.reg array;  (* the D array *)
+  }
+
+  type shared = {
+    world : World.t;
+    n : int;
+    write_probability : float;
+    banks : (string * int, bank) Hashtbl.t;
+    conc_regs : (int, V.t option Reg.reg) Hashtbl.t;
+    base_ops : int;
+  }
+
+  let create_shared ~n ?write_probability world =
+    let write_probability =
+      match write_probability with
+      | Some p -> p
+      | None -> 1.0 /. float_of_int (2 * n)
+    in
+    if n <= 0 then invalid_arg "Sharedmem.create_shared: n must be positive";
+    {
+      world;
+      n;
+      write_probability;
+      banks = Hashtbl.create 32;
+      conc_regs = Hashtbl.create 32;
+      base_ops = World.ops_performed world;
+    }
+
+  let register_operations shared =
+    World.ops_performed shared.world - shared.base_ops
+
+  type ctx = { shared : shared; proc : World.proc }
+
+  let bank shared instance round =
+    let key = (instance, round) in
+    match Hashtbl.find_opt shared.banks key with
+    | Some b -> b
+    | None ->
+        let b =
+          {
+            proposals = Array.init shared.n (fun _ -> Reg.make None);
+            flags = Array.init shared.n (fun _ -> Reg.make None);
+          }
+        in
+        Hashtbl.replace shared.banks key b;
+        b
+
+  let conc_reg shared round =
+    match Hashtbl.find_opt shared.conc_regs round with
+    | Some r -> r
+    | None ->
+        let r = Reg.make None in
+        Hashtbl.replace shared.conc_regs round r;
+        r
+
+  (* Gafni-style adopt-commit from registers:
+     1. publish the proposal;
+     2. read all proposals; note whether a different value is visible;
+     3. publish a (saw-agreement?, value) flag;
+     4. read all flags: commit when only agreeing flags (necessarily on one
+        value) are visible, adopt a flagged value otherwise. *)
+  let ac_invoke instance ctx ~round v =
+    let shared = ctx.shared in
+    let b = bank shared instance round in
+    let me = ctx.proc.World.me in
+    Reg.write ctx.proc b.proposals.(me) (Some v);
+    let saw_other = ref false in
+    for j = 0 to shared.n - 1 do
+      match Reg.read ctx.proc b.proposals.(j) with
+      | Some u when not (V.equal u v) -> saw_other := true
+      | Some _ | None -> ()
+    done;
+    Reg.write ctx.proc b.flags.(me) (Some (not !saw_other, v));
+    let any_conflict = ref false in
+    let agreed = ref None in
+    for j = 0 to shared.n - 1 do
+      match Reg.read ctx.proc b.flags.(j) with
+      | None -> ()
+      | Some (true, u) -> (
+          match !agreed with
+          | None -> agreed := Some u
+          | Some w -> if not (V.equal w u) then any_conflict := true)
+      | Some (false, _) -> any_conflict := true
+    done;
+    match (!any_conflict, !agreed) with
+    | false, Some u -> Types.AC_commit u
+    | true, Some u -> Types.AC_adopt u
+    | (false | true), None -> Types.AC_adopt v
+
+  module Ac_a = struct
+    type nonrec ctx = ctx
+
+    module Value = V
+
+    let invoke ctx = ac_invoke "a" ctx
+  end
+
+  module Ac_b = struct
+    type nonrec ctx = ctx
+
+    module Value = V
+
+    let invoke ctx = ac_invoke "b" ctx
+  end
+
+  module Conciliator = struct
+    type nonrec ctx = ctx
+
+    module Value = V
+
+    let invoke ctx ~round result =
+      let v = Types.ac_value result in
+      let shared = ctx.shared in
+      let r = conc_reg shared round in
+      let rng = ctx.proc.World.ectx.Dsim.Engine.rng in
+      let rec attempt () =
+        match Reg.read ctx.proc r with
+        | Some x -> x
+        | None ->
+            if Dsim.Rng.float rng 1.0 < shared.write_probability then begin
+              Reg.write ctx.proc r (Some v);
+              (* Re-read: concurrent writers converge on the last write. *)
+              match Reg.read ctx.proc r with Some x -> x | None -> v
+            end
+            else attempt ()
+      in
+      attempt ()
+  end
+
+  module Vac = Consensus.Constructions.Vac_of_two_ac (Ac_a) (Ac_b)
+
+  module Consensus_sm = struct
+    module T = Consensus.Template.Make_ac (Ac_a) (Conciliator)
+
+    let consensus = T.consensus
+  end
+end

@@ -1,0 +1,50 @@
+(** Shared-memory consensus objects in the Aspnes/Gafni lineage the paper
+    builds on: a register-based adopt-commit (Gafni), Aspnes'
+    probabilistic-write conciliator, their composition through the
+    Algorithm-2 template, and the Section-5 VAC-from-two-AC construction.
+
+    Everything is wait-free: no operation waits on another process, so the
+    adversary may stop any subset of processes at any time and the rest
+    still terminate (the property tests exercise exactly that). *)
+
+module Make (V : Consensus.Objects.VALUE) : sig
+  type shared
+  (** All registers of one consensus instance: per-(object, round) banks
+      for the adopt-commit proposals/flags and per-round conciliator
+      registers. *)
+
+  val create_shared : n:int -> ?write_probability:float -> World.t -> shared
+  (** [write_probability] is the conciliator's per-attempt write chance
+      (default [1 / (2n)], Aspnes' regime). *)
+
+  val register_operations : shared -> int
+  (** Register operations executed against this instance's world. *)
+
+  type ctx = { shared : shared; proc : World.proc }
+
+  (** Two {e distinct} Gafni adopt-commit objects (separate register
+      banks), so they can feed the two-AC construction. *)
+  module Ac_a : Consensus.Objects.AC with type ctx = ctx and type Value.t = V.t
+
+  module Ac_b : Consensus.Objects.AC with type ctx = ctx and type Value.t = V.t
+
+  (** Aspnes' conciliator: spin on a register; while it is empty, write
+      your value with small probability; return the first value you see. *)
+  module Conciliator :
+    Consensus.Objects.CONCILIATOR with type ctx = ctx and type Value.t = V.t
+
+  (** Section 5: VAC built from {!Ac_a} and {!Ac_b}. *)
+  module Vac : Consensus.Objects.VAC with type ctx = ctx and type Value.t = V.t
+
+  (** Algorithm 2 over {!Ac_a} + {!Conciliator}.  Deciding at the first
+      commit is safe here — unlike Phase-King's king-based conciliator,
+      the probabilistic-write conciliator preserves unanimity. *)
+  module Consensus_sm : sig
+    val consensus :
+      ?max_rounds:int ->
+      ?observer:V.t Consensus.Template.observer ->
+      ctx ->
+      V.t ->
+      V.t * int
+  end
+end

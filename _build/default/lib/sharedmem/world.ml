@@ -1,0 +1,42 @@
+type step_policy =
+  | Uniform_steps of int * int
+  | Fixed_steps of int
+  | Custom_steps of (me:int -> op:int -> rng:Dsim.Rng.t -> int)
+
+type t = {
+  eng : Dsim.Engine.t;
+  steps : step_policy;
+  mutable ops : int;
+}
+
+let create eng ?(steps = Uniform_steps (1, 10)) () = { eng; steps; ops = 0 }
+let engine t = t.eng
+
+type proc = { world : t; me : int; ectx : Dsim.Engine.ctx }
+
+let step proc =
+  let w = proc.world in
+  let delay =
+    match w.steps with
+    | Fixed_steps d -> d
+    | Uniform_steps (lo, hi) -> Dsim.Rng.int_in proc.ectx.Dsim.Engine.rng lo hi
+    | Custom_steps f -> f ~me:proc.me ~op:w.ops ~rng:proc.ectx.Dsim.Engine.rng
+  in
+  w.ops <- w.ops + 1;
+  Dsim.Engine.sleep proc.ectx delay
+
+let ops_performed t = t.ops
+
+module Reg = struct
+  type 'a reg = { mutable contents : 'a }
+
+  let make v = { contents = v }
+
+  let read proc reg =
+    step proc;
+    reg.contents
+
+  let write proc reg v =
+    step proc;
+    reg.contents <- v
+end

@@ -1,0 +1,42 @@
+(** An asynchronous shared-memory world: atomic registers accessed by
+    processes whose steps are interleaved by the simulation scheduler.
+
+    Each register operation is atomic and instantaneous; {e between}
+    operations a process pauses for a scheduler-chosen amount of virtual
+    time, which is what produces (adversarially varied) interleavings.
+    This is the standard asynchronous shared-memory model of Gafni's
+    adopt-commit and Aspnes' conciliators, with the adversary's power
+    expressed through the step-delay policy. *)
+
+(** How long a process pauses before each register operation. *)
+type step_policy =
+  | Uniform_steps of int * int  (** delay uniform in [\[lo, hi\]] *)
+  | Fixed_steps of int
+  | Custom_steps of (me:int -> op:int -> rng:Dsim.Rng.t -> int)
+      (** full adversarial control: [op] counts the process's operations *)
+
+type t
+
+val create : Dsim.Engine.t -> ?steps:step_policy -> unit -> t
+(** Default policy: [Uniform_steps (1, 10)]. *)
+
+val engine : t -> Dsim.Engine.t
+
+(** A process handle; carries the identity and private randomness used for
+    step delays. *)
+type proc = { world : t; me : int; ectx : Dsim.Engine.ctx }
+
+val step : proc -> unit
+(** Pause before the next operation (called internally by {!Reg}). *)
+
+val ops_performed : t -> int
+(** Total register operations executed so far (a work measure). *)
+
+(** Atomic read/write registers. *)
+module Reg : sig
+  type 'a reg
+
+  val make : 'a -> 'a reg
+  val read : proc -> 'a reg -> 'a
+  val write : proc -> 'a reg -> 'a -> unit
+end

@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Array Ben_or Bool Consensus Dsim Filename Format Fun Int64 List Netsim Phase_king Printf Raft Sharedmem Stats String Sys Table

@@ -1,0 +1,88 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
+let summarize values =
+  match values with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+      let arr = Array.of_list values in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let fn = float_of_int n in
+      let total = Array.fold_left ( +. ) 0.0 arr in
+      let mean = total /. fn in
+      let var =
+        Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 arr /. fn
+      in
+      {
+        count = n;
+        mean;
+        stddev = sqrt var;
+        min = arr.(0);
+        max = arr.(n - 1);
+        median = percentile arr 0.5;
+        p90 = percentile arr 0.9;
+        p99 = percentile arr 0.99;
+      }
+
+let of_ints values = summarize (List.map float_of_int values)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%.2f ± %.2f (med %.1f, p99 %.1f)" s.mean s.stddev s.median
+    s.p99
+
+let mean = function
+  | [] -> 0.0
+  | values -> List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+
+let fraction = function
+  | [] -> 0.0
+  | bools ->
+      let t = List.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bools in
+      float_of_int t /. float_of_int (List.length bools)
+
+let ascii_histogram ?(bins = 10) ?(width = 40) values =
+  match values with
+  | [] -> []
+  | _ ->
+      let lo = List.fold_left Float.min infinity values in
+      let hi = List.fold_left Float.max neg_infinity values in
+      let bins = max 1 bins in
+      let span = hi -. lo in
+      let counts = Array.make bins 0 in
+      List.iter
+        (fun v ->
+          let i =
+            if span = 0.0 then 0
+            else
+              min (bins - 1)
+                (int_of_float (float_of_int bins *. (v -. lo) /. span))
+          in
+          counts.(i) <- counts.(i) + 1)
+        values;
+      let peak = Array.fold_left max 1 counts in
+      List.init bins (fun i ->
+          let b_lo = lo +. (span *. float_of_int i /. float_of_int bins) in
+          let b_hi = lo +. (span *. float_of_int (i + 1) /. float_of_int bins) in
+          let label = Printf.sprintf "[%8.1f, %8.1f)" b_lo b_hi in
+          let bar_len = counts.(i) * width / peak in
+          (label, counts.(i), String.make bar_len '#'))
+
+let pp_histogram ppf rows =
+  List.iter
+    (fun (label, count, bar) -> Format.fprintf ppf "%s %5d %s@." label count bar)
+    rows

@@ -1,0 +1,38 @@
+(** Summary statistics for experiment measurements. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val of_ints : int list -> summary
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0, 1\]], nearest-rank on a sorted
+    array. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Renders as [mean ± stddev (median m, p99 x)]. *)
+
+val mean : float list -> float
+val fraction : bool list -> float
+(** Share of [true] values (0 on empty input). *)
+
+val ascii_histogram :
+  ?bins:int -> ?width:int -> float list -> (string * int * string) list
+(** [(range_label, count, bar)] rows — the terminal stand-in for a figure.
+    Bins are equal-width over [\[min, max\]]; [bins] defaults to 10, the
+    longest bar to [width] (default 40) characters.  Empty input yields no
+    rows. *)
+
+val pp_histogram : Format.formatter -> (string * int * string) list -> unit
+(** One row per line: [label  count  bar]. *)

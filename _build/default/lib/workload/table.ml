@@ -1,0 +1,32 @@
+let print ?(ppf = Format.std_formatter) ~title ~headers rows =
+  let all = headers :: rows in
+  let cols = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (max 1 cols - 1))
+  in
+  let hline = String.make (max total_width (String.length title)) '-' in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ')
+        row
+    in
+    String.concat "  " cells
+  in
+  Format.fprintf ppf "%s@.%s@.%s@." title hline (render_row headers);
+  Format.fprintf ppf "%s@." hline;
+  List.iter (fun row -> Format.fprintf ppf "%s@." (render_row row)) rows;
+  Format.fprintf ppf "@."
+
+let quote cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let csv ~headers rows =
+  let line row = String.concat "," (List.map quote row) in
+  String.concat "\n" (line headers :: List.map line rows)

@@ -1,0 +1,14 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+val print :
+  ?ppf:Format.formatter ->
+  title:string ->
+  headers:string list ->
+  string list list ->
+  unit
+(** Column-aligned table with a title rule.  Default formatter:
+    [Format.std_formatter]. *)
+
+val csv : headers:string list -> string list list -> string
+(** The same data as comma-separated text (values containing commas or
+    quotes are quoted). *)

@@ -1,0 +1,1 @@
+test/test_ac_variant.ml: Alcotest Array Ben_or Bool Consensus Dsim Int64 List Netsim Option Printf QCheck QCheck_alcotest

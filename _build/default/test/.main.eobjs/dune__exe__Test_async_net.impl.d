@@ -1,0 +1,1 @@
+test/test_async_net.ml: Alcotest Dsim List Netsim Printf

@@ -1,0 +1,1 @@
+test/test_ben_or.ml: Alcotest Array Ben_or Dsim Int64 List Netsim Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_common_coin.ml: Alcotest Array Ben_or Dsim Int64 List Printf

@@ -1,0 +1,1 @@
+test/test_constructions.ml: Alcotest Array Ben_or Consensus Dsim Format Int Int64 List Netsim QCheck QCheck_alcotest Sharedmem

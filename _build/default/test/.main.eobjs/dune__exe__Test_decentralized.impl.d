@@ -1,0 +1,1 @@
+test/test_decentralized.ml: Alcotest Array Consensus Dsim Int64 List Netsim Printf QCheck QCheck_alcotest Raft

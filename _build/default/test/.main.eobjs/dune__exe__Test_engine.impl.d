@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Buffer Dsim Fmt Format Fun List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Dsim List Sharedmem String

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Dsim List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_phase_king.ml: Alcotest Array Dsim Fun Int64 List Netsim Option Phase_king Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_queen.ml: Alcotest Array Dsim Fun Int64 List Netsim Option Phase_king Printf QCheck QCheck_alcotest

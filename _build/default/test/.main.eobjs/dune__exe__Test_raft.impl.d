@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Array Int64 List Netsim Option Printf Raft

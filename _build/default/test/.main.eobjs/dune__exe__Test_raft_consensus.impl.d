@@ -1,0 +1,1 @@
+test/test_raft_consensus.ml: Alcotest Array Consensus Dsim Int64 List Option Printf QCheck QCheck_alcotest Raft

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Dsim List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sharedmem.ml: Alcotest Array Bool Consensus Dsim Int64 List Printf QCheck QCheck_alcotest Sharedmem

@@ -1,0 +1,1 @@
+test/test_sync_net.ml: Alcotest Array Dsim List Netsim Printf

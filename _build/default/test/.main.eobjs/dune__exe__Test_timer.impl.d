@@ -1,0 +1,1 @@
+test/test_timer.ml: Alcotest Dsim Lazy List

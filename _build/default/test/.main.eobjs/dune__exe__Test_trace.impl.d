@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Astring_like Dsim Format List

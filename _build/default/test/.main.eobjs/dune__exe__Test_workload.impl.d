@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Astring_like Buffer Format List String Workload

@@ -1,0 +1,130 @@
+(* Tests for Ben-Or rebuilt through the AC template (the conciliator
+   validity-machinery control). *)
+
+module AV = Ben_or.Ac_variant
+module M = Consensus.Monitor.Make (Consensus.Objects.Bool_value)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+type result = {
+  decisions : (int * bool * int) list;
+  violations : Consensus.Monitor.violation list;
+  quiescent : bool;
+  messages : int;
+}
+
+let run ?(n = 8) ?(seed = 1) ?(crashes = []) ?coin_agreement inputs =
+  let eng = Dsim.Engine.create ~seed:(Int64.of_int seed) ~trace_capacity:1_000 () in
+  let net = Netsim.Async_net.create eng ~n ~retain_inbox:false () in
+  let t = (n - 1) / 2 in
+  let coin =
+    Option.map
+      (fun agreement ->
+        Ben_or.Common_coin.create ~rng:(Dsim.Rng.split (Dsim.Engine.rng eng)) ~agreement)
+      coin_agreement
+  in
+  let monitor = M.create () in
+  let decisions = ref [] in
+  let pids =
+    Array.init n (fun i ->
+        M.record_initial monitor ~pid:i inputs.(i);
+        Dsim.Engine.spawn eng (fun ectx ->
+            let ctx =
+              AV.make_ctx ?coin ~net ~me:i ~faults:t ~rng:ectx.Dsim.Engine.rng ()
+            in
+            let observer = M.observer monitor ~pid:i in
+            let v, m =
+              AV.Consensus_ac.consensus ~max_rounds:3000 ~observer ctx inputs.(i)
+            in
+            decisions := (i, v, m) :: !decisions))
+  in
+  List.iter
+    (fun (delay, victim) ->
+      Dsim.Engine.schedule eng ~delay (fun () ->
+          Netsim.Async_net.crash net victim;
+          Dsim.Engine.kill eng pids.(victim)))
+    crashes;
+  let outcome = Dsim.Engine.run eng in
+  {
+    decisions = List.rev !decisions;
+    violations = M.check_ac monitor @ M.check_consensus monitor;
+    quiescent = (outcome = Dsim.Engine.Quiescent);
+    messages = Netsim.Async_net.messages_sent net;
+  }
+
+let agree r =
+  match r.decisions with
+  | [] -> false
+  | (_, v0, _) :: rest -> List.for_all (fun (_, v, _) -> Bool.equal v v0) rest
+
+let unanimous_commits_round_one () =
+  let r = run (Array.make 8 true) in
+  check Alcotest.bool "quiescent" true r.quiescent;
+  check Alcotest.int "all decided" 8 (List.length r.decisions);
+  List.iter
+    (fun (_, v, m) ->
+      check Alcotest.bool "decides true" true v;
+      check Alcotest.int "round 1" 1 m)
+    r.decisions;
+  check Alcotest.int "clean" 0 (List.length r.violations)
+
+let split_inputs_agree () =
+  for seed = 1 to 10 do
+    let r = run ~seed (Array.init 8 (fun i -> i mod 2 = 0)) in
+    check Alcotest.bool (Printf.sprintf "seed %d agrees" seed) true (agree r);
+    check Alcotest.int "clean" 0 (List.length r.violations)
+  done
+
+let crash_tolerance () =
+  for seed = 1 to 10 do
+    let r =
+      run ~seed ~crashes:[ (7, 0); (19, 2); (31, 4) ]
+        (Array.init 8 (fun i -> i mod 2 = 0))
+    in
+    check Alcotest.bool (Printf.sprintf "seed %d quiescent" seed) true r.quiescent;
+    check Alcotest.bool "survivors agree" true (agree r);
+    check Alcotest.bool "at least survivors decided" true (List.length r.decisions >= 5);
+    check Alcotest.int "clean" 0 (List.length r.violations)
+  done
+
+let three_broadcasts_per_round () =
+  check Alcotest.int "machinery constant" 3 AV.broadcasts_per_round;
+  (* Unanimous single-round run: n proposes + n flags + n suggests
+     (parting gift) + n x round-2 gifts (3 broadcasts each). *)
+  let r = run (Array.make 4 true) ~n:4 in
+  check Alcotest.int "message accounting" (4 * 4 * 6) r.messages
+
+let common_coin_compatible () =
+  for seed = 1 to 5 do
+    let r = run ~seed ~coin_agreement:1.0 (Array.init 8 (fun i -> i mod 2 = 0)) in
+    check Alcotest.bool "agrees" true (agree r);
+    check Alcotest.int "clean" 0 (List.length r.violations)
+  done
+
+let rejects_bad_config () =
+  let eng = Dsim.Engine.create () in
+  let net = Netsim.Async_net.create eng ~n:4 () in
+  Alcotest.check_raises "2t >= n" (Invalid_argument "Ac_variant.make_ctx: requires 2t < n")
+    (fun () ->
+      ignore
+        (AV.make_ctx ~net ~me:0 ~faults:2 ~rng:(Dsim.Rng.create 1L) () : AV.ctx))
+
+let prop_safety =
+  QCheck.Test.make ~name:"AC-template Ben-Or safety over seeds/sizes" ~count:40
+    QCheck.(pair (int_range 1 1_000_000) (int_range 2 9))
+    (fun (seed, n) ->
+      let inputs = Array.init n (fun i -> (seed + i) mod 2 = 0) in
+      let r = run ~n ~seed inputs in
+      r.quiescent && agree r && r.violations = [] && List.length r.decisions = n)
+
+let suite =
+  [
+    Alcotest.test_case "unanimous commits round 1" `Quick unanimous_commits_round_one;
+    Alcotest.test_case "split inputs agree" `Quick split_inputs_agree;
+    Alcotest.test_case "crash tolerance" `Quick crash_tolerance;
+    Alcotest.test_case "three broadcasts per round" `Quick three_broadcasts_per_round;
+    Alcotest.test_case "common coin compatible" `Quick common_coin_compatible;
+    Alcotest.test_case "rejects bad config" `Quick rejects_bad_config;
+    qtest prop_safety;
+  ]

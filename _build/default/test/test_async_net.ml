@@ -1,0 +1,180 @@
+(* Tests for the asynchronous network model. *)
+
+module Engine = Dsim.Engine
+module Net = Netsim.Async_net
+
+let check = Alcotest.check
+
+let make ?latency ?policy ?retain_inbox ?(n = 4) () =
+  let e = Engine.create ~seed:5L () in
+  let net = Net.create e ~n ?latency ?policy ?retain_inbox () in
+  (e, net)
+
+let payloads net id = List.map (fun env -> env.Net.payload) (Net.inbox net id)
+
+let basic_delivery () =
+  let e, net = make ~latency:(Netsim.Latency.Fixed 3) () in
+  Net.send net ~src:0 ~dst:1 "hello";
+  ignore (Engine.run e : Engine.outcome);
+  check (Alcotest.list Alcotest.string) "delivered" [ "hello" ] (payloads net 1);
+  check Alcotest.int "delivery time respects latency" 3 (Engine.now e);
+  check Alcotest.int "sent" 1 (Net.messages_sent net);
+  check Alcotest.int "delivered count" 1 (Net.messages_delivered net)
+
+let broadcast_includes_self () =
+  let e, net = make () in
+  Net.broadcast net ~src:2 "x";
+  ignore (Engine.run e : Engine.outcome);
+  for i = 0 to 3 do
+    check Alcotest.int (Printf.sprintf "node %d got it" i) 1
+      (List.length (payloads net i))
+  done
+
+let latency_bounds () =
+  let e, net = make ~latency:(Netsim.Latency.Uniform (5, 9)) () in
+  for _ = 1 to 50 do
+    Net.send net ~src:0 ~dst:1 ()
+  done;
+  ignore (Engine.run e : Engine.outcome);
+  List.iter
+    (fun env ->
+      let d = Engine.now e in
+      ignore d;
+      ignore env)
+    (Net.inbox net 1);
+  check Alcotest.int "all arrived" 50 (List.length (Net.inbox net 1))
+
+let crash_stops_delivery () =
+  let e, net = make ~latency:(Netsim.Latency.Fixed 10) () in
+  Net.send net ~src:0 ~dst:1 "pre-crash";
+  Engine.schedule e ~delay:5 (fun () -> Net.crash net 1);
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.bool "crashed flag" true (Net.is_crashed net 1);
+  check Alcotest.int "crashed count" 1 (Net.crashed_count net);
+  (* The message was in flight but delivery happens after the crash. *)
+  check (Alcotest.list Alcotest.string) "nothing delivered" [] (payloads net 1)
+
+let crashed_node_cannot_send () =
+  let e, net = make () in
+  Net.crash net 0;
+  Net.send net ~src:0 ~dst:1 "ghost";
+  ignore (Engine.run e : Engine.outcome);
+  check (Alcotest.list Alcotest.string) "no ghost delivery" [] (payloads net 1)
+
+let restart_resumes_delivery () =
+  let e, net = make ~latency:(Netsim.Latency.Fixed 1) () in
+  Net.crash net 1;
+  Net.send net ~src:0 ~dst:1 "lost";
+  Engine.schedule e ~delay:10 (fun () ->
+      Net.restart net 1;
+      Net.send net ~src:0 ~dst:1 "found");
+  ignore (Engine.run e : Engine.outcome);
+  check (Alcotest.list Alcotest.string) "only post-restart message" [ "found" ]
+    (payloads net 1)
+
+let partition_drops_cross_cut () =
+  let e, net = make ~latency:(Netsim.Latency.Fixed 1) () in
+  Net.set_partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Net.send net ~src:0 ~dst:1 "same-side";
+  Net.send net ~src:0 ~dst:2 "cross";
+  ignore (Engine.run e : Engine.outcome);
+  check (Alcotest.list Alcotest.string) "same side arrives" [ "same-side" ]
+    (payloads net 1);
+  check (Alcotest.list Alcotest.string) "cross cut dropped" [] (payloads net 2);
+  Net.heal net;
+  Net.send net ~src:0 ~dst:2 "healed";
+  ignore (Engine.run e : Engine.outcome);
+  check (Alcotest.list Alcotest.string) "after heal" [ "healed" ] (payloads net 2)
+
+let isolated_node_in_partition () =
+  let e, net = make ~latency:(Netsim.Latency.Fixed 1) () in
+  (* Node 3 appears in no group: fully isolated. *)
+  Net.set_partition net [ [ 0; 1; 2 ] ];
+  Net.send net ~src:0 ~dst:3 "to-isolated";
+  Net.send net ~src:3 ~dst:0 "from-isolated";
+  ignore (Engine.run e : Engine.outcome);
+  check (Alcotest.list Alcotest.string) "isolated receives nothing" []
+    (payloads net 3);
+  check (Alcotest.list Alcotest.string) "isolated sends nothing" [] (payloads net 0)
+
+let policy_drop_and_duplicate () =
+  let policy env =
+    match env.Net.payload with
+    | "drop-me" -> Net.Drop
+    | "dup-me" -> Net.Duplicate 2
+    | _ -> Net.Deliver
+  in
+  let e, net = make ~latency:(Netsim.Latency.Fixed 1) ~policy () in
+  Net.send net ~src:0 ~dst:1 "drop-me";
+  Net.send net ~src:0 ~dst:1 "dup-me";
+  Net.send net ~src:0 ~dst:1 "normal";
+  ignore (Engine.run e : Engine.outcome);
+  let got = payloads net 1 in
+  check Alcotest.int "3 copies of dup + 1 normal" 4 (List.length got);
+  check Alcotest.bool "no dropped message" false (List.mem "drop-me" got)
+
+let policy_delay_extra () =
+  let policy _ = Net.Delay_extra 100 in
+  let e, net = make ~latency:(Netsim.Latency.Fixed 1) ~policy () in
+  Net.send net ~src:0 ~dst:1 "slow";
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.int "delayed beyond base latency" 101 (Engine.now e)
+
+let distinct_senders_under_duplication () =
+  let policy _ = Net.Duplicate 3 in
+  let e, net = make ~latency:(Netsim.Latency.Fixed 1) ~policy () in
+  Net.send net ~src:0 ~dst:1 "m";
+  Net.send net ~src:2 ~dst:1 "m";
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.int "inbox counts copies" 8 (Net.inbox_count net 1 (fun _ -> true));
+  check Alcotest.int "distinct senders ignores copies" 2
+    (Net.distinct_senders net 1 (fun _ -> true))
+
+let push_handler_runs_at_delivery () =
+  let e, net = make ~latency:(Netsim.Latency.Fixed 2) ~retain_inbox:false () in
+  let seen = ref [] in
+  Net.set_handler net 1 (fun env -> seen := (Engine.now e, env.Net.payload) :: !seen);
+  Net.send net ~src:0 ~dst:1 "pushed";
+  ignore (Engine.run e : Engine.outcome);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "handler saw the delivery" [ (2, "pushed") ] !seen;
+  check (Alcotest.list Alcotest.string) "inbox not retained" []
+    (List.map (fun env -> env.Net.payload) (Net.inbox net 1))
+
+let bad_ids_rejected () =
+  let _, net = make () in
+  Alcotest.check_raises "send bad src" (Invalid_argument "Async_net.send: bad node id 9")
+    (fun () -> Net.send net ~src:9 ~dst:0 "x");
+  Alcotest.check_raises "crash bad id" (Invalid_argument "Async_net.crash: bad node id -1")
+    (fun () -> Net.crash net (-1))
+
+let envelope_metadata () =
+  let e, net = make ~latency:(Netsim.Latency.Fixed 1) () in
+  Engine.schedule e ~delay:7 (fun () -> Net.send net ~src:2 ~dst:0 "meta");
+  ignore (Engine.run e : Engine.outcome);
+  match Net.inbox net 0 with
+  | [ env ] ->
+      check Alcotest.int "src" 2 env.Net.src;
+      check Alcotest.int "dst" 0 env.Net.dst;
+      check Alcotest.int "sent_at" 7 env.Net.sent_at
+  | other -> Alcotest.failf "expected 1 envelope, got %d" (List.length other)
+
+let suite =
+  [
+    Alcotest.test_case "basic delivery" `Quick basic_delivery;
+    Alcotest.test_case "broadcast includes self" `Quick broadcast_includes_self;
+    Alcotest.test_case "latency bounds" `Quick latency_bounds;
+    Alcotest.test_case "crash stops delivery" `Quick crash_stops_delivery;
+    Alcotest.test_case "crashed node cannot send" `Quick crashed_node_cannot_send;
+    Alcotest.test_case "restart resumes delivery" `Quick restart_resumes_delivery;
+    Alcotest.test_case "partition drops cross-cut" `Quick partition_drops_cross_cut;
+    Alcotest.test_case "isolated node" `Quick isolated_node_in_partition;
+    Alcotest.test_case "policy drop and duplicate" `Quick policy_drop_and_duplicate;
+    Alcotest.test_case "policy delay extra" `Quick policy_delay_extra;
+    Alcotest.test_case "distinct senders under duplication" `Quick
+      distinct_senders_under_duplication;
+    Alcotest.test_case "push handler" `Quick push_handler_runs_at_delivery;
+    Alcotest.test_case "bad ids rejected" `Quick bad_ids_rejected;
+    Alcotest.test_case "envelope metadata" `Quick envelope_metadata;
+  ]

@@ -1,0 +1,159 @@
+(* Tests for Ben-Or: unit behaviour, whole-system properties under crash
+   faults and adversarial delivery, and the decomposed/monolithic
+   equivalence. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let run ?(n = 8) ?(seed = 1) ?(crashes = []) ?(mode = Ben_or.Runner.Decomposed)
+    ?(policy = fun _ -> Netsim.Async_net.Deliver) ?max_rounds inputs =
+  let cfg = Ben_or.Runner.default_config ~n ~inputs in
+  let cfg =
+    {
+      cfg with
+      seed = Int64.of_int seed;
+      crash_schedule = crashes;
+      mode;
+      policy;
+      max_rounds = Option.value ~default:cfg.Ben_or.Runner.max_rounds max_rounds;
+    }
+  in
+  Ben_or.Runner.run cfg
+
+let is_quiescent r =
+  match r.Ben_or.Runner.engine_outcome with
+  | Dsim.Engine.Quiescent -> true
+  | Dsim.Engine.Deadlock _ | Dsim.Engine.Time_limit | Dsim.Engine.Event_limit -> false
+
+let healthy ~live r =
+  r.Ben_or.Runner.violations = []
+  && r.Ben_or.Runner.process_failures = []
+  && is_quiescent r
+  && Ben_or.Runner.all_decided_same r ~expected_live:live
+
+let unanimous_commits_round_one () =
+  let r = run (Array.make 8 true) in
+  check Alcotest.bool "healthy" true (healthy ~live:8 r);
+  check Alcotest.int "single round" 1 r.Ben_or.Runner.max_decision_round;
+  List.iter
+    (fun (_, v, _) -> check Alcotest.bool "decides the unanimous input" true v)
+    r.Ben_or.Runner.decisions
+
+let unanimous_false_decides_false () =
+  let r = run (Array.make 5 false) ~n:5 in
+  List.iter
+    (fun (_, v, _) -> check Alcotest.bool "validity" false v)
+    r.Ben_or.Runner.decisions
+
+let split_inputs_still_agree () =
+  let r = run (Array.init 8 (fun i -> i mod 2 = 0)) ~seed:5 in
+  check Alcotest.bool "healthy" true (healthy ~live:8 r)
+
+let survives_max_crashes () =
+  let n = 9 in
+  let t = 4 in
+  let crashes = List.init t (fun k -> (5 + (11 * k), 2 * k)) in
+  let r = run ~n ~crashes (Array.init n (fun i -> i mod 2 = 0)) in
+  check Alcotest.int "all t crashed" t (List.length r.Ben_or.Runner.crashed);
+  check Alcotest.bool "healthy with t crashes" true (healthy ~live:(n - t) r)
+
+let deciders_do_not_deadlock_survivors () =
+  (* The parting-gift regression test: crash t processors AND let early
+     deciders halt; survivors must still finish. *)
+  let n = 4 in
+  let crashes = [ (3, 0) ] in
+  let failures = ref 0 in
+  for seed = 1 to 30 do
+    let r = run ~n ~seed ~crashes (Array.init n (fun i -> i mod 2 = 0)) in
+    if not (healthy ~live:3 r) then incr failures
+  done;
+  check Alcotest.int "no deadlocked runs" 0 !failures
+
+let message_duplication_is_harmless () =
+  let policy _ = Netsim.Async_net.Duplicate 2 in
+  let r = run ~policy ~seed:3 (Array.init 8 (fun i -> i mod 2 = 0)) in
+  check Alcotest.bool "healthy under duplication" true (healthy ~live:8 r)
+
+let extreme_delay_variance () =
+  let n = 6 in
+  let cfg =
+    {
+      (Ben_or.Runner.default_config ~n ~inputs:(Array.init n (fun i -> i mod 2 = 0)))
+      with
+      latency = Netsim.Latency.Exponential { mean = 50.0; cap = 5_000 };
+      seed = 11L;
+    }
+  in
+  let r = Ben_or.Runner.run cfg in
+  check Alcotest.bool "healthy under heavy-tailed latency" true (healthy ~live:n r)
+
+let decomposed_equals_monolithic () =
+  for seed = 1 to 15 do
+    let inputs = Array.init 8 (fun i -> i mod 2 = 0) in
+    let rd = run ~seed ~mode:Ben_or.Runner.Decomposed inputs in
+    let rm = run ~seed ~mode:Ben_or.Runner.Monolithic inputs in
+    check Alcotest.bool
+      (Printf.sprintf "seed %d identical decisions" seed)
+      true
+      (rd.Ben_or.Runner.decisions = rm.Ben_or.Runner.decisions);
+    check Alcotest.int
+      (Printf.sprintf "seed %d identical message counts" seed)
+      rd.Ben_or.Runner.messages_sent rm.Ben_or.Runner.messages_sent
+  done
+
+let deterministic_replay () =
+  let inputs = Array.init 8 (fun i -> i mod 2 = 0) in
+  let r1 = run ~seed:7 inputs and r2 = run ~seed:7 inputs in
+  check Alcotest.bool "identical decisions" true
+    (r1.Ben_or.Runner.decisions = r2.Ben_or.Runner.decisions);
+  check Alcotest.int "identical virtual time" r1.Ben_or.Runner.virtual_time
+    r2.Ben_or.Runner.virtual_time
+
+let rejects_bad_configs () =
+  Alcotest.check_raises "t too large" (Invalid_argument "Ben_or.Runner.run: requires 2t < n")
+    (fun () ->
+      let cfg = Ben_or.Runner.default_config ~n:4 ~inputs:(Array.make 4 true) in
+      ignore (Ben_or.Runner.run { cfg with faults = 2 } : Ben_or.Runner.report));
+  Alcotest.check_raises "inputs length"
+    (Invalid_argument "Ben_or.Runner.run: inputs length must equal n") (fun () ->
+      ignore
+        (Ben_or.Runner.run (Ben_or.Runner.default_config ~n:4 ~inputs:(Array.make 3 true))
+        : Ben_or.Runner.report))
+
+let prop_safety_under_random_faults =
+  QCheck.Test.make ~name:"Ben-Or safety: random seeds, sizes, crash patterns"
+    ~count:60
+    QCheck.(triple (int_range 1 1_000_000) (int_range 2 10) (int_range 0 100))
+    (fun (seed, n, crash_salt) ->
+      let t = (n - 1) / 2 in
+      let crash_count = crash_salt mod (t + 1) in
+      let crashes = List.init crash_count (fun k -> (5 + (7 * k), (crash_salt + k) mod n)) in
+      let inputs = Array.init n (fun i -> (seed + i) mod 2 = 0) in
+      let r = run ~n ~seed ~crashes ~max_rounds:3000 inputs in
+      let live = n - List.length r.Ben_or.Runner.crashed in
+      healthy ~live r)
+
+let prop_vac_guarantees_every_round =
+  QCheck.Test.make ~name:"Ben-Or VAC object guarantees across schedules" ~count:60
+    QCheck.(pair (int_range 1 1_000_000) (int_range 3 9))
+    (fun (seed, n) ->
+      let inputs = Array.init n (fun i -> i mod 2 = 0) in
+      let r = run ~n ~seed ~max_rounds:3000 inputs in
+      r.Ben_or.Runner.violations = [])
+
+let suite =
+  [
+    Alcotest.test_case "unanimous commits in round 1" `Quick unanimous_commits_round_one;
+    Alcotest.test_case "unanimous false decides false" `Quick unanimous_false_decides_false;
+    Alcotest.test_case "split inputs agree" `Quick split_inputs_still_agree;
+    Alcotest.test_case "survives t crashes" `Quick survives_max_crashes;
+    Alcotest.test_case "deciders don't deadlock survivors" `Quick
+      deciders_do_not_deadlock_survivors;
+    Alcotest.test_case "duplication harmless" `Quick message_duplication_is_harmless;
+    Alcotest.test_case "heavy-tailed latency" `Quick extreme_delay_variance;
+    Alcotest.test_case "decomposed = monolithic" `Quick decomposed_equals_monolithic;
+    Alcotest.test_case "deterministic replay" `Quick deterministic_replay;
+    Alcotest.test_case "rejects bad configs" `Quick rejects_bad_configs;
+    qtest prop_safety_under_random_faults;
+    qtest prop_vac_guarantees_every_round;
+  ]

@@ -1,0 +1,96 @@
+(* Tests for the weak common coin and its effect as a reconciliator. *)
+
+let check = Alcotest.check
+
+let perfect_coin_agrees () =
+  let rng = Dsim.Rng.create 5L in
+  let coin = Ben_or.Common_coin.create ~rng ~agreement:1.0 in
+  for round = 1 to 20 do
+    let a = Ben_or.Common_coin.flip coin ~local_rng:(Dsim.Rng.create 1L) ~round in
+    let b = Ben_or.Common_coin.flip coin ~local_rng:(Dsim.Rng.create 2L) ~round in
+    let c = Ben_or.Common_coin.flip coin ~local_rng:(Dsim.Rng.create 3L) ~round in
+    check Alcotest.bool (Printf.sprintf "round %d all equal" round) true
+      (a = b && b = c)
+  done;
+  check Alcotest.int "every round common" 20 (Ben_or.Common_coin.common_rounds coin)
+
+let zero_agreement_is_local () =
+  let rng = Dsim.Rng.create 5L in
+  let coin = Ben_or.Common_coin.create ~rng ~agreement:0.0 in
+  for round = 1 to 20 do
+    ignore (Ben_or.Common_coin.flip coin ~local_rng:(Dsim.Rng.create 9L) ~round : bool)
+  done;
+  check Alcotest.int "no common rounds" 0 (Ben_or.Common_coin.common_rounds coin)
+
+let round_nature_is_stable () =
+  (* Asking twice for the same round must not re-roll. *)
+  let rng = Dsim.Rng.create 7L in
+  let coin = Ben_or.Common_coin.create ~rng ~agreement:1.0 in
+  let local = Dsim.Rng.create 1L in
+  let a = Ben_or.Common_coin.flip coin ~local_rng:local ~round:3 in
+  let b = Ben_or.Common_coin.flip coin ~local_rng:local ~round:3 in
+  check Alcotest.bool "stable" true (a = b)
+
+let agreement_clamped () =
+  let rng = Dsim.Rng.create 1L in
+  check (Alcotest.float 1e-9) "above 1" 1.0
+    (Ben_or.Common_coin.agreement (Ben_or.Common_coin.create ~rng ~agreement:7.0));
+  check (Alcotest.float 1e-9) "below 0" 0.0
+    (Ben_or.Common_coin.agreement (Ben_or.Common_coin.create ~rng ~agreement:(-1.0)))
+
+let common_coin_collapses_rounds () =
+  (* The E2b shape, as a test: with even-split inputs at n = 16, a perfect
+     common coin decides in a handful of rounds where local coins routinely
+     need dozens. *)
+  let run coin seed =
+    let n = 16 in
+    let cfg =
+      {
+        (Ben_or.Runner.default_config ~n ~inputs:(Array.init n (fun i -> i mod 2 = 0)))
+        with
+        seed = Int64.of_int seed;
+        common_coin = coin;
+        max_rounds = 3000;
+      }
+    in
+    let r = Ben_or.Runner.run cfg in
+    check Alcotest.bool "healthy" true
+      (r.Ben_or.Runner.violations = [] && r.Ben_or.Runner.process_failures = []);
+    r.Ben_or.Runner.max_decision_round
+  in
+  let local = List.init 10 (fun s -> run None (s + 1)) in
+  let common = List.init 10 (fun s -> run (Some 1.0) (s + 1)) in
+  let sum = List.fold_left ( + ) 0 in
+  check Alcotest.bool "common coin at most 4 rounds" true
+    (List.for_all (fun r -> r <= 4) common);
+  check Alcotest.bool "common strictly faster on average" true
+    (sum common * 2 < sum local)
+
+let safety_unchanged_with_coin () =
+  for seed = 1 to 10 do
+    let n = 8 in
+    let cfg =
+      {
+        (Ben_or.Runner.default_config ~n ~inputs:(Array.init n (fun i -> i mod 2 = 0)))
+        with
+        seed = Int64.of_int seed;
+        common_coin = Some 0.5;
+        crash_schedule = [ (10, 0); (20, 2) ];
+      }
+    in
+    let r = Ben_or.Runner.run cfg in
+    check Alcotest.bool (Printf.sprintf "seed %d healthy" seed) true
+      (r.Ben_or.Runner.violations = []
+      && Ben_or.Runner.all_decided_same r
+           ~expected_live:(n - List.length r.Ben_or.Runner.crashed))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "perfect coin agrees" `Quick perfect_coin_agrees;
+    Alcotest.test_case "zero agreement is local" `Quick zero_agreement_is_local;
+    Alcotest.test_case "round nature stable" `Quick round_nature_is_stable;
+    Alcotest.test_case "agreement clamped" `Quick agreement_clamped;
+    Alcotest.test_case "common coin collapses rounds" `Slow common_coin_collapses_rounds;
+    Alcotest.test_case "safety unchanged with coin" `Quick safety_unchanged_with_coin;
+  ]

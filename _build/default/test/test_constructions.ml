@@ -1,0 +1,187 @@
+(* Tests for the Section-5 VAC-from-two-AC construction, with scripted AC
+   objects pinning the exact output mapping, and with the real shared-
+   memory ACs checking the composed guarantees. *)
+
+open Consensus.Types
+
+let check = Alcotest.check
+
+type script = {
+  mutable a_outputs : int ac_result list;
+  mutable b_outputs : int ac_result list;
+  mutable b_inputs : int list;
+}
+
+module Scripted_a = struct
+  type ctx = script
+
+  module Value = Consensus.Objects.Int_value
+
+  let invoke s ~round:_ _v =
+    match s.a_outputs with
+    | [] -> Alcotest.fail "AC_a script exhausted"
+    | out :: rest ->
+        s.a_outputs <- rest;
+        out
+end
+
+module Scripted_b = struct
+  type ctx = script
+
+  module Value = Consensus.Objects.Int_value
+
+  let invoke s ~round:_ v =
+    s.b_inputs <- v :: s.b_inputs;
+    match s.b_outputs with
+    | [] -> Alcotest.fail "AC_b script exhausted"
+    | out :: rest ->
+        s.b_outputs <- rest;
+        out
+end
+
+module Vac = Consensus.Constructions.Vac_of_two_ac (Scripted_a) (Scripted_b)
+
+let vac_testable =
+  Alcotest.testable (pp_vac Format.pp_print_int) (equal_vac Int.equal)
+
+let mapping_table () =
+  let case a b expected =
+    let s = { a_outputs = [ a ]; b_outputs = [ b ]; b_inputs = [] } in
+    check vac_testable
+      (Format.asprintf "%a , %a" (pp_ac Format.pp_print_int) a
+         (pp_ac Format.pp_print_int) b)
+      expected
+      (Vac.invoke s ~round:1 0)
+  in
+  case (AC_commit 1) (AC_commit 1) (Commit 1);
+  case (AC_adopt 1) (AC_commit 1) (Adopt 1);
+  case (AC_commit 1) (AC_adopt 1) (Adopt 1);
+  case (AC_adopt 1) (AC_adopt 1) (Vacillate 1)
+
+let second_ac_receives_first_ac_value () =
+  let s = { a_outputs = [ AC_adopt 42 ]; b_outputs = [ AC_adopt 42 ]; b_inputs = [] } in
+  ignore (Vac.invoke s ~round:1 7 : int vac_result);
+  check (Alcotest.list Alcotest.int) "B fed A's output" [ 42 ] s.b_inputs
+
+let output_value_comes_from_second_ac () =
+  (* Even if the ACs disagree on values (possible across processors), the
+     published value is always AC_b's. *)
+  let s = { a_outputs = [ AC_commit 1 ]; b_outputs = [ AC_adopt 2 ]; b_inputs = [] } in
+  check vac_testable "value from B" (Adopt 2) (Vac.invoke s ~round:1 0)
+
+(* --- end-to-end with the real register-based ACs ----------------------- *)
+
+module Sm = Sharedmem.Protocol.Make (Consensus.Objects.Int_value)
+module M = Consensus.Monitor.Make (Consensus.Objects.Int_value)
+
+let run_composed ~n ~seed ~inputs =
+  let eng = Dsim.Engine.create ~seed:(Int64.of_int seed) () in
+  let world = Sharedmem.World.create eng () in
+  let shared = Sm.create_shared ~n world in
+  let monitor = M.create () in
+  Array.iteri
+    (fun i input ->
+      M.record_initial monitor ~pid:i input;
+      ignore
+        (Dsim.Engine.spawn eng (fun ectx ->
+             let ctx = { Sm.shared; proc = { Sharedmem.World.world; me = i; ectx } } in
+             M.record_output monitor ~round:1 ~pid:i (Sm.Vac.invoke ctx ~round:1 input))
+        : Dsim.Engine.pid))
+    inputs;
+  ignore (Dsim.Engine.run eng : Dsim.Engine.outcome);
+  monitor
+
+let composed_convergence () =
+  let monitor = run_composed ~n:5 ~seed:3 ~inputs:(Array.make 5 4) in
+  check Alcotest.int "no violations" 0 (List.length (M.check_vac monitor));
+  List.iter
+    (fun (_, out) -> check vac_testable "unanimous input commits" (Commit 4) out)
+    (M.outputs monitor ~round:1)
+
+let composed_guarantees_hold =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"two-AC VAC guarantees over random schedules/inputs"
+       ~count:150
+       QCheck.(pair (int_range 1 100_000) (int_range 2 7))
+       (fun (seed, n) ->
+         let inputs = Array.init n (fun i -> (seed + i) mod 3) in
+         let monitor = run_composed ~n ~seed ~inputs in
+         M.check_vac monitor = []))
+
+(* --- the converse: AC from one VAC -------------------------------------- *)
+
+type vac_script = { mutable vac_outputs : int vac_result list }
+
+module Scripted_vac = struct
+  type ctx = vac_script
+
+  module Value = Consensus.Objects.Int_value
+
+  let invoke s ~round:_ _v =
+    match s.vac_outputs with
+    | [] -> Alcotest.fail "VAC script exhausted"
+    | out :: rest ->
+        s.vac_outputs <- rest;
+        out
+end
+
+module Demoted = Consensus.Constructions.Ac_of_vac (Scripted_vac)
+
+let ac_testable =
+  Alcotest.testable (pp_ac Format.pp_print_int) (equal_ac Int.equal)
+
+let demotion_table () =
+  let case vac expected =
+    let s = { vac_outputs = [ vac ] } in
+    check ac_testable
+      (Format.asprintf "%a" (pp_vac Format.pp_print_int) vac)
+      expected
+      (Demoted.invoke s ~round:1 0)
+  in
+  case (Commit 3) (AC_commit 3);
+  case (Adopt 3) (AC_adopt 3);
+  case (Vacillate 3) (AC_adopt 3)
+
+let demoted_ben_or_vac_is_correct_ac =
+  (* Run Ben-Or's real VAC demoted to an AC and check the AC guarantees
+     round 1 over random seeds. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"Ben-Or VAC demoted to AC keeps AC guarantees" ~count:40
+       QCheck.(pair (int_range 1 1_000_000) (int_range 3 9))
+       (fun (seed, n) ->
+         let module Demoted_benor =
+           Consensus.Constructions.Ac_of_vac (Ben_or.Protocol.Vac) in
+         let module BM = Consensus.Monitor.Make (Consensus.Objects.Bool_value) in
+         let eng =
+           Dsim.Engine.create ~seed:(Int64.of_int seed) ~trace_capacity:100 ()
+         in
+         let net = Netsim.Async_net.create eng ~n ~retain_inbox:false () in
+         let t = (n - 1) / 2 in
+         let monitor = BM.create () in
+         for i = 0 to n - 1 do
+           let input = (seed + i) mod 2 = 0 in
+           BM.record_initial monitor ~pid:i input;
+           ignore
+             (Dsim.Engine.spawn eng (fun ectx ->
+                  let ctx =
+                    Ben_or.Protocol.make_ctx ~net ~me:i ~faults:t
+                      ~rng:ectx.Dsim.Engine.rng ()
+                  in
+                  let out = Demoted_benor.invoke ctx ~round:1 input in
+                  BM.record_output monitor ~round:1 ~pid:i
+                    (Consensus.Types.vac_of_ac out))
+             : Dsim.Engine.pid)
+         done;
+         ignore (Dsim.Engine.run eng : Dsim.Engine.outcome);
+         BM.check_ac monitor = []))
+
+let suite =
+  [
+    Alcotest.test_case "mapping table" `Quick mapping_table;
+    Alcotest.test_case "demotion table" `Quick demotion_table;
+    demoted_ben_or_vac_is_correct_ac;
+    Alcotest.test_case "B receives A's value" `Quick second_ac_receives_first_ac_value;
+    Alcotest.test_case "output value from B" `Quick output_value_comes_from_second_ac;
+    Alcotest.test_case "composed convergence" `Quick composed_convergence;
+    composed_guarantees_hold;
+  ]

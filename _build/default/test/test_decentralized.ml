@@ -1,0 +1,110 @@
+(* Tests for the decentralized (leaderless) Raft variant of Section 4.3. *)
+
+module Dec = Raft.Decentralized
+module M = Consensus.Monitor.Make (Consensus.Objects.Int_value)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+type run_result = {
+  decisions : (int * int * int) list;
+  violations : Consensus.Monitor.violation list;
+  quiescent : bool;
+}
+
+let run ?(n = 7) ?(seed = 1) ?(crashes = []) inputs =
+  let eng = Dsim.Engine.create ~seed:(Int64.of_int seed) ~trace_capacity:1_000 () in
+  let net = Netsim.Async_net.create eng ~n ~retain_inbox:false () in
+  let t = (n - 1) / 2 in
+  let monitor = M.create () in
+  let decisions = ref [] in
+  let pids =
+    Array.init n (fun i ->
+        M.record_initial monitor ~pid:i inputs.(i);
+        Dsim.Engine.spawn eng (fun _ectx ->
+            let ctx = Dec.make_ctx ~net ~me:i ~faults:t ~input:inputs.(i) in
+            let observer = M.observer monitor ~pid:i in
+            let v, m =
+              Dec.Consensus_decentralized.consensus ~max_rounds:500 ~observer ctx
+                inputs.(i)
+            in
+            decisions := (i, v, m) :: !decisions))
+  in
+  List.iter
+    (fun (delay, victim) ->
+      Dsim.Engine.schedule eng ~delay (fun () ->
+          Netsim.Async_net.crash net victim;
+          Dsim.Engine.kill eng pids.(victim)))
+    crashes;
+  let outcome = Dsim.Engine.run eng in
+  {
+    decisions = List.rev !decisions;
+    violations = M.check_vac monitor @ M.check_consensus monitor;
+    quiescent = (outcome = Dsim.Engine.Quiescent);
+  }
+
+let agree r =
+  match r.decisions with
+  | [] -> false
+  | (_, v0, _) :: rest -> List.for_all (fun (_, v, _) -> v = v0) rest
+
+let unanimous_decides_input () =
+  let r = run (Array.make 7 55) in
+  check Alcotest.bool "quiescent" true r.quiescent;
+  check Alcotest.int "all decided" 7 (List.length r.decisions);
+  List.iter
+    (fun (_, v, m) ->
+      check Alcotest.int "decides 55" 55 v;
+      check Alcotest.int "round 1" 1 m)
+    r.decisions;
+  check Alcotest.int "no violations" 0 (List.length r.violations)
+
+let multivalued_inputs_agree () =
+  for seed = 1 to 10 do
+    let r = run ~seed (Array.init 7 (fun i -> 100 + (i mod 3))) in
+    check Alcotest.bool (Printf.sprintf "seed %d agrees" seed) true (agree r);
+    check Alcotest.int "no violations" 0 (List.length r.violations)
+  done
+
+let crash_tolerance () =
+  for seed = 1 to 10 do
+    let r =
+      run ~seed
+        ~crashes:[ (10, 0); (23, 2); (36, 5) ]
+        (Array.init 7 (fun i -> 100 + (i mod 3)))
+    in
+    check Alcotest.bool (Printf.sprintf "seed %d quiescent" seed) true r.quiescent;
+    check Alcotest.bool "survivors agree" true (agree r);
+    (* At least the 4 survivors decide; a victim may also have decided
+       before its scheduled crash. *)
+    check Alcotest.bool "at least 4 decided" true (List.length r.decisions >= 4);
+    check Alcotest.int "no violations" 0 (List.length r.violations)
+  done
+
+let validity_multivalued () =
+  (* Decisions must be someone's input even with many distinct values. *)
+  for seed = 1 to 10 do
+    let inputs = Array.init 5 (fun i -> 10 * (i + 1)) in
+    let r = run ~n:5 ~seed inputs in
+    List.iter
+      (fun (_, v, _) ->
+        check Alcotest.bool "valid decision" true (Array.exists (fun x -> x = v) inputs))
+      r.decisions
+  done
+
+let prop_safety =
+  QCheck.Test.make ~name:"decentralized variant safety over seeds/sizes" ~count:40
+    QCheck.(pair (int_range 1 1_000_000) (int_range 3 9))
+    (fun (seed, n) ->
+      let inputs = Array.init n (fun i -> 7 + (i mod 4)) in
+      let r = run ~n ~seed inputs in
+      r.quiescent && agree r && r.violations = [])
+
+let suite =
+  [
+    Alcotest.test_case "unanimous decides input" `Quick unanimous_decides_input;
+    Alcotest.test_case "multivalued agreement" `Quick multivalued_inputs_agree;
+    Alcotest.test_case "crash tolerance" `Quick crash_tolerance;
+    Alcotest.test_case "multivalued validity" `Quick validity_multivalued;
+    qtest prop_safety;
+  ]

@@ -1,0 +1,315 @@
+(* Tests for the discrete-event engine: scheduling, suspension, faults. *)
+
+module Engine = Dsim.Engine
+
+let check = Alcotest.check
+
+let outcome_testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | Engine.Quiescent -> Format.fprintf ppf "Quiescent"
+      | Engine.Deadlock pids ->
+          Format.fprintf ppf "Deadlock(%s)"
+            (String.concat "," (List.map string_of_int pids))
+      | Engine.Time_limit -> Format.fprintf ppf "Time_limit"
+      | Engine.Event_limit -> Format.fprintf ppf "Event_limit")
+    ( = )
+
+let schedule_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:10 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~delay:5 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:10 (fun () -> log := "c" :: !log);
+  check outcome_testable "quiescent" Engine.Quiescent (Engine.run e);
+  check (Alcotest.list Alcotest.string) "time order, FIFO ties" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  check Alcotest.int "clock at last event" 10 (Engine.now e)
+
+let negative_delay_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1) (fun () -> ()))
+
+let await_immediate () =
+  let e = Engine.create () in
+  let steps = ref [] in
+  let _p =
+    Engine.spawn e (fun _ctx ->
+        (* Condition already true: must not yield at all. *)
+        let v = Engine.await (fun () -> Some 42) in
+        steps := v :: !steps)
+  in
+  check outcome_testable "quiescent" Engine.Quiescent (Engine.run e);
+  check (Alcotest.list Alcotest.int) "ran" [ 42 ] !steps
+
+let await_wakes_on_change () =
+  let e = Engine.create () in
+  let flag = ref false in
+  let woke_at = ref (-1) in
+  let _p =
+    Engine.spawn e (fun _ctx ->
+        Engine.await_cond (fun () -> !flag);
+        woke_at := Engine.now e)
+  in
+  Engine.schedule e ~delay:30 (fun () -> flag := true);
+  check outcome_testable "quiescent" Engine.Quiescent (Engine.run e);
+  check Alcotest.int "woke when flag set" 30 !woke_at
+
+let sleep_accumulates () =
+  let e = Engine.create () in
+  let t1 = ref 0 and t2 = ref 0 in
+  let _p =
+    Engine.spawn e (fun ctx ->
+        Engine.sleep ctx 7;
+        t1 := Engine.now e;
+        Engine.sleep ctx 5;
+        t2 := Engine.now e)
+  in
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.int "first sleep" 7 !t1;
+  check Alcotest.int "second sleep" 12 !t2
+
+let deadlock_detection () =
+  let e = Engine.create () in
+  let p = Engine.spawn e (fun _ -> Engine.await_cond (fun () -> false)) in
+  match Engine.run e with
+  | Engine.Deadlock pids -> check (Alcotest.list Alcotest.int) "blocked pid" [ p ] pids
+  | other ->
+      Alcotest.failf "expected deadlock, got %a" (fun ppf o ->
+          Fmt.pf ppf "%s"
+            (match o with
+            | Engine.Quiescent -> "quiescent"
+            | Engine.Time_limit -> "time"
+            | Engine.Event_limit -> "events"
+            | Engine.Deadlock _ -> "deadlock")) other
+
+let kill_blocked_process_runs_finalizers () =
+  let e = Engine.create () in
+  let cleaned = ref false in
+  let p =
+    Engine.spawn e (fun _ ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () -> Engine.await_cond (fun () -> false)))
+  in
+  Engine.schedule e ~delay:5 (fun () -> Engine.kill e p);
+  check outcome_testable "quiescent after kill" Engine.Quiescent (Engine.run e);
+  check Alcotest.bool "finalizer ran" true !cleaned;
+  check Alcotest.bool "not alive" false (Engine.alive e p)
+
+let kill_sleeping_process () =
+  let e = Engine.create () in
+  let resumed = ref false in
+  let p =
+    Engine.spawn e (fun ctx ->
+        Engine.sleep ctx 100;
+        resumed := true)
+  in
+  Engine.schedule e ~delay:10 (fun () -> Engine.kill e p);
+  check outcome_testable "quiescent" Engine.Quiescent (Engine.run e);
+  check Alcotest.bool "never resumed" false !resumed
+
+let kill_is_idempotent () =
+  let e = Engine.create () in
+  let p = Engine.spawn e (fun _ -> Engine.await_cond (fun () -> false)) in
+  Engine.schedule e ~delay:1 (fun () ->
+      Engine.kill e p;
+      Engine.kill e p);
+  check outcome_testable "quiescent" Engine.Quiescent (Engine.run e)
+
+let yield_interleaves () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let _a =
+    Engine.spawn e (fun ctx ->
+        log := "a1" :: !log;
+        Engine.yield ctx;
+        log := "a2" :: !log)
+  in
+  let _b =
+    Engine.spawn e (fun ctx ->
+        log := "b1" :: !log;
+        Engine.yield ctx;
+        log := "b2" :: !log)
+  in
+  ignore (Engine.run e : Engine.outcome);
+  check (Alcotest.list Alcotest.string) "spawn order then yield order"
+    [ "a1"; "b1"; "a2"; "b2" ] (List.rev !log)
+
+let process_exception_is_recorded () =
+  let e = Engine.create () in
+  let p = Engine.spawn e (fun _ -> failwith "boom") in
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.bool "not alive" false (Engine.alive e p);
+  match Engine.process_failed e p with
+  | Some (Failure msg) -> check Alcotest.string "message" "boom" msg
+  | Some _ | None -> Alcotest.fail "expected recorded failure"
+
+let time_limit_then_resume () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~delay:100 (fun () -> fired := true);
+  check outcome_testable "time limit" Engine.Time_limit (Engine.run ~until:50 e);
+  check Alcotest.bool "not yet" false !fired;
+  check Alcotest.int "clock clamped" 50 (Engine.now e);
+  check outcome_testable "finishes later" Engine.Quiescent (Engine.run e);
+  check Alcotest.bool "fired eventually" true !fired
+
+let event_limit () =
+  let e = Engine.create () in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:i (fun () -> ())
+  done;
+  check outcome_testable "event limit" Engine.Event_limit
+    (Engine.run ~max_events:3 e)
+
+let determinism_same_seed () =
+  let run_once () =
+    let e = Engine.create ~seed:77L () in
+    let log = ref [] in
+    for i = 0 to 3 do
+      ignore
+        (Engine.spawn e (fun ctx ->
+             Engine.sleep ctx (Dsim.Rng.int_in ctx.Engine.rng 1 50);
+             log := (i, Engine.now e) :: !log)
+        : Engine.pid)
+    done;
+    ignore (Engine.run e : Engine.outcome);
+    List.rev !log
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "identical schedules" (run_once ()) (run_once ())
+
+let names_and_ids () =
+  let e = Engine.create () in
+  let p = Engine.spawn e ~name:"alice" (fun _ -> ()) in
+  let q = Engine.spawn e (fun _ -> ()) in
+  check Alcotest.string "explicit name" "alice" (Engine.name e p);
+  check Alcotest.string "default name" (Printf.sprintf "p%d" q) (Engine.name e q);
+  check Alcotest.bool "distinct pids" true (p <> q)
+
+let suspension_outside_process () =
+  Alcotest.check_raises "await outside" Engine.Not_in_process (fun () ->
+      ignore (Engine.await (fun () -> None) : unit))
+
+let emit_goes_to_trace () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:4 (fun () -> Engine.emit e ~pid:1 ~tag:"custom" "detail");
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.int "one custom event" 1 (Dsim.Trace.count (Engine.trace e) "custom")
+
+let nested_spawn () =
+  (* A process spawning another process mid-flight. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let _parent =
+    Engine.spawn e (fun ctx ->
+        log := "parent-start" :: !log;
+        let _child =
+          Engine.spawn e (fun ctx' ->
+              Engine.sleep ctx' 5;
+              log := "child" :: !log)
+        in
+        Engine.sleep ctx 10;
+        log := "parent-end" :: !log)
+  in
+  check outcome_testable "quiescent" Engine.Quiescent (Engine.run e);
+  check (Alcotest.list Alcotest.string) "interleaving"
+    [ "parent-start"; "child"; "parent-end" ] (List.rev !log)
+
+let kill_from_sibling_process () =
+  (* One process killing another that is blocked; the killer keeps
+     running. *)
+  let e = Engine.create () in
+  let victim = Engine.spawn e (fun _ -> Engine.await_cond (fun () -> false)) in
+  let finished = ref false in
+  let _killer =
+    Engine.spawn e (fun ctx ->
+        Engine.sleep ctx 5;
+        Engine.kill e victim;
+        Engine.sleep ctx 5;
+        finished := true)
+  in
+  check outcome_testable "quiescent" Engine.Quiescent (Engine.run e);
+  check Alcotest.bool "killer finished" true !finished;
+  check Alcotest.bool "victim dead" false (Engine.alive e victim)
+
+let await_value_passes_through () =
+  let e = Engine.create () in
+  let cell = ref None in
+  let got = ref "" in
+  let _p =
+    Engine.spawn e (fun _ ->
+        got := Engine.await (fun () -> !cell))
+  in
+  Engine.schedule e ~delay:3 (fun () -> cell := Some "payload");
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.string "payload delivered" "payload" !got
+
+let many_processes_stress () =
+  (* 200 processes ping-ponging through a shared counter: exercises the
+     blocked-list scanning at scale. *)
+  let e = Engine.create ~seed:9L () in
+  let turn = ref 0 in
+  let n = 200 in
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.spawn e (fun _ ->
+           Engine.await_cond (fun () -> !turn = i);
+           incr turn)
+      : Engine.pid)
+  done;
+  check outcome_testable "quiescent" Engine.Quiescent (Engine.run e);
+  check Alcotest.int "all took their turn" n !turn
+
+let prop_determinism =
+  (* For arbitrary seeds, two engines running the same randomized program
+     produce identical traces. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"same seed, same trace (any seed)" ~count:100
+       QCheck.int64 (fun seed ->
+         let run_once () =
+           let e = Engine.create ~seed () in
+           let log = Buffer.create 64 in
+           for i = 0 to 4 do
+             ignore
+               (Engine.spawn e (fun ctx ->
+                    Engine.sleep ctx (Dsim.Rng.int_in ctx.Engine.rng 1 30);
+                    Buffer.add_string log (Printf.sprintf "%d@%d;" i (Engine.now e));
+                    if Dsim.Rng.bool ctx.Engine.rng then Engine.yield ctx;
+                    Buffer.add_string log (Printf.sprintf "%d!%d;" i (Engine.now e)))
+               : Engine.pid)
+           done;
+           ignore (Engine.run e : Engine.outcome);
+           Buffer.contents log
+         in
+         String.equal (run_once ()) (run_once ())))
+
+let suite =
+  [
+    Alcotest.test_case "schedule ordering" `Quick schedule_ordering;
+    Alcotest.test_case "nested spawn" `Quick nested_spawn;
+    prop_determinism;
+    Alcotest.test_case "kill from sibling" `Quick kill_from_sibling_process;
+    Alcotest.test_case "await passes value" `Quick await_value_passes_through;
+    Alcotest.test_case "200-process stress" `Quick many_processes_stress;
+    Alcotest.test_case "negative delay rejected" `Quick negative_delay_rejected;
+    Alcotest.test_case "await immediate" `Quick await_immediate;
+    Alcotest.test_case "await wakes on change" `Quick await_wakes_on_change;
+    Alcotest.test_case "sleep accumulates" `Quick sleep_accumulates;
+    Alcotest.test_case "deadlock detection" `Quick deadlock_detection;
+    Alcotest.test_case "kill runs finalizers" `Quick kill_blocked_process_runs_finalizers;
+    Alcotest.test_case "kill sleeping process" `Quick kill_sleeping_process;
+    Alcotest.test_case "kill idempotent" `Quick kill_is_idempotent;
+    Alcotest.test_case "yield interleaves" `Quick yield_interleaves;
+    Alcotest.test_case "exception recorded" `Quick process_exception_is_recorded;
+    Alcotest.test_case "time limit then resume" `Quick time_limit_then_resume;
+    Alcotest.test_case "event limit" `Quick event_limit;
+    Alcotest.test_case "determinism" `Quick determinism_same_seed;
+    Alcotest.test_case "names and ids" `Quick names_and_ids;
+    Alcotest.test_case "suspension outside process" `Quick suspension_outside_process;
+    Alcotest.test_case "emit goes to trace" `Quick emit_goes_to_trace;
+  ]

@@ -1,0 +1,113 @@
+(* Tests for the schedule explorer: enumeration combinatorics, exact
+   schedule realization, and the exhaustive AC sweep. *)
+
+let check = Alcotest.check
+
+let count_small_cases () =
+  check Alcotest.int "C(2,1)" 2 (Sharedmem.Explore.count_interleavings ~counts:[| 1; 1 |]);
+  check Alcotest.int "C(4,2)" 6 (Sharedmem.Explore.count_interleavings ~counts:[| 2; 2 |]);
+  check Alcotest.int "multinomial 3!/(1!1!1!)" 6
+    (Sharedmem.Explore.count_interleavings ~counts:[| 1; 1; 1 |]);
+  check Alcotest.int "C(12,6)" 924
+    (Sharedmem.Explore.count_interleavings ~counts:[| 6; 6 |]);
+  check Alcotest.int "single process" 1
+    (Sharedmem.Explore.count_interleavings ~counts:[| 5 |])
+
+let enumeration_matches_count () =
+  let counts = [| 3; 2 |] in
+  let all = Sharedmem.Explore.interleavings ~counts ~limit:1000 in
+  check Alcotest.int "C(5,2) = 10" 10 (List.length all);
+  check Alcotest.int "count agrees" 10
+    (Sharedmem.Explore.count_interleavings ~counts);
+  (* no duplicates, all have the right multiset *)
+  let sorted = List.sort_uniq compare all in
+  check Alcotest.int "all distinct" 10 (List.length sorted);
+  List.iter
+    (fun s ->
+      check Alcotest.int "three 0s" 3 (List.length (List.filter (fun p -> p = 0) s));
+      check Alcotest.int "two 1s" 2 (List.length (List.filter (fun p -> p = 1) s)))
+    all
+
+let limit_truncates () =
+  let all = Sharedmem.Explore.interleavings ~counts:[| 4; 4 |] ~limit:10 in
+  check Alcotest.int "truncated" 10 (List.length all)
+
+let random_schedule_valid () =
+  let rng = Dsim.Rng.create 3L in
+  for _ = 1 to 50 do
+    let s = Sharedmem.Explore.random_schedule ~counts:[| 4; 3; 2 |] ~rng in
+    check Alcotest.int "length" 9 (List.length s);
+    check Alcotest.int "four 0s" 4 (List.length (List.filter (fun p -> p = 0) s))
+  done
+
+let schedule_realized_exactly () =
+  (* Two processes, two ops each; record the order in which ops execute
+     and compare with the requested schedule. *)
+  let schedules = [ [ 0; 0; 1; 1 ]; [ 1; 0; 1; 0 ]; [ 0; 1; 1; 0 ] ] in
+  List.iter
+    (fun schedule ->
+      let log = ref [] in
+      let reg = Sharedmem.World.Reg.make 0 in
+      let body (proc : Sharedmem.World.proc) =
+        for _ = 1 to 2 do
+          ignore (Sharedmem.World.Reg.read proc reg : int);
+          log := proc.Sharedmem.World.me :: !log
+        done
+      in
+      let outcome = Sharedmem.Explore.run_schedule ~n:2 ~schedule ~body in
+      check Alcotest.bool "quiescent" true (outcome = Dsim.Engine.Quiescent);
+      check (Alcotest.list Alcotest.int)
+        (String.concat "" (List.map string_of_int schedule))
+        schedule (List.rev !log))
+    schedules
+
+let over_budget_process_fails () =
+  let reg = Sharedmem.World.Reg.make 0 in
+  let body (proc : Sharedmem.World.proc) =
+    (* Schedule allots one op but the process takes two. *)
+    ignore (Sharedmem.World.Reg.read proc reg : int);
+    ignore (Sharedmem.World.Reg.read proc reg : int)
+  in
+  let outcome = Sharedmem.Explore.run_schedule ~n:1 ~schedule:[ 0 ] ~body in
+  (* The engine records the Invalid_argument as a process failure and
+     still quiesces. *)
+  check Alcotest.bool "no crash of the harness" true
+    (match outcome with
+    | Dsim.Engine.Quiescent | Dsim.Engine.Deadlock _ -> true
+    | Dsim.Engine.Time_limit | Dsim.Engine.Event_limit -> false)
+
+let exhaustive_ac_n2_mixed () =
+  let r = Sharedmem.Explore.check_ac_exhaustive ~inputs:[| true; false |] () in
+  check Alcotest.int "space" 924 r.Sharedmem.Explore.space_size;
+  check Alcotest.bool "exhaustive" true r.Sharedmem.Explore.exhaustive;
+  check (Alcotest.list Alcotest.string) "no violations" []
+    r.Sharedmem.Explore.violations
+
+let exhaustive_ac_n2_unanimous () =
+  let r = Sharedmem.Explore.check_ac_exhaustive ~inputs:[| true; true |] () in
+  check Alcotest.bool "exhaustive" true r.Sharedmem.Explore.exhaustive;
+  check (Alcotest.list Alcotest.string) "no violations" []
+    r.Sharedmem.Explore.violations
+
+let sampled_vac_n2 () =
+  let r =
+    Sharedmem.Explore.check_vac_sampled ~inputs:[| true; false |] ~samples:500
+      ~seed:11L
+  in
+  check Alcotest.int "ran the sample" 500 r.Sharedmem.Explore.schedules_run;
+  check Alcotest.bool "space much larger" true (r.Sharedmem.Explore.space_size > 1_000_000);
+  check (Alcotest.list Alcotest.string) "no violations" []
+    r.Sharedmem.Explore.violations
+
+let suite =
+  [
+    Alcotest.test_case "interleaving counts" `Quick count_small_cases;
+    Alcotest.test_case "enumeration matches count" `Quick enumeration_matches_count;
+    Alcotest.test_case "limit truncates" `Quick limit_truncates;
+    Alcotest.test_case "random schedule valid" `Quick random_schedule_valid;
+    Alcotest.test_case "schedule realized exactly" `Quick schedule_realized_exactly;
+    Alcotest.test_case "over-budget process fails" `Quick over_budget_process_fails;
+    Alcotest.test_case "exhaustive AC n=2 mixed" `Quick exhaustive_ac_n2_mixed;
+    Alcotest.test_case "exhaustive AC n=2 unanimous" `Quick exhaustive_ac_n2_unanimous;
+    Alcotest.test_case "sampled VAC n=2" `Quick sampled_vac_n2;
+  ]

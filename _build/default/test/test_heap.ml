@@ -1,0 +1,101 @@
+(* Tests for the event-queue binary heap. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let pop_all heap =
+  let rec go acc =
+    match Dsim.Heap.pop heap with
+    | None -> List.rev acc
+    | Some (key, v) -> go ((key, v) :: acc)
+  in
+  go []
+
+let empty_heap () =
+  let h : int Dsim.Heap.t = Dsim.Heap.create () in
+  check Alcotest.bool "is_empty" true (Dsim.Heap.is_empty h);
+  check Alcotest.int "length" 0 (Dsim.Heap.length h);
+  check Alcotest.bool "pop None" true (Dsim.Heap.pop h = None);
+  check Alcotest.bool "peek None" true (Dsim.Heap.peek_key h = None)
+
+let ordering () =
+  let h = Dsim.Heap.create () in
+  List.iter (fun k -> Dsim.Heap.add h ~key:k k) [ 5; 1; 4; 1; 3; 9; 0 ];
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "sorted ascending"
+    [ (0, 0); (1, 1); (1, 1); (3, 3); (4, 4); (5, 5); (9, 9) ]
+    (pop_all h)
+
+let fifo_on_ties () =
+  let h = Dsim.Heap.create () in
+  List.iteri (fun i label -> Dsim.Heap.add h ~key:(i mod 2) label)
+    [ "a"; "b"; "c"; "d"; "e" ];
+  (* keys: a:0 b:1 c:0 d:1 e:0 — ties must pop in insertion order *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "insertion order within equal keys"
+    [ (0, "a"); (0, "c"); (0, "e"); (1, "b"); (1, "d") ]
+    (pop_all h)
+
+let peek_does_not_remove () =
+  let h = Dsim.Heap.create () in
+  Dsim.Heap.add h ~key:3 "x";
+  Dsim.Heap.add h ~key:1 "y";
+  check (Alcotest.option Alcotest.int) "peek min" (Some 1) (Dsim.Heap.peek_key h);
+  check Alcotest.int "length unchanged" 2 (Dsim.Heap.length h)
+
+let interleaved () =
+  let h = Dsim.Heap.create () in
+  Dsim.Heap.add h ~key:10 "late";
+  Dsim.Heap.add h ~key:1 "early";
+  check Alcotest.bool "pop early" true (Dsim.Heap.pop h = Some (1, "early"));
+  Dsim.Heap.add h ~key:5 "mid";
+  check Alcotest.bool "pop mid" true (Dsim.Heap.pop h = Some (5, "mid"));
+  check Alcotest.bool "pop late" true (Dsim.Heap.pop h = Some (10, "late"));
+  check Alcotest.bool "empty again" true (Dsim.Heap.is_empty h)
+
+let clear () =
+  let h = Dsim.Heap.create () in
+  for i = 1 to 100 do
+    Dsim.Heap.add h ~key:i i
+  done;
+  Dsim.Heap.clear h;
+  check Alcotest.bool "cleared" true (Dsim.Heap.is_empty h);
+  Dsim.Heap.add h ~key:1 7;
+  check Alcotest.bool "usable after clear" true (Dsim.Heap.pop h = Some (1, 7))
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains keys in sorted order" ~count:300
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Dsim.Heap.create () in
+      List.iter (fun k -> Dsim.Heap.add h ~key:k ()) keys;
+      let drained = List.map fst (pop_all h) in
+      drained = List.sort compare keys)
+
+let prop_heap_length =
+  QCheck.Test.make ~name:"length tracks adds and pops" ~count:300
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Dsim.Heap.create () in
+      List.iteri (fun i k -> Dsim.Heap.add h ~key:k i) keys;
+      let n = List.length keys in
+      let ok = ref (Dsim.Heap.length h = n) in
+      for expected = n - 1 downto 0 do
+        ignore (Dsim.Heap.pop h : (int * int) option);
+        if Dsim.Heap.length h <> expected then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick empty_heap;
+    Alcotest.test_case "ordering" `Quick ordering;
+    Alcotest.test_case "FIFO on ties" `Quick fifo_on_ties;
+    Alcotest.test_case "peek does not remove" `Quick peek_does_not_remove;
+    Alcotest.test_case "interleaved add/pop" `Quick interleaved;
+    Alcotest.test_case "clear" `Quick clear;
+    qtest prop_heap_sorts;
+    qtest prop_heap_length;
+  ]

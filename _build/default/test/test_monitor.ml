@@ -1,0 +1,174 @@
+(* Tests for the property monitors: every check must catch its violation
+   and stay silent on clean executions. *)
+
+module M = Consensus.Monitor.Make (Consensus.Objects.Int_value)
+open Consensus.Types
+
+let check = Alcotest.check
+
+let properties violations = List.map (fun v -> v.Consensus.Monitor.property) violations
+
+let clean_round_passes () =
+  let m = M.create () in
+  M.record_initial m ~pid:0 1;
+  M.record_initial m ~pid:1 1;
+  M.record_initial m ~pid:2 1;
+  List.iter (fun pid -> M.record_output m ~round:1 ~pid (Commit 1)) [ 0; 1; 2 ];
+  check (Alcotest.list Alcotest.string) "no violations" [] (properties (M.check_vac m))
+
+let coherence_ac_catches_vacillate_next_to_commit () =
+  let m = M.create () in
+  M.record_output m ~round:1 ~pid:0 (Commit 1);
+  M.record_output m ~round:1 ~pid:1 (Vacillate 0);
+  check Alcotest.bool "flagged" true
+    (List.mem "coherence(adopt&commit)" (properties (M.check_vac m)))
+
+let coherence_ac_catches_wrong_value () =
+  let m = M.create () in
+  M.record_output m ~round:1 ~pid:0 (Commit 1);
+  M.record_output m ~round:1 ~pid:1 (Adopt 0);
+  check Alcotest.bool "flagged" true
+    (List.mem "coherence(adopt&commit)" (properties (M.check_vac m)))
+
+let coherence_ac_allows_matching_adopt () =
+  let m = M.create () in
+  M.record_output m ~round:1 ~pid:0 (Commit 1);
+  M.record_output m ~round:1 ~pid:1 (Adopt 1);
+  check
+    (Alcotest.list Alcotest.string)
+    "clean" []
+    (properties (M.check_vac ~validity:false m))
+
+let coherence_va_catches_mixed_adopts () =
+  let m = M.create () in
+  M.record_output m ~round:1 ~pid:0 (Adopt 1);
+  M.record_output m ~round:1 ~pid:1 (Adopt 0);
+  check Alcotest.bool "flagged" true
+    (List.mem "coherence(vacillate&adopt)" (properties (M.check_vac ~validity:false m)))
+
+let coherence_va_allows_vacillate_anything () =
+  let m = M.create () in
+  M.record_output m ~round:1 ~pid:0 (Adopt 1);
+  M.record_output m ~round:1 ~pid:1 (Vacillate 0);
+  check
+    (Alcotest.list Alcotest.string)
+    "clean" []
+    (properties (M.check_vac ~validity:false m))
+
+let coherence_va_only_without_commit () =
+  (* Mixed adopt values next to a commit are already an A&C violation; the
+     V&A rule itself only applies in commit-free rounds. *)
+  let m = M.create () in
+  M.record_output m ~round:1 ~pid:0 (Commit 1);
+  M.record_output m ~round:1 ~pid:1 (Adopt 1);
+  M.record_output m ~round:1 ~pid:2 (Adopt 1);
+  check
+    (Alcotest.list Alcotest.string)
+    "clean" []
+    (properties (M.check_vac ~validity:false m))
+
+let convergence_catches_non_commit () =
+  let m = M.create () in
+  M.record_initial m ~pid:0 1;
+  M.record_initial m ~pid:1 1;
+  M.record_output m ~round:1 ~pid:0 (Commit 1);
+  M.record_output m ~round:1 ~pid:1 (Adopt 1);
+  check Alcotest.bool "flagged" true
+    (List.mem "convergence" (properties (M.check_vac m)))
+
+let convergence_ignores_mixed_inputs () =
+  let m = M.create () in
+  M.record_initial m ~pid:0 1;
+  M.record_initial m ~pid:1 0;
+  M.record_output m ~round:1 ~pid:0 (Adopt 1);
+  M.record_output m ~round:1 ~pid:1 (Adopt 1);
+  check (Alcotest.list Alcotest.string) "clean" [] (properties (M.check_vac m))
+
+let validity_catches_invented_value () =
+  let m = M.create () in
+  M.record_initial m ~pid:0 1;
+  M.record_initial m ~pid:1 1;
+  M.record_output m ~round:1 ~pid:0 (Vacillate 9);
+  check Alcotest.bool "flagged" true
+    (List.mem "validity" (properties (M.check_vac m)))
+
+let validity_can_be_disabled () =
+  let m = M.create () in
+  M.record_initial m ~pid:0 1;
+  M.record_output m ~round:1 ~pid:0 (Vacillate 9);
+  check Alcotest.bool "vacillate 9 is the only problem" true
+    (List.for_all
+       (fun p -> p <> "validity")
+       (properties (M.check_vac ~validity:false m)))
+
+let ac_shape_rejects_vacillate () =
+  let m = M.create () in
+  M.record_output m ~round:1 ~pid:0 (Vacillate 1);
+  check Alcotest.bool "flagged" true
+    (List.mem "ac-shape" (properties (M.check_ac ~validity:false m)))
+
+let consensus_agreement () =
+  let m = M.create () in
+  M.record_initial m ~pid:0 1;
+  M.record_initial m ~pid:1 2;
+  M.record_decision m ~round:1 ~pid:0 1;
+  M.record_decision m ~round:2 ~pid:1 2;
+  check Alcotest.bool "disagreement flagged" true
+    (List.mem "agreement" (properties (M.check_consensus m)))
+
+let consensus_validity () =
+  let m = M.create () in
+  M.record_initial m ~pid:0 1;
+  M.record_decision m ~round:1 ~pid:0 5;
+  check Alcotest.bool "invalid decision flagged" true
+    (List.mem "consensus-validity" (properties (M.check_consensus m)))
+
+let consensus_clean () =
+  let m = M.create () in
+  M.record_initial m ~pid:0 1;
+  M.record_initial m ~pid:1 2;
+  M.record_decision m ~round:3 ~pid:0 2;
+  M.record_decision m ~round:3 ~pid:1 2;
+  check (Alcotest.list Alcotest.string) "clean" [] (properties (M.check_consensus m))
+
+let observer_plumbs_into_rounds () =
+  (* Two processors with split inputs (a unanimous round would trip the
+     convergence check on anything but a commit). *)
+  let m = M.create () in
+  let obs4 = M.observer m ~pid:4 and obs5 = M.observer m ~pid:5 in
+  M.record_initial m ~pid:4 1;
+  M.record_initial m ~pid:5 2;
+  obs4.Consensus.Template.on_detect ~round:1 (Adopt 1);
+  obs4.Consensus.Template.on_new_preference ~round:1 1;
+  obs5.Consensus.Template.on_detect ~round:1 (Vacillate 2);
+  obs5.Consensus.Template.on_new_preference ~round:1 1;
+  obs4.Consensus.Template.on_detect ~round:2 (Commit 1);
+  obs4.Consensus.Template.on_decide ~round:2 1;
+  obs5.Consensus.Template.on_detect ~round:2 (Commit 1);
+  obs5.Consensus.Template.on_decide ~round:2 1;
+  check (Alcotest.list Alcotest.int) "two rounds recorded" [ 1; 2 ] (M.rounds m);
+  check Alcotest.int "decisions recorded" 2 (List.length (M.decisions m));
+  check (Alcotest.list Alcotest.string) "clean run" []
+    (properties (M.check_vac m @ M.check_consensus m))
+
+let suite =
+  [
+    Alcotest.test_case "clean round passes" `Quick clean_round_passes;
+    Alcotest.test_case "A&C: vacillate next to commit" `Quick
+      coherence_ac_catches_vacillate_next_to_commit;
+    Alcotest.test_case "A&C: wrong value" `Quick coherence_ac_catches_wrong_value;
+    Alcotest.test_case "A&C: matching adopt ok" `Quick coherence_ac_allows_matching_adopt;
+    Alcotest.test_case "V&A: mixed adopts" `Quick coherence_va_catches_mixed_adopts;
+    Alcotest.test_case "V&A: vacillate is free" `Quick coherence_va_allows_vacillate_anything;
+    Alcotest.test_case "V&A scoped to commit-free rounds" `Quick
+      coherence_va_only_without_commit;
+    Alcotest.test_case "convergence violation" `Quick convergence_catches_non_commit;
+    Alcotest.test_case "convergence scope" `Quick convergence_ignores_mixed_inputs;
+    Alcotest.test_case "validity violation" `Quick validity_catches_invented_value;
+    Alcotest.test_case "validity opt-out" `Quick validity_can_be_disabled;
+    Alcotest.test_case "AC shape" `Quick ac_shape_rejects_vacillate;
+    Alcotest.test_case "consensus agreement" `Quick consensus_agreement;
+    Alcotest.test_case "consensus validity" `Quick consensus_validity;
+    Alcotest.test_case "consensus clean" `Quick consensus_clean;
+    Alcotest.test_case "observer plumbing" `Quick observer_plumbs_into_rounds;
+  ]

@@ -1,0 +1,193 @@
+(* Tests for Phase-King: protocol behaviour under every packaged Byzantine
+   strategy, the decomposed/monolithic equivalence, and the decision-rule
+   counterexample. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let run ?(n = 7) ?(seed = 1) ?byzantine ?strategy ?(mode = Phase_king.Runner.Decomposed)
+    inputs =
+  let cfg = Phase_king.Runner.default_config ~n ~inputs in
+  let cfg =
+    {
+      cfg with
+      seed = Int64.of_int seed;
+      mode;
+      byzantine = Option.value ~default:cfg.Phase_king.Runner.byzantine byzantine;
+      strategy = Option.value ~default:cfg.Phase_king.Runner.strategy strategy;
+    }
+  in
+  Phase_king.Runner.run cfg
+
+let finals_agree r =
+  match r.Phase_king.Runner.final_decisions with
+  | [] -> false
+  | (_, v0) :: rest -> List.for_all (fun (_, v) -> v = v0) rest
+
+let healthy r =
+  r.Phase_king.Runner.violations = []
+  && r.Phase_king.Runner.process_failures = []
+  && finals_agree r
+  && match r.Phase_king.Runner.engine_outcome with
+     | Dsim.Engine.Quiescent -> true
+     | Dsim.Engine.Deadlock _ | Dsim.Engine.Time_limit | Dsim.Engine.Event_limit ->
+         false
+
+let unanimous_commits_immediately () =
+  let r = run (Array.make 7 1) in
+  check Alcotest.bool "healthy" true (healthy r);
+  List.iter
+    (fun (_, v) -> check Alcotest.int "decides the unanimous input" 1 v)
+    r.Phase_king.Runner.final_decisions;
+  List.iter
+    (fun (_, v, m) ->
+      check Alcotest.int "commit value" 1 v;
+      check Alcotest.int "commits in round 1" 1 m)
+    r.Phase_king.Runner.first_commits;
+  check Alcotest.int "every correct processor committed" 5
+    (List.length r.Phase_king.Runner.first_commits)
+
+let runs_exactly_t_plus_one_rounds () =
+  let r = run ~n:10 (Array.init 10 (fun i -> i mod 2)) in
+  check Alcotest.int "template rounds" 4 r.Phase_king.Runner.template_rounds;
+  check Alcotest.int "sync rounds = 3 per template round" 12
+    r.Phase_king.Runner.sync_rounds
+
+let all_strategies_safe () =
+  List.iter
+    (fun (name, strategy) ->
+      for seed = 1 to 5 do
+        for n = 4 to 13 do
+          if (n - 1) / 3 >= 1 then begin
+            let inputs = Array.init n (fun i -> i mod 2) in
+            let r = run ~n ~seed ~strategy inputs in
+            check Alcotest.bool (Printf.sprintf "%s n=%d seed=%d" name n seed) true
+              (healthy r)
+          end
+        done
+      done)
+    [
+      ("silent", Netsim.Byzantine.silent);
+      ("random", Netsim.Byzantine.random_of [| 0; 1; 2 |]);
+      ("split-world", Netsim.Byzantine.split_world 0 1);
+      ("echo", Netsim.Byzantine.echo_first_honest);
+      ("camp-splitter", Phase_king.Strategies.camp_splitter);
+      ("vote-inflater-0", Phase_king.Strategies.vote_inflater 0);
+      ("vote-inflater-1", Phase_king.Strategies.vote_inflater 1);
+      ("vote-inflater-2", Phase_king.Strategies.vote_inflater 2);
+    ]
+
+let validity_with_byzantine_noise () =
+  (* All correct processors start with 1; whatever the adversary does the
+     decision must be 1. *)
+  for seed = 1 to 10 do
+    let r =
+      run ~seed ~strategy:(Netsim.Byzantine.random_of [| 0; 1; 2 |])
+        (Array.make 7 1)
+    in
+    List.iter
+      (fun (_, v) -> check Alcotest.int "unanimous-correct validity" 1 v)
+      r.Phase_king.Runner.final_decisions
+  done
+
+let monolithic_matches_decomposed () =
+  List.iter
+    (fun strategy ->
+      for seed = 1 to 5 do
+        let inputs = Array.init 10 (fun i -> i mod 2) in
+        let rd = run ~n:10 ~seed ~strategy ~mode:Phase_king.Runner.Decomposed inputs in
+        let rm = run ~n:10 ~seed ~strategy ~mode:Phase_king.Runner.Monolithic inputs in
+        check Alcotest.bool "same final decisions" true
+          (rd.Phase_king.Runner.final_decisions = rm.Phase_king.Runner.final_decisions);
+        check Alcotest.bool "same first commits" true
+          (rd.Phase_king.Runner.first_commits = rm.Phase_king.Runner.first_commits)
+      done)
+    [
+      Netsim.Byzantine.silent;
+      Phase_king.Strategies.camp_splitter;
+      Netsim.Byzantine.split_world 0 1;
+    ]
+
+let counterexample_separates_decision_rules () =
+  let cfg =
+    {
+      (Phase_king.Runner.default_config ~n:4 ~inputs:[| 0; 1; 1; 0 |]) with
+      byzantine = [ 0 ];
+      strategy = Phase_king.Strategies.commit_then_steal;
+    }
+  in
+  let r = Phase_king.Runner.run cfg in
+  (* The BGP rule (final preference) agrees... *)
+  check Alcotest.bool "final decisions agree" true (finals_agree r);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "all decide 0"
+    [ (1, 0); (2, 0); (3, 0) ]
+    r.Phase_king.Runner.final_decisions;
+  (* ...while the paper-template rule (first commit) does not: p1 committed
+     1 in round 1 and the rest committed 0 later. *)
+  check Alcotest.bool "first-commit rule broken" true
+    r.Phase_king.Runner.first_commit_agreement_broken;
+  check Alcotest.bool "p1 was lured into committing 1 in round 1" true
+    (List.mem (1, 1, 1) r.Phase_king.Runner.first_commits);
+  (* Per-round AC guarantees still held — the failure is the template's
+     decision rule, not the object. *)
+  check Alcotest.int "no object violations" 0
+    (List.length r.Phase_king.Runner.violations)
+
+let message_accounting () =
+  let r = run ~n:7 (Array.init 7 (fun i -> i mod 2)) in
+  (* 3 template rounds (t=2), each 2 exchanges of 5 correct * 7 + king
+     broadcast of 7. *)
+  check Alcotest.int "analytic count" (3 * ((2 * 5 * 7) + 7))
+    r.Phase_king.Runner.messages
+
+let rejects_bad_configs () =
+  Alcotest.check_raises "3t >= n" (Invalid_argument "Phase_king.Runner.run: requires 3t < n")
+    (fun () ->
+      let cfg = Phase_king.Runner.default_config ~n:6 ~inputs:(Array.make 6 1) in
+      ignore (Phase_king.Runner.run { cfg with faults = 2 } : Phase_king.Runner.report));
+  Alcotest.check_raises "non-binary input"
+    (Invalid_argument "Phase_king.Runner.run: inputs must be binary") (fun () ->
+      ignore
+        (Phase_king.Runner.run
+           (Phase_king.Runner.default_config ~n:4 ~inputs:[| 0; 1; 2; 0 |])
+        : Phase_king.Runner.report))
+
+let king_rotation () =
+  check Alcotest.int "round 1 king" 0 (Phase_king.Protocol.king_of_round ~n:4 ~round:1);
+  check Alcotest.int "round 4 king" 3 (Phase_king.Protocol.king_of_round ~n:4 ~round:4);
+  check Alcotest.int "wraps" 0 (Phase_king.Protocol.king_of_round ~n:4 ~round:5)
+
+let prop_safety_random_byzantine_sets =
+  QCheck.Test.make ~name:"Phase-King safety: random Byzantine subsets and seeds"
+    ~count:50
+    QCheck.(triple (int_range 1 1_000_000) (int_range 4 13) (int_range 0 1000))
+    (fun (seed, n, salt) ->
+      let t = (n - 1) / 3 in
+      if t = 0 then true
+      else begin
+        (* pick t distinct Byzantine ids pseudo-randomly *)
+        let rng = Dsim.Rng.create (Int64.of_int (seed + salt)) in
+        let ids = Array.init n Fun.id in
+        Dsim.Rng.shuffle rng ids;
+        let byzantine = Array.to_list (Array.sub ids 0 t) in
+        let inputs = Array.init n (fun i -> (salt + i) mod 2) in
+        let r = run ~n ~seed ~byzantine ~strategy:(Netsim.Byzantine.random_of [| 0; 1; 2 |]) inputs in
+        healthy r
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "unanimous commits immediately" `Quick unanimous_commits_immediately;
+    Alcotest.test_case "t+1 rounds exactly" `Quick runs_exactly_t_plus_one_rounds;
+    Alcotest.test_case "all strategies safe" `Slow all_strategies_safe;
+    Alcotest.test_case "validity under noise" `Quick validity_with_byzantine_noise;
+    Alcotest.test_case "monolithic = decomposed" `Quick monolithic_matches_decomposed;
+    Alcotest.test_case "decision-rule counterexample" `Quick
+      counterexample_separates_decision_rules;
+    Alcotest.test_case "message accounting" `Quick message_accounting;
+    Alcotest.test_case "rejects bad configs" `Quick rejects_bad_configs;
+    Alcotest.test_case "king rotation" `Quick king_rotation;
+    qtest prop_safety_random_byzantine_sets;
+  ]

@@ -1,0 +1,118 @@
+(* Tests for the Phase-Queen decomposition. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let run ?(n = 9) ?(seed = 1) ?byzantine ?strategy ?(mode = Phase_king.Runner.Decomposed)
+    inputs =
+  let cfg = Phase_king.Runner.default_queen_config ~n ~inputs in
+  let cfg =
+    {
+      cfg with
+      Phase_king.Runner.seed = Int64.of_int seed;
+      mode;
+      byzantine = Option.value ~default:cfg.Phase_king.Runner.byzantine byzantine;
+      strategy = Option.value ~default:cfg.Phase_king.Runner.strategy strategy;
+    }
+  in
+  Phase_king.Runner.run cfg
+
+let finals_agree r =
+  match r.Phase_king.Runner.final_decisions with
+  | [] -> false
+  | (_, v0) :: rest -> List.for_all (fun (_, v) -> v = v0) rest
+
+let healthy r =
+  r.Phase_king.Runner.violations = []
+  && r.Phase_king.Runner.process_failures = []
+  && finals_agree r
+
+let unanimous_commits_round_one () =
+  let r = run (Array.make 9 0) in
+  check Alcotest.bool "healthy" true (healthy r);
+  List.iter (fun (_, v) -> check Alcotest.int "decides 0" 0 v)
+    r.Phase_king.Runner.final_decisions;
+  List.iter
+    (fun (_, v, m) ->
+      check Alcotest.int "commit value" 0 v;
+      check Alcotest.int "round 1" 1 m)
+    r.Phase_king.Runner.first_commits
+
+let two_sync_rounds_per_phase () =
+  let r = run ~n:13 (Array.init 13 (fun i -> i mod 2)) in
+  (* t = 3 -> 4 template rounds -> 8 lock-step rounds. *)
+  check Alcotest.int "template rounds" 4 r.Phase_king.Runner.template_rounds;
+  check Alcotest.int "sync rounds" 8 r.Phase_king.Runner.sync_rounds
+
+let strategies_safe () =
+  List.iter
+    (fun (name, strategy) ->
+      for seed = 1 to 5 do
+        let r = run ~seed ~strategy (Array.init 9 (fun i -> i mod 2)) in
+        check Alcotest.bool (Printf.sprintf "%s seed=%d" name seed) true (healthy r)
+      done)
+    [
+      ("silent", Netsim.Byzantine.silent);
+      ("random", Netsim.Byzantine.random_of [| 0; 1; 2 |]);
+      ("split-world", Netsim.Byzantine.split_world 0 1);
+      ("camp-splitter", Phase_king.Strategies.camp_splitter);
+      ("vote-inflater", Phase_king.Strategies.vote_inflater 1);
+    ]
+
+let monolithic_matches_decomposed () =
+  for seed = 1 to 8 do
+    let inputs = Array.init 9 (fun i -> i mod 2) in
+    let rd = run ~seed ~mode:Phase_king.Runner.Decomposed inputs in
+    let rm = run ~seed ~mode:Phase_king.Runner.Monolithic inputs in
+    check Alcotest.bool "same finals" true
+      (rd.Phase_king.Runner.final_decisions = rm.Phase_king.Runner.final_decisions);
+    check Alcotest.bool "same commits" true
+      (rd.Phase_king.Runner.first_commits = rm.Phase_king.Runner.first_commits)
+  done
+
+let queen_needs_4t_resilience () =
+  Alcotest.check_raises "4t >= n rejected"
+    (Invalid_argument "Phase_king.Runner.run: requires 4t < n") (fun () ->
+      let cfg = Phase_king.Runner.default_queen_config ~n:8 ~inputs:(Array.make 8 1) in
+      ignore
+        (Phase_king.Runner.run { cfg with Phase_king.Runner.faults = 2 }
+        : Phase_king.Runner.report))
+
+let validity_with_noise () =
+  for seed = 1 to 8 do
+    let r = run ~seed ~strategy:(Netsim.Byzantine.random_of [| 0; 1; 2 |]) (Array.make 9 1) in
+    List.iter
+      (fun (_, v) -> check Alcotest.int "unanimous-correct validity" 1 v)
+      r.Phase_king.Runner.final_decisions
+  done
+
+let prop_safety =
+  QCheck.Test.make ~name:"Queen safety: random seeds and Byzantine subsets" ~count:40
+    QCheck.(triple (int_range 1 1_000_000) (int_range 5 17) (int_range 0 1000))
+    (fun (seed, n, salt) ->
+      let t = (n - 1) / 4 in
+      if t = 0 then true
+      else begin
+        let rng = Dsim.Rng.create (Int64.of_int (seed * 31 + salt)) in
+        let ids = Array.init n Fun.id in
+        Dsim.Rng.shuffle rng ids;
+        let byzantine = Array.to_list (Array.sub ids 0 t) in
+        let inputs = Array.init n (fun i -> (salt + i) mod 2) in
+        let r =
+          run ~n ~seed ~byzantine
+            ~strategy:(Netsim.Byzantine.random_of [| 0; 1; 2 |])
+            inputs
+        in
+        healthy r
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "unanimous commits round 1" `Quick unanimous_commits_round_one;
+    Alcotest.test_case "2 sync rounds per phase" `Quick two_sync_rounds_per_phase;
+    Alcotest.test_case "strategies safe" `Quick strategies_safe;
+    Alcotest.test_case "monolithic = decomposed" `Quick monolithic_matches_decomposed;
+    Alcotest.test_case "needs 4t < n" `Quick queen_needs_4t_resilience;
+    Alcotest.test_case "validity under noise" `Quick validity_with_noise;
+    qtest prop_safety;
+  ]

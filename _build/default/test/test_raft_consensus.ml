@@ -1,0 +1,125 @@
+(* Tests for consensus-via-Raft (paper Section 4.3) and its VAC view. *)
+
+module Cluster = Raft.Cluster
+module CR = Raft.Consensus_raft
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let setup ?(n = 5) ?(seed = 1) ?config () =
+  let cl = Cluster.create ~seed:(Int64.of_int seed) ?config ~n () in
+  let inputs = Array.init n (fun i -> 100 + i) in
+  let cons = CR.create ~cluster:cl ~inputs in
+  Cluster.start cl;
+  (cl, cons, inputs)
+
+let command_codec () =
+  check Alcotest.int "roundtrip" 42 (CR.value_of_command (CR.command_of_value 42));
+  check Alcotest.int "negative" (-3) (CR.value_of_command (CR.command_of_value (-3)))
+
+let basic_all_decide_same () =
+  let cl, cons, inputs = setup () in
+  check Alcotest.bool "all decided" true (CR.run_until_all_decided cons);
+  (match CR.decisions cons with
+  | [] -> Alcotest.fail "no decisions"
+  | (_, v0) :: rest ->
+      check Alcotest.bool "validity" true (Array.exists (fun x -> x = v0) inputs);
+      List.iter (fun (_, v) -> check Alcotest.int "agreement" v0 v) rest);
+  check (Alcotest.list Alcotest.string) "vac view clean" [] (CR.check_vac_view cons);
+  check Alcotest.bool "cluster invariants" true
+    (Cluster.violations cl = [] && Cluster.check_log_matching cl = [])
+
+let decision_is_first_log_entry () =
+  let cl, cons, _ = setup ~seed:4 () in
+  ignore (CR.run_until_all_decided cons : bool);
+  let first_value =
+    CR.value_of_command (Raft.Replica.log_entry (Cluster.replica cl 0) 1).Raft.Types.cmd
+  in
+  List.iter
+    (fun (_, v) -> check Alcotest.int "decision = first entry" first_value v)
+    (CR.decisions cons)
+
+let leader_crash_preserves_agreement () =
+  for seed = 1 to 15 do
+    let cl, cons, _ = setup ~seed () in
+    ignore (Cluster.run_until cl (fun () -> Cluster.current_leader cl <> None) : bool);
+    (match Cluster.current_leader cl with
+    | Some l ->
+        Cluster.crash cl l;
+        Dsim.Engine.schedule (Cluster.engine cl) ~delay:2_500 (fun () ->
+            Cluster.restart cl l)
+    | None -> ());
+    check Alcotest.bool (Printf.sprintf "seed %d decided" seed) true
+      (CR.run_until_all_decided ~timeout:300_000 cons);
+    check (Alcotest.list Alcotest.string)
+      (Printf.sprintf "seed %d vac view" seed)
+      [] (CR.check_vac_view cons)
+  done
+
+let vac_view_census_sane () =
+  let _, cons, _ = setup ~seed:2 () in
+  ignore (CR.run_until_all_decided cons : bool);
+  let view = CR.vac_view cons in
+  check Alcotest.bool "non-empty view" true (view <> []);
+  (* Every commit observation must carry the decided value. *)
+  let decided = snd (List.hd (CR.decisions cons)) in
+  List.iter
+    (fun o ->
+      match o.CR.obs with
+      | Consensus.Types.Commit v -> check Alcotest.int "commit value" decided v
+      | Consensus.Types.Adopt _ | Consensus.Types.Vacillate _ -> ())
+    view
+
+let reconciliator_fires_under_contention () =
+  (* A tight timeout spread forces split votes and election retries: the
+     timer reconciliator must fire repeatedly before a decision lands. *)
+  let config =
+    { Raft.Replica.default_config with election_timeout = (150, 158) }
+  in
+  let _, cons, _ = setup ~seed:3 ~config () in
+  check Alcotest.bool "eventually decides" true
+    (CR.run_until_all_decided ~timeout:600_000 cons);
+  check Alcotest.bool "reconciliator invoked" true
+    (List.length (CR.reconciliator_invocations cons) >= 1)
+
+let partition_then_heal_decides () =
+  let cl, cons, _ = setup ~seed:6 () in
+  ignore (Cluster.run_until cl (fun () -> Cluster.current_leader cl <> None) : bool);
+  let l = Option.get (Cluster.current_leader cl) in
+  let others = List.filter (fun i -> i <> l) [ 0; 1; 2; 3; 4 ] in
+  Cluster.partition cl [ [ l ]; others ];
+  Dsim.Engine.schedule (Cluster.engine cl) ~delay:4_000 (fun () -> Cluster.heal cl);
+  check Alcotest.bool "decides despite partition" true
+    (CR.run_until_all_decided ~timeout:300_000 cons);
+  check (Alcotest.list Alcotest.string) "view clean" [] (CR.check_vac_view cons)
+
+let prop_agreement_over_seeds =
+  QCheck.Test.make ~name:"Raft consensus agreement across sizes and seeds" ~count:25
+    QCheck.(pair (int_range 1 1_000_000) (int_range 3 7))
+    (fun (seed, n) ->
+      let cl, cons, inputs = setup ~n ~seed () in
+      let decided = CR.run_until_all_decided ~timeout:300_000 cons in
+      let ds = CR.decisions cons in
+      decided
+      && (match ds with
+         | [] -> false
+         | (_, v0) :: rest ->
+             List.for_all (fun (_, v) -> v = v0) rest
+             && Array.exists (fun x -> x = v0) inputs)
+      && CR.check_vac_view cons = []
+      && Cluster.violations cl = []
+      && Cluster.check_log_matching cl = [])
+
+let suite =
+  [
+    Alcotest.test_case "command codec" `Quick command_codec;
+    Alcotest.test_case "all decide same" `Quick basic_all_decide_same;
+    Alcotest.test_case "decision = first log entry" `Quick decision_is_first_log_entry;
+    Alcotest.test_case "leader crash preserves agreement" `Slow
+      leader_crash_preserves_agreement;
+    Alcotest.test_case "vac view census" `Quick vac_view_census_sane;
+    Alcotest.test_case "reconciliator under contention" `Quick
+      reconciliator_fires_under_contention;
+    Alcotest.test_case "partition then heal" `Quick partition_then_heal_decides;
+    qtest prop_agreement_over_seeds;
+  ]

@@ -1,0 +1,275 @@
+(* Tests for the shared-memory substrate: registers, Gafni adopt-commit,
+   the Aspnes conciliator, and full wait-free consensus. *)
+
+module P = Sharedmem.Protocol.Make (Consensus.Objects.Bool_value)
+module M = Consensus.Monitor.Make (Consensus.Objects.Bool_value)
+module Engine = Dsim.Engine
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let world ?steps ?(seed = 1) () =
+  let eng = Engine.create ~seed:(Int64.of_int seed) () in
+  (eng, Sharedmem.World.create eng ?steps ())
+
+let register_semantics () =
+  let eng, w = world () in
+  let r = Sharedmem.World.Reg.make 0 in
+  let values = ref [] in
+  ignore
+    (Engine.spawn eng (fun ectx ->
+         let proc = { Sharedmem.World.world = w; me = 0; ectx } in
+         Sharedmem.World.Reg.write proc r 5;
+         values := Sharedmem.World.Reg.read proc r :: !values;
+         Sharedmem.World.Reg.write proc r 7;
+         values := Sharedmem.World.Reg.read proc r :: !values)
+    : Engine.pid);
+  ignore (Engine.run eng : Engine.outcome);
+  check (Alcotest.list Alcotest.int) "reads see writes" [ 7; 5 ] !values;
+  check Alcotest.bool "ops counted" true (Sharedmem.World.ops_performed w >= 4)
+
+let step_policies_apply () =
+  let eng, w = world ~steps:(Sharedmem.World.Fixed_steps 10) () in
+  let r = Sharedmem.World.Reg.make 0 in
+  ignore
+    (Engine.spawn eng (fun ectx ->
+         let proc = { Sharedmem.World.world = w; me = 0; ectx } in
+         Sharedmem.World.Reg.write proc r 1;
+         ignore (Sharedmem.World.Reg.read proc r : int))
+    : Engine.pid);
+  ignore (Engine.run eng : Engine.outcome);
+  check Alcotest.int "two fixed steps" 20 (Engine.now eng)
+
+let custom_step_policy () =
+  let calls = ref [] in
+  let steps =
+    Sharedmem.World.Custom_steps
+      (fun ~me ~op ~rng:_ ->
+        calls := (me, op) :: !calls;
+        1)
+  in
+  let eng, w = world ~steps () in
+  let r = Sharedmem.World.Reg.make 0 in
+  ignore
+    (Engine.spawn eng (fun ectx ->
+         let proc = { Sharedmem.World.world = w; me = 3; ectx } in
+         Sharedmem.World.Reg.write proc r 1;
+         ignore (Sharedmem.World.Reg.read proc r : int))
+    : Engine.pid);
+  ignore (Engine.run eng : Engine.outcome);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "adversary consulted per op"
+    [ (3, 0); (3, 1) ]
+    (List.rev !calls)
+
+(* --- adopt-commit object ------------------------------------------------ *)
+
+let run_ac ~n ~seed ~inputs =
+  let eng, w = world ~seed () in
+  let shared = P.create_shared ~n w in
+  let monitor = M.create () in
+  Array.iteri
+    (fun i input ->
+      M.record_initial monitor ~pid:i input;
+      ignore
+        (Engine.spawn eng (fun ectx ->
+             let ctx = { P.shared; proc = { Sharedmem.World.world = w; me = i; ectx } } in
+             M.record_output monitor ~round:1 ~pid:i
+               (Consensus.Types.vac_of_ac (P.Ac_a.invoke ctx ~round:1 input)))
+        : Engine.pid))
+    inputs;
+  ignore (Engine.run eng : Engine.outcome);
+  monitor
+
+let ac_convergence () =
+  let monitor = run_ac ~n:6 ~seed:2 ~inputs:(Array.make 6 true) in
+  check Alcotest.int "clean" 0 (List.length (M.check_ac monitor));
+  List.iter
+    (fun (_, out) ->
+      check Alcotest.string "commit" "commit" (Consensus.Types.vac_confidence out))
+    (M.outputs monitor ~round:1)
+
+let ac_single_process_commits () =
+  let monitor = run_ac ~n:1 ~seed:3 ~inputs:[| false |] in
+  match M.outputs monitor ~round:1 with
+  | [ (_, out) ] ->
+      check Alcotest.string "solo commit" "commit" (Consensus.Types.vac_confidence out)
+  | _ -> Alcotest.fail "expected one output"
+
+let prop_ac_guarantees =
+  QCheck.Test.make ~name:"Gafni AC guarantees over random schedules" ~count:200
+    QCheck.(pair (int_range 1 1_000_000) (int_range 2 8))
+    (fun (seed, n) ->
+      let inputs = Array.init n (fun i -> (seed + i) mod 2 = 0) in
+      let monitor = run_ac ~n ~seed ~inputs in
+      M.check_ac monitor = [])
+
+let distinct_instances_do_not_interfere () =
+  (* Ac_a and Ac_b of the same round use separate register banks. *)
+  let eng, w = world ~seed:5 () in
+  let shared = P.create_shared ~n:2 w in
+  let outs = ref [] in
+  for i = 0 to 1 do
+    ignore
+      (Engine.spawn eng (fun ectx ->
+           let ctx = { P.shared; proc = { Sharedmem.World.world = w; me = i; ectx } } in
+           let a = P.Ac_a.invoke ctx ~round:1 (i = 0) in
+           let b = P.Ac_b.invoke ctx ~round:1 (i = 1) in
+           outs := (i, a, b) :: !outs)
+      : Engine.pid)
+  done;
+  ignore (Engine.run eng : Engine.outcome);
+  check Alcotest.int "both processes finished" 2 (List.length !outs)
+
+(* --- conciliator -------------------------------------------------------- *)
+
+let conciliator_validity_and_termination () =
+  for seed = 1 to 20 do
+    let eng, w = world ~seed () in
+    let shared = P.create_shared ~n:4 ~write_probability:0.25 w in
+    let results = ref [] in
+    for i = 0 to 3 do
+      ignore
+        (Engine.spawn eng (fun ectx ->
+             let ctx = { P.shared; proc = { Sharedmem.World.world = w; me = i; ectx } } in
+             let v =
+               P.Conciliator.invoke ctx ~round:1 (Consensus.Types.AC_adopt (i mod 2 = 0))
+             in
+             results := v :: !results)
+        : Engine.pid)
+    done;
+    let outcome = Engine.run eng in
+    check Alcotest.bool "terminates" true (outcome = Engine.Quiescent);
+    check Alcotest.int "all returned" 4 (List.length !results)
+  done
+
+let conciliator_preserves_unanimity () =
+  (* Everyone feeds true: every output must be true (the property that
+     makes decide-at-first-commit safe in Algorithm 2). *)
+  for seed = 1 to 20 do
+    let eng, w = world ~seed () in
+    let shared = P.create_shared ~n:5 w in
+    let results = ref [] in
+    for i = 0 to 4 do
+      ignore
+        (Engine.spawn eng (fun ectx ->
+             let ctx = { P.shared; proc = { Sharedmem.World.world = w; me = i; ectx } } in
+             let v =
+               P.Conciliator.invoke ctx ~round:1 (Consensus.Types.AC_adopt true)
+             in
+             results := v :: !results)
+        : Engine.pid)
+    done;
+    ignore (Engine.run eng : Engine.outcome);
+    List.iter (fun v -> check Alcotest.bool "output true" true v) !results
+  done
+
+let conciliator_sometimes_agrees () =
+  (* Probabilistic agreement: across seeds, a decent share of mixed-input
+     rounds must end unanimous. *)
+  let unanimous = ref 0 in
+  for seed = 1 to 40 do
+    let eng, w = world ~seed () in
+    let shared = P.create_shared ~n:4 w in
+    let results = ref [] in
+    for i = 0 to 3 do
+      ignore
+        (Engine.spawn eng (fun ectx ->
+             let ctx = { P.shared; proc = { Sharedmem.World.world = w; me = i; ectx } } in
+             let v =
+               P.Conciliator.invoke ctx ~round:1
+                 (Consensus.Types.AC_adopt (i mod 2 = 0))
+             in
+             results := v :: !results)
+        : Engine.pid)
+    done;
+    ignore (Engine.run eng : Engine.outcome);
+    match !results with
+    | v :: rest when List.for_all (Bool.equal v) rest -> incr unanimous
+    | _ -> ()
+  done;
+  check Alcotest.bool "agreement happens often" true (!unanimous >= 10)
+
+(* --- full consensus ------------------------------------------------------ *)
+
+let run_consensus ~n ~seed ~kills inputs =
+  let eng, w = world ~seed () in
+  let shared = P.create_shared ~n w in
+  let monitor = M.create () in
+  let decisions = ref [] in
+  let pids =
+    Array.init n (fun i ->
+        M.record_initial monitor ~pid:i inputs.(i);
+        Engine.spawn eng (fun ectx ->
+            let ctx = { P.shared; proc = { Sharedmem.World.world = w; me = i; ectx } } in
+            let observer = M.observer monitor ~pid:i in
+            let v, m = P.Consensus_sm.consensus ~observer ctx inputs.(i) in
+            decisions := (i, v, m) :: !decisions))
+  in
+  List.iter
+    (fun (delay, victim) ->
+      Engine.schedule eng ~delay (fun () -> Engine.kill eng pids.(victim)))
+    kills;
+  let outcome = Engine.run eng in
+  (outcome, List.rev !decisions, M.check_ac monitor @ M.check_consensus monitor)
+
+let consensus_basic () =
+  let outcome, ds, viols =
+    run_consensus ~n:6 ~seed:4 ~kills:[] (Array.init 6 (fun i -> i mod 2 = 0))
+  in
+  check Alcotest.bool "quiescent" true (outcome = Engine.Quiescent);
+  check Alcotest.int "all decided" 6 (List.length ds);
+  check Alcotest.int "clean" 0 (List.length viols);
+  match ds with
+  | (_, v0, _) :: rest ->
+      List.iter (fun (_, v, _) -> check Alcotest.bool "agreement" v0 v) rest
+  | [] -> Alcotest.fail "no decisions"
+
+let consensus_wait_free_under_kills () =
+  (* Wait-freedom: kill ANY strict subset at arbitrary times — the
+     survivors always finish. *)
+  for seed = 1 to 15 do
+    let outcome, ds, viols =
+      run_consensus ~n:6 ~seed
+        ~kills:[ (3, 0); (9, 1); (15, 2); (21, 3); (27, 4) ]
+        (Array.init 6 (fun i -> i mod 2 = 0))
+    in
+    check Alcotest.bool (Printf.sprintf "seed %d quiescent" seed) true
+      (outcome = Engine.Quiescent);
+    check Alcotest.bool "survivor decided" true (List.length ds >= 1);
+    check Alcotest.int "clean" 0 (List.length viols)
+  done
+
+let prop_consensus_safety =
+  QCheck.Test.make ~name:"shared-memory consensus safety" ~count:60
+    QCheck.(pair (int_range 1 1_000_000) (int_range 2 8))
+    (fun (seed, n) ->
+      let inputs = Array.init n (fun i -> (seed + i) mod 2 = 0) in
+      let outcome, ds, viols = run_consensus ~n ~seed ~kills:[] inputs in
+      outcome = Engine.Quiescent
+      && List.length ds = n
+      && viols = []
+      &&
+      match ds with
+      | (_, v0, _) :: rest -> List.for_all (fun (_, v, _) -> Bool.equal v v0) rest
+      | [] -> false)
+
+let suite =
+  [
+    Alcotest.test_case "register semantics" `Quick register_semantics;
+    Alcotest.test_case "step policies" `Quick step_policies_apply;
+    Alcotest.test_case "custom step policy" `Quick custom_step_policy;
+    Alcotest.test_case "AC convergence" `Quick ac_convergence;
+    Alcotest.test_case "AC solo commit" `Quick ac_single_process_commits;
+    qtest prop_ac_guarantees;
+    Alcotest.test_case "AC instances isolated" `Quick distinct_instances_do_not_interfere;
+    Alcotest.test_case "conciliator validity/termination" `Quick
+      conciliator_validity_and_termination;
+    Alcotest.test_case "conciliator preserves unanimity" `Quick
+      conciliator_preserves_unanimity;
+    Alcotest.test_case "conciliator sometimes agrees" `Quick conciliator_sometimes_agrees;
+    Alcotest.test_case "consensus basic" `Quick consensus_basic;
+    Alcotest.test_case "wait-free under kills" `Quick consensus_wait_free_under_kills;
+    qtest prop_consensus_safety;
+  ]

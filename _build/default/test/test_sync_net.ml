@@ -1,0 +1,199 @@
+(* Tests for the lock-step synchronous network and Byzantine strategies. *)
+
+module Engine = Dsim.Engine
+module Sync = Netsim.Sync_net
+module Byz = Netsim.Byzantine
+
+let check = Alcotest.check
+
+let run_exchange ~n ~byzantine ~strategy bodies =
+  let e = Engine.create ~seed:3L () in
+  let net = Sync.create e ~n ~byzantine ~strategy in
+  List.iter
+    (fun (i, body) -> ignore (Engine.spawn e (fun _ -> body net i) : Engine.pid))
+    bodies;
+  let outcome = Engine.run e in
+  (net, outcome)
+
+let honest_exchange () =
+  let results = Array.make 3 [||] in
+  let _, outcome =
+    run_exchange ~n:3 ~byzantine:[] ~strategy:Byz.silent
+      (List.init 3 (fun i ->
+           (i, fun net me -> results.(me) <- Sync.exchange net ~me (100 + me))))
+  in
+  check Alcotest.bool "quiescent" true (outcome = Engine.Quiescent);
+  Array.iteri
+    (fun me row ->
+      check
+        (Alcotest.array (Alcotest.option Alcotest.int))
+        (Printf.sprintf "node %d sees everyone" me)
+        [| Some 100; Some 101; Some 102 |]
+        row)
+    results
+
+let multiple_rounds_advance () =
+  let seen = ref [] in
+  let net, _ =
+    run_exchange ~n:2 ~byzantine:[] ~strategy:Byz.silent
+      (List.init 2 (fun i ->
+           ( i,
+             fun net me ->
+               for r = 1 to 3 do
+                 let row = Sync.exchange net ~me (10 * me + r) in
+                 if me = 0 then seen := row :: !seen
+               done )))
+  in
+  check Alcotest.int "three rounds completed" 3 (Sync.current_round net);
+  check Alcotest.int "three result rows" 3 (List.length !seen)
+
+let silent_byzantine_sends_nothing () =
+  let row = ref [||] in
+  let net, _ =
+    run_exchange ~n:3 ~byzantine:[ 2 ] ~strategy:Byz.silent
+      [ (0, fun net me -> row := Sync.exchange net ~me 1); (1, fun net me -> ignore (Sync.exchange net ~me 1 : int option array)) ]
+  in
+  check Alcotest.bool "byzantine flag" true (Sync.is_byzantine net 2);
+  check Alcotest.int "byzantine count" 1 (Sync.byzantine_count net);
+  check
+    (Alcotest.array (Alcotest.option Alcotest.int))
+    "silent slot is None"
+    [| Some 1; Some 1; None |]
+    !row
+
+let equivocation_per_destination () =
+  let rows = Array.make 4 [||] in
+  let _, _ =
+    run_exchange ~n:4 ~byzantine:[ 0 ] ~strategy:(Byz.split_world 7 9)
+      (List.init 3 (fun k ->
+           let i = k + 1 in
+           (i, fun net me -> rows.(me) <- Sync.exchange net ~me 0)))
+  in
+  (* dst < n/2 gets 7; others get 9. *)
+  check (Alcotest.option Alcotest.int) "dst 1 gets low" (Some 7) rows.(1).(0);
+  check (Alcotest.option Alcotest.int) "dst 2 gets high" (Some 9) rows.(2).(0);
+  check (Alcotest.option Alcotest.int) "dst 3 gets high" (Some 9) rows.(3).(0)
+
+let rushing_adversary_sees_current_round () =
+  let captured = ref None in
+  let strategy =
+    Sync.{
+      strategy_name = "spy";
+      act =
+        (fun ~round:_ ~byz:_ ~view ~dst:_ ~rng:_ ->
+          captured := Some (Array.copy view);
+          Some 0);
+    }
+  in
+  let _ =
+    run_exchange ~n:3 ~byzantine:[ 2 ] ~strategy
+      (List.init 2 (fun i ->
+           (i, fun net me -> ignore (Sync.exchange net ~me (me + 50) : int option array))))
+  in
+  match !captured with
+  | Some view ->
+      check
+        (Alcotest.array (Alcotest.option Alcotest.int))
+        "adversary saw honest messages before choosing"
+        [| Some 50; Some 51; None |]
+        view
+  | None -> Alcotest.fail "strategy never consulted"
+
+let crash_after_strategy () =
+  let rows = ref [] in
+  let _ =
+    run_exchange ~n:3 ~byzantine:[ 2 ]
+      ~strategy:(Byz.crash_after 1 (Byz.constant 5))
+      (List.init 2 (fun i ->
+           ( i,
+             fun net me ->
+               for _ = 1 to 2 do
+                 let row = Sync.exchange net ~me 0 in
+                 if me = 0 then rows := row.(2) :: !rows
+               done )))
+  in
+  check
+    (Alcotest.list (Alcotest.option Alcotest.int))
+    "active then silent" [ Some 5; None ] (List.rev !rows)
+
+let alternate_strategy () =
+  let rows = ref [] in
+  let _ =
+    run_exchange ~n:3 ~byzantine:[ 2 ]
+      ~strategy:(Byz.alternate (Byz.constant 1) (Byz.constant 2))
+      (List.init 2 (fun i ->
+           ( i,
+             fun net me ->
+               for _ = 1 to 4 do
+                 let row = Sync.exchange net ~me 0 in
+                 if me = 0 then rows := row.(2) :: !rows
+               done )))
+  in
+  check
+    (Alcotest.list (Alcotest.option Alcotest.int))
+    "even/odd alternation"
+    [ Some 1; Some 2; Some 1; Some 2 ]
+    (List.rev !rows)
+
+let echo_first_honest () =
+  let rows = Array.make 3 [||] in
+  let _ =
+    run_exchange ~n:3 ~byzantine:[ 1 ] ~strategy:Byz.echo_first_honest
+      [ (0, fun net me -> rows.(0) <- Sync.exchange net ~me 42);
+        (2, fun net me -> rows.(2) <- Sync.exchange net ~me 43) ]
+  in
+  check (Alcotest.option Alcotest.int) "echoes p0's message" (Some 42) rows.(0).(1)
+
+let crashed_honest_leaves_barrier () =
+  let e = Engine.create () in
+  let net = Sync.create e ~n:3 ~byzantine:[] ~strategy:Byz.silent in
+  let rows = ref [] in
+  let record me v =
+    (* bind the row before touching [rows]: [exchange] suspends, and
+       reading [!rows] before the suspension would lose updates *)
+    let row = Sync.exchange net ~me v in
+    rows := row :: !rows
+  in
+  ignore (Engine.spawn e (fun _ -> record 0 10) : Engine.pid);
+  ignore (Engine.spawn e (fun _ -> record 1 11) : Engine.pid);
+  (* p2 never exchanges; without marking it crashed the barrier stalls. *)
+  Engine.schedule e ~delay:5 (fun () -> Sync.crash net 2);
+  let outcome = Engine.run e in
+  check Alcotest.bool "round completed" true (outcome = Engine.Quiescent);
+  check Alcotest.int "both got rows" 2 (List.length !rows);
+  List.iter
+    (fun row ->
+      check (Alcotest.option Alcotest.int) "crashed slot empty" None row.(2))
+    !rows
+
+let double_submission_rejected () =
+  let e = Engine.create () in
+  let net = Sync.create e ~n:2 ~byzantine:[] ~strategy:Byz.silent in
+  (* Submitting twice without the round completing is a protocol bug. *)
+  let p =
+    Engine.spawn e (fun _ ->
+        ignore (Sync.exchange net ~me:0 1 : int option array))
+  in
+  ignore (Engine.run e : Engine.outcome);
+  (* p is blocked (partner never submitted): now inject a second submit. *)
+  check Alcotest.bool "still alive and blocked" true (Engine.alive e p);
+  Alcotest.check_raises "byzantine cannot exchange"
+    (Invalid_argument "Sync_net.exchange: Byzantine ids run no code") (fun () ->
+      let net2 =
+        Sync.create (Engine.create ()) ~n:2 ~byzantine:[ 0 ] ~strategy:Byz.silent
+      in
+      ignore (Sync.exchange net2 ~me:0 1 : int option array))
+
+let suite =
+  [
+    Alcotest.test_case "honest exchange" `Quick honest_exchange;
+    Alcotest.test_case "multiple rounds" `Quick multiple_rounds_advance;
+    Alcotest.test_case "silent byzantine" `Quick silent_byzantine_sends_nothing;
+    Alcotest.test_case "equivocation per destination" `Quick equivocation_per_destination;
+    Alcotest.test_case "rushing adversary" `Quick rushing_adversary_sees_current_round;
+    Alcotest.test_case "crash_after strategy" `Quick crash_after_strategy;
+    Alcotest.test_case "alternate strategy" `Quick alternate_strategy;
+    Alcotest.test_case "echo first honest" `Quick echo_first_honest;
+    Alcotest.test_case "crashed honest leaves barrier" `Quick crashed_honest_leaves_barrier;
+    Alcotest.test_case "bad submissions rejected" `Quick double_submission_rejected;
+  ]

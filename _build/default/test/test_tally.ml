@@ -1,0 +1,176 @@
+(* Tests for the incremental quorum tallies (Ben-Or and the decentralized
+   variant), the message pretty-printers, and the latency models. *)
+
+module Engine = Dsim.Engine
+module Net = Netsim.Async_net
+
+let check = Alcotest.check
+
+(* --- Ben-Or tally ------------------------------------------------------- *)
+
+let benor_net () =
+  let e = Engine.create ~seed:2L () in
+  let net : Ben_or.Messages.t Net.t =
+    Net.create e ~n:4 ~latency:(Netsim.Latency.Fixed 1) ~retain_inbox:false ()
+  in
+  (e, net)
+
+let tally_counts_by_phase () =
+  let e, net = benor_net () in
+  let t = Ben_or.Tally.attach net ~me:0 in
+  Net.send net ~src:1 ~dst:0 (Ben_or.Messages.Report { phase = 1; value = true });
+  Net.send net ~src:2 ~dst:0 (Ben_or.Messages.Report { phase = 1; value = false });
+  Net.send net ~src:3 ~dst:0 (Ben_or.Messages.Report { phase = 2; value = true });
+  Net.send net ~src:1 ~dst:0 (Ben_or.Messages.Ratify { phase = 1; value = true });
+  Net.send net ~src:2 ~dst:0 (Ben_or.Messages.Question { phase = 1 });
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.int "phase 1 reporters" 2 (Ben_or.Tally.step1_senders t ~phase:1);
+  check Alcotest.int "phase 2 reporters" 1 (Ben_or.Tally.step1_senders t ~phase:2);
+  check Alcotest.int "true reports" 1 (Ben_or.Tally.reports_for t ~phase:1 true);
+  check Alcotest.int "false reports" 1 (Ben_or.Tally.reports_for t ~phase:1 false);
+  check Alcotest.int "step2 senders" 2 (Ben_or.Tally.step2_senders t ~phase:1);
+  check Alcotest.int "ratify true" 1 (Ben_or.Tally.ratifies_for t ~phase:1 true);
+  check Alcotest.int "ratify false" 0 (Ben_or.Tally.ratifies_for t ~phase:1 false)
+
+let tally_dedups_senders () =
+  let e, net = benor_net () in
+  let t = Ben_or.Tally.attach net ~me:0 in
+  for _ = 1 to 5 do
+    Net.send net ~src:1 ~dst:0 (Ben_or.Messages.Report { phase = 1; value = true })
+  done;
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.int "one distinct sender" 1 (Ben_or.Tally.step1_senders t ~phase:1);
+  check Alcotest.int "one true report" 1 (Ben_or.Tally.reports_for t ~phase:1 true)
+
+let tally_forget_below () =
+  let e, net = benor_net () in
+  let t = Ben_or.Tally.attach net ~me:0 in
+  Net.send net ~src:1 ~dst:0 (Ben_or.Messages.Report { phase = 1; value = true });
+  Net.send net ~src:1 ~dst:0 (Ben_or.Messages.Report { phase = 5; value = true });
+  ignore (Engine.run e : Engine.outcome);
+  Ben_or.Tally.forget_below t ~phase:5;
+  check Alcotest.int "old phase dropped" 0 (Ben_or.Tally.step1_senders t ~phase:1);
+  check Alcotest.int "current phase kept" 1 (Ben_or.Tally.step1_senders t ~phase:5)
+
+(* --- decentralized tally ------------------------------------------------ *)
+
+let dec_net () =
+  let e = Engine.create ~seed:3L () in
+  let net : Raft.Decentralized_msg.t Net.t =
+    Net.create e ~n:5 ~latency:(Netsim.Latency.Fixed 1) ~retain_inbox:false ()
+  in
+  (e, net)
+
+let dec_tally_majority_and_order () =
+  let e, net = dec_net () in
+  let t = Raft.Dec_tally.attach net ~me:0 in
+  Engine.schedule e ~delay:0 (fun () ->
+      Net.send net ~src:3 ~dst:0 (Raft.Decentralized_msg.Propose { phase = 1; value = 9 }));
+  Engine.schedule e ~delay:5 (fun () ->
+      Net.send net ~src:1 ~dst:0 (Raft.Decentralized_msg.Propose { phase = 1; value = 7 });
+      Net.send net ~src:2 ~dst:0 (Raft.Decentralized_msg.Propose { phase = 1; value = 7 });
+      Net.send net ~src:4 ~dst:0 (Raft.Decentralized_msg.Propose { phase = 1; value = 7 }));
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.int "proposers" 4 (Raft.Dec_tally.proposers t ~phase:1);
+  check (Alcotest.option Alcotest.int) "majority of n=5" (Some 7)
+    (Raft.Dec_tally.majority_value t ~phase:1 ~n:5);
+  (match Raft.Dec_tally.proposals_in_arrival_order t ~phase:1 with
+  | (first_src, first_v) :: _ ->
+      check Alcotest.int "earliest sender first" 3 first_src;
+      check Alcotest.int "earliest value" 9 first_v
+  | [] -> Alcotest.fail "no proposals");
+  check Alcotest.int "no seconds yet" 0 (Raft.Dec_tally.second_senders t ~phase:1)
+
+let dec_tally_ratifications () =
+  let e, net = dec_net () in
+  let t = Raft.Dec_tally.attach net ~me:0 in
+  Net.send net ~src:1 ~dst:0 (Raft.Decentralized_msg.Second { phase = 2; ratify = Some 4 });
+  Net.send net ~src:2 ~dst:0 (Raft.Decentralized_msg.Second { phase = 2; ratify = Some 4 });
+  Net.send net ~src:3 ~dst:0 (Raft.Decentralized_msg.Second { phase = 2; ratify = None });
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.int "second senders" 3 (Raft.Dec_tally.second_senders t ~phase:2);
+  check Alcotest.int "ratifies for 4" 2 (Raft.Dec_tally.ratifies_for t ~phase:2 4);
+  check (Alcotest.list Alcotest.int) "ratified values" [ 4 ]
+    (Raft.Dec_tally.ratified_values t ~phase:2)
+
+(* --- message pretty-printers -------------------------------------------- *)
+
+let benor_message_pp () =
+  let s m = Ben_or.Messages.to_string m in
+  check Alcotest.string "report" "<1, true>@3"
+    (s (Ben_or.Messages.Report { phase = 3; value = true }));
+  check Alcotest.string "ratify" "<2, false, ratify>@1"
+    (s (Ben_or.Messages.Ratify { phase = 1; value = false }));
+  check Alcotest.string "question" "<2, ?>@2" (s (Ben_or.Messages.Question { phase = 2 }))
+
+let benor_message_predicates () =
+  check Alcotest.int "phase accessor" 4
+    (Ben_or.Messages.phase (Ben_or.Messages.Question { phase = 4 }));
+  check Alcotest.bool "step1 match" true
+    (Ben_or.Messages.is_step1 ~phase:2 (Ben_or.Messages.Report { phase = 2; value = true }));
+  check Alcotest.bool "step1 wrong phase" false
+    (Ben_or.Messages.is_step1 ~phase:2 (Ben_or.Messages.Report { phase = 3; value = true }));
+  check Alcotest.bool "step2 matches ratify" true
+    (Ben_or.Messages.is_step2 ~phase:1 (Ben_or.Messages.Ratify { phase = 1; value = true }));
+  check Alcotest.bool "step2 matches question" true
+    (Ben_or.Messages.is_step2 ~phase:1 (Ben_or.Messages.Question { phase = 1 }))
+
+let raft_message_kinds () =
+  let ae entries =
+    Raft.Types.Append_entries
+      {
+        term = 2;
+        leader_id = 0;
+        prev_log_index = 0;
+        prev_log_term = 0;
+        entries;
+        leader_commit = 1;
+      }
+  in
+  check Alcotest.string "entries kind" "ae"
+    (Raft.Types.msg_kind (ae [ { Raft.Types.entry_term = 2; cmd = "x" } ]));
+  check Alcotest.string "commit kind" "ae-commit" (Raft.Types.msg_kind (ae []));
+  check Alcotest.string "vote kind" "rv"
+    (Raft.Types.msg_kind
+       (Raft.Types.Request_vote
+          { term = 1; candidate_id = 0; last_log_index = 0; last_log_term = 0 }))
+
+(* --- latency models ------------------------------------------------------ *)
+
+let latency_draws_in_range () =
+  let rng = Dsim.Rng.create 4L in
+  for _ = 1 to 200 do
+    let d = Netsim.Latency.draw (Netsim.Latency.Uniform (3, 9)) ~src:0 ~dst:1 ~rng in
+    check Alcotest.bool "in range" true (d >= 3 && d <= 9)
+  done;
+  check Alcotest.int "fixed" 7
+    (Netsim.Latency.draw (Netsim.Latency.Fixed 7) ~src:0 ~dst:1 ~rng);
+  for _ = 1 to 200 do
+    let d =
+      Netsim.Latency.draw
+        (Netsim.Latency.Exponential { mean = 10.0; cap = 50 })
+        ~src:0 ~dst:1 ~rng
+    in
+    check Alcotest.bool "capped" true (d >= 0 && d <= 50)
+  done
+
+let latency_per_link_and_negative_clamp () =
+  let rng = Dsim.Rng.create 4L in
+  let model = Netsim.Latency.Per_link (fun ~src ~dst ~rng:_ -> (10 * src) - dst) in
+  check Alcotest.int "programmable" 19 (Netsim.Latency.draw model ~src:2 ~dst:1 ~rng);
+  check Alcotest.int "negative clamped to 0" 0
+    (Netsim.Latency.draw model ~src:0 ~dst:5 ~rng)
+
+let suite =
+  [
+    Alcotest.test_case "tally counts by phase" `Quick tally_counts_by_phase;
+    Alcotest.test_case "tally dedups senders" `Quick tally_dedups_senders;
+    Alcotest.test_case "tally forget_below" `Quick tally_forget_below;
+    Alcotest.test_case "dec tally majority/order" `Quick dec_tally_majority_and_order;
+    Alcotest.test_case "dec tally ratifications" `Quick dec_tally_ratifications;
+    Alcotest.test_case "ben-or message pp" `Quick benor_message_pp;
+    Alcotest.test_case "ben-or message predicates" `Quick benor_message_predicates;
+    Alcotest.test_case "raft message kinds" `Quick raft_message_kinds;
+    Alcotest.test_case "latency ranges" `Quick latency_draws_in_range;
+    Alcotest.test_case "latency per-link" `Quick latency_per_link_and_negative_clamp;
+  ]

@@ -1,0 +1,200 @@
+(* Tests for the generic templates (paper Algorithms 1 and 2), driven by
+   scripted mock objects so every control path is exercised exactly. *)
+
+open Consensus.Types
+
+let check = Alcotest.check
+
+(* A scripted world: the detector and progress objects pop pre-planned
+   responses and log every invocation. *)
+type script = {
+  mutable vac_outputs : int vac_result list;
+  mutable ac_outputs : int ac_result list;
+  mutable progress_outputs : int list;
+  mutable log : string list;
+}
+
+let log s fmt = Printf.ksprintf (fun m -> s.log <- m :: s.log) fmt
+
+let make_script ?(vac = []) ?(ac = []) ?(progress = []) () =
+  { vac_outputs = vac; ac_outputs = ac; progress_outputs = progress; log = [] }
+
+module Mock_vac = struct
+  type ctx = script
+
+  module Value = Consensus.Objects.Int_value
+
+  let invoke s ~round v =
+    log s "vac r%d v%d" round v;
+    match s.vac_outputs with
+    | [] -> Alcotest.fail "vac script exhausted"
+    | out :: rest ->
+        s.vac_outputs <- rest;
+        out
+end
+
+module Mock_reconciliator = struct
+  type ctx = script
+
+  module Value = Consensus.Objects.Int_value
+
+  let invoke s ~round detected =
+    log s "recon r%d (%s)" round (vac_confidence detected);
+    match s.progress_outputs with
+    | [] -> Alcotest.fail "reconciliator script exhausted"
+    | out :: rest ->
+        s.progress_outputs <- rest;
+        out
+end
+
+module Mock_ac = struct
+  type ctx = script
+
+  module Value = Consensus.Objects.Int_value
+
+  let invoke s ~round v =
+    log s "ac r%d v%d" round v;
+    match s.ac_outputs with
+    | [] -> Alcotest.fail "ac script exhausted"
+    | out :: rest ->
+        s.ac_outputs <- rest;
+        out
+end
+
+module Mock_conciliator = struct
+  type ctx = script
+
+  module Value = Consensus.Objects.Int_value
+
+  let invoke s ~round detected =
+    log s "conc r%d (%s)" round (ac_confidence detected);
+    match s.progress_outputs with
+    | [] -> Alcotest.fail "conciliator script exhausted"
+    | out :: rest ->
+        s.progress_outputs <- rest;
+        out
+end
+
+module Vac_template = Consensus.Template.Make_vac (Mock_vac) (Mock_reconciliator)
+module Ac_template = Consensus.Template.Make_ac (Mock_ac) (Mock_conciliator)
+
+let script_log s = List.rev s.log
+
+let vac_commit_immediately () =
+  let s = make_script ~vac:[ Commit 7 ] () in
+  let v, round = Vac_template.consensus s 1 in
+  check Alcotest.int "decided value" 7 v;
+  check Alcotest.int "round" 1 round;
+  check (Alcotest.list Alcotest.string) "single invocation" [ "vac r1 v1" ]
+    (script_log s)
+
+let vac_adopt_carries_value () =
+  let s = make_script ~vac:[ Adopt 3; Commit 3 ] () in
+  let v, round = Vac_template.consensus s 1 in
+  check Alcotest.int "decided" 3 v;
+  check Alcotest.int "two rounds" 2 round;
+  (* Round 2's input must be the adopted value, and the reconciliator is
+     never invoked on adopt. *)
+  check (Alcotest.list Alcotest.string) "no reconciliator"
+    [ "vac r1 v1"; "vac r2 v3" ] (script_log s)
+
+let vac_vacillate_invokes_reconciliator () =
+  let s = make_script ~vac:[ Vacillate 1; Commit 9 ] ~progress:[ 9 ] () in
+  let v, _ = Vac_template.consensus s 1 in
+  check Alcotest.int "decided reconciliator's suggestion" 9 v;
+  check (Alcotest.list Alcotest.string) "reconciliator between rounds"
+    [ "vac r1 v1"; "recon r1 (vacillate)"; "vac r2 v9" ] (script_log s)
+
+let vac_max_rounds_raises () =
+  let s = make_script ~vac:[ Vacillate 1; Vacillate 1; Vacillate 1 ] ~progress:[ 1; 1; 1 ] () in
+  Alcotest.check_raises "no decision" (Consensus.Template.No_decision 2) (fun () ->
+      ignore (Vac_template.consensus ~max_rounds:2 s 1 : int * int))
+
+let vac_observer_sequence () =
+  let s = make_script ~vac:[ Adopt 2; Commit 2 ] () in
+  let events = ref [] in
+  let observer =
+    {
+      Consensus.Template.on_detect =
+        (fun ~round r -> events := Printf.sprintf "detect r%d %s" round (vac_confidence r) :: !events);
+      on_new_preference =
+        (fun ~round v -> events := Printf.sprintf "pref r%d %d" round v :: !events);
+      on_decide =
+        (fun ~round v -> events := Printf.sprintf "decide r%d %d" round v :: !events);
+    }
+  in
+  ignore (Vac_template.consensus ~observer s 1 : int * int);
+  check (Alcotest.list Alcotest.string) "event order"
+    [ "detect r1 adopt"; "pref r1 2"; "detect r2 commit"; "decide r2 2" ]
+    (List.rev !events)
+
+let vac_participating_reports_both () =
+  let s =
+    make_script
+      ~vac:[ Commit 5; Adopt 6; Vacillate 6 ]
+      ~progress:[ 7 ] ()
+  in
+  let result = Vac_template.consensus_participating ~rounds:3 s 1 in
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int)) "first commit"
+    (Some (5, 1)) result.Consensus.Template.first_commit;
+  check Alcotest.int "final preference from reconciliator" 7
+    result.Consensus.Template.final_preference
+
+let vac_participating_no_commit () =
+  let s = make_script ~vac:[ Vacillate 1; Adopt 4 ] ~progress:[ 2 ] () in
+  let result = Vac_template.consensus_participating ~rounds:2 s 1 in
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int)) "no commit" None
+    result.Consensus.Template.first_commit;
+  check Alcotest.int "final from adopt" 4 result.Consensus.Template.final_preference
+
+let ac_commit_decides () =
+  let s = make_script ~ac:[ AC_commit 8 ] () in
+  let v, round = Ac_template.consensus s 1 in
+  check Alcotest.int "decided" 8 v;
+  check Alcotest.int "round" 1 round
+
+let ac_adopt_asks_conciliator () =
+  let s = make_script ~ac:[ AC_adopt 2; AC_commit 4 ] ~progress:[ 4 ] () in
+  let v, round = Ac_template.consensus s 1 in
+  check Alcotest.int "decided" 4 v;
+  check Alcotest.int "rounds" 2 round;
+  check (Alcotest.list Alcotest.string) "conciliator invoked on adopt"
+    [ "ac r1 v1"; "conc r1 (adopt)"; "ac r2 v4" ] (script_log s)
+
+let ac_participating_keeps_conciliator_in_loop () =
+  (* In participating mode even a committed processor joins the
+     conciliator exchange (lock-step substrates need every correct
+     processor), but its preference stays the committed value. *)
+  let s = make_script ~ac:[ AC_commit 5; AC_adopt 5 ] ~progress:[ 0; 0 ] () in
+  let result = Ac_template.consensus_participating ~rounds:2 s 5 in
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int)) "first commit"
+    (Some (5, 1)) result.Consensus.Template.first_commit;
+  check (Alcotest.list Alcotest.string) "conciliator joined both rounds"
+    [ "ac r1 v5"; "conc r1 (commit)"; "ac r2 v5"; "conc r2 (adopt)" ]
+    (script_log s);
+  (* Round 2's adopt sent it to the conciliator, whose suggestion (0) is
+     taken — matching the original BGP where a weakly-supported processor
+     follows the king even after an earlier strong round. *)
+  check Alcotest.int "final preference" 0 result.Consensus.Template.final_preference
+
+let ac_max_rounds_raises () =
+  let s = make_script ~ac:[ AC_adopt 1; AC_adopt 1 ] ~progress:[ 1; 1 ] () in
+  Alcotest.check_raises "no decision" (Consensus.Template.No_decision 2) (fun () ->
+      ignore (Ac_template.consensus ~max_rounds:2 s 1 : int * int))
+
+let suite =
+  [
+    Alcotest.test_case "VAC: commit decides" `Quick vac_commit_immediately;
+    Alcotest.test_case "VAC: adopt carries value" `Quick vac_adopt_carries_value;
+    Alcotest.test_case "VAC: vacillate -> reconciliator" `Quick
+      vac_vacillate_invokes_reconciliator;
+    Alcotest.test_case "VAC: max_rounds raises" `Quick vac_max_rounds_raises;
+    Alcotest.test_case "VAC: observer sequence" `Quick vac_observer_sequence;
+    Alcotest.test_case "VAC participating: both rules" `Quick vac_participating_reports_both;
+    Alcotest.test_case "VAC participating: no commit" `Quick vac_participating_no_commit;
+    Alcotest.test_case "AC: commit decides" `Quick ac_commit_decides;
+    Alcotest.test_case "AC: adopt -> conciliator" `Quick ac_adopt_asks_conciliator;
+    Alcotest.test_case "AC participating: conciliator in loop" `Quick
+      ac_participating_keeps_conciliator_in_loop;
+    Alcotest.test_case "AC: max_rounds raises" `Quick ac_max_rounds_raises;
+  ]

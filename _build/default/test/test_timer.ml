@@ -1,0 +1,72 @@
+(* Tests for resettable timers. *)
+
+module Engine = Dsim.Engine
+module Timer = Dsim.Timer
+
+let check = Alcotest.check
+
+let fires_once () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let t = Timer.create e (fun () -> incr fired) in
+  Timer.arm t ~delay:10;
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.int "fired exactly once" 1 !fired;
+  check Alcotest.bool "disarmed after firing" false (Timer.is_armed t)
+
+let cancel_prevents_firing () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let t = Timer.create e (fun () -> incr fired) in
+  Timer.arm t ~delay:10;
+  Engine.schedule e ~delay:5 (fun () -> Timer.cancel t);
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.int "never fired" 0 !fired
+
+let rearm_replaces_pending () =
+  let e = Engine.create () in
+  let fire_times = ref [] in
+  let t = ref None in
+  let timer = Timer.create e (fun () -> fire_times := Engine.now e :: !fire_times) in
+  t := Some timer;
+  Timer.arm timer ~delay:10;
+  Engine.schedule e ~delay:5 (fun () -> Timer.arm timer ~delay:10);
+  ignore (Engine.run e : Engine.outcome);
+  check (Alcotest.list Alcotest.int) "single firing at reset deadline" [ 15 ]
+    (List.rev !fire_times)
+
+let raft_style_heartbeat () =
+  (* Re-arming from inside the callback gives a periodic timer. *)
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec mk () =
+    let t =
+      Timer.create e (fun () ->
+          incr count;
+          if !count < 5 then Timer.arm (Lazy.force lazy_t) ~delay:10)
+    in
+    t
+  and lazy_t = lazy (mk ()) in
+  Timer.arm (Lazy.force lazy_t) ~delay:10;
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.int "five periodic firings" 5 !count;
+  check Alcotest.int "clock advanced accordingly" 50 (Engine.now e)
+
+let is_armed_tracks_state () =
+  let e = Engine.create () in
+  let t = Timer.create e (fun () -> ()) in
+  check Alcotest.bool "initially disarmed" false (Timer.is_armed t);
+  Timer.arm t ~delay:5;
+  check Alcotest.bool "armed" true (Timer.is_armed t);
+  Timer.cancel t;
+  check Alcotest.bool "cancelled" false (Timer.is_armed t);
+  ignore (Engine.run e : Engine.outcome)
+
+let suite =
+  [
+    Alcotest.test_case "fires once" `Quick fires_once;
+    Alcotest.test_case "cancel prevents firing" `Quick cancel_prevents_firing;
+    Alcotest.test_case "rearm replaces pending" `Quick rearm_replaces_pending;
+    Alcotest.test_case "periodic via re-arm" `Quick raft_style_heartbeat;
+    Alcotest.test_case "is_armed tracks state" `Quick is_armed_tracks_state;
+  ]

@@ -1,0 +1,56 @@
+(* Tests for structured traces. *)
+
+let check = Alcotest.check
+
+let emit_and_read () =
+  let t = Dsim.Trace.create () in
+  Dsim.Trace.emit t ~time:1 ~pid:0 ~tag:"send" "hello";
+  Dsim.Trace.emit t ~time:2 ~tag:"recv" "world";
+  check Alcotest.int "length" 2 (Dsim.Trace.length t);
+  match Dsim.Trace.events t with
+  | [ e1; e2 ] ->
+      check Alcotest.int "first time" 1 e1.Dsim.Trace.time;
+      check (Alcotest.option Alcotest.int) "first pid" (Some 0) e1.Dsim.Trace.pid;
+      check Alcotest.string "first tag" "send" e1.Dsim.Trace.tag;
+      check (Alcotest.option Alcotest.int) "second pid" None e2.Dsim.Trace.pid;
+      check Alcotest.string "second detail" "world" e2.Dsim.Trace.detail
+  | other -> Alcotest.failf "expected 2 events, got %d" (List.length other)
+
+let filtering () =
+  let t = Dsim.Trace.create () in
+  for i = 1 to 10 do
+    Dsim.Trace.emit t ~time:i ~tag:(if i mod 2 = 0 then "even" else "odd") "x"
+  done;
+  check Alcotest.int "count even" 5 (Dsim.Trace.count t "even");
+  check Alcotest.int "count other" 0 (Dsim.Trace.count t "missing");
+  let evens = Dsim.Trace.with_tag t "even" in
+  check (Alcotest.list Alcotest.int) "ordered ascending" [ 2; 4; 6; 8; 10 ]
+    (List.map (fun e -> e.Dsim.Trace.time) evens)
+
+let capacity_keeps_newest () =
+  let t = Dsim.Trace.create ~capacity:10 () in
+  for i = 1 to 100 do
+    Dsim.Trace.emit t ~time:i ~tag:"e" "x"
+  done;
+  let times = List.map (fun e -> e.Dsim.Trace.time) (Dsim.Trace.events t) in
+  check Alcotest.bool "bounded" true (List.length times <= 20);
+  check Alcotest.int "newest retained" 100 (List.fold_left max 0 times)
+
+let pp_formats () =
+  let t = Dsim.Trace.create () in
+  Dsim.Trace.emit t ~time:5 ~pid:3 ~tag:"kill" "victim";
+  match Dsim.Trace.events t with
+  | [ e ] ->
+      let s = Format.asprintf "%a" Dsim.Trace.pp_event e in
+      check Alcotest.bool "mentions time" true
+        (Astring_like.contains s "t=5" || Astring_like.contains s "5");
+      check Alcotest.bool "mentions tag" true (Astring_like.contains s "kill")
+  | _ -> Alcotest.fail "expected one event"
+
+let suite =
+  [
+    Alcotest.test_case "emit and read" `Quick emit_and_read;
+    Alcotest.test_case "filtering" `Quick filtering;
+    Alcotest.test_case "capacity keeps newest" `Quick capacity_keeps_newest;
+    Alcotest.test_case "pp formats" `Quick pp_formats;
+  ]

@@ -1,0 +1,50 @@
+(* Tests for the object result types. *)
+
+open Consensus.Types
+
+let check = Alcotest.check
+
+let values () =
+  check Alcotest.int "ac adopt" 5 (ac_value (AC_adopt 5));
+  check Alcotest.int "ac commit" 6 (ac_value (AC_commit 6));
+  check Alcotest.int "vac vacillate" 1 (vac_value (Vacillate 1));
+  check Alcotest.int "vac adopt" 2 (vac_value (Adopt 2));
+  check Alcotest.int "vac commit" 3 (vac_value (Commit 3))
+
+let confidences () =
+  check Alcotest.string "adopt" "adopt" (ac_confidence (AC_adopt 0));
+  check Alcotest.string "commit" "commit" (ac_confidence (AC_commit 0));
+  check Alcotest.string "vacillate" "vacillate" (vac_confidence (Vacillate 0));
+  check Alcotest.string "vac adopt" "adopt" (vac_confidence (Adopt 0));
+  check Alcotest.string "vac commit" "commit" (vac_confidence (Commit 0))
+
+let embedding () =
+  check Alcotest.bool "adopt embeds" true (vac_of_ac (AC_adopt 7) = Adopt 7);
+  check Alcotest.bool "commit embeds" true (vac_of_ac (AC_commit 8) = Commit 8)
+
+let equality () =
+  let eq = equal_vac Int.equal in
+  check Alcotest.bool "same" true (eq (Adopt 1) (Adopt 1));
+  check Alcotest.bool "same conf, diff value" false (eq (Adopt 1) (Adopt 2));
+  check Alcotest.bool "diff conf, same value" false (eq (Adopt 1) (Commit 1));
+  check Alcotest.bool "vacillate vs adopt" false (eq (Vacillate 1) (Adopt 1));
+  let eqa = equal_ac Int.equal in
+  check Alcotest.bool "ac same" true (eqa (AC_commit 3) (AC_commit 3));
+  check Alcotest.bool "ac diff" false (eqa (AC_commit 3) (AC_adopt 3))
+
+let printing () =
+  let s r = Format.asprintf "%a" (pp_vac Format.pp_print_int) r in
+  check Alcotest.string "vacillate" "(vacillate, 4)" (s (Vacillate 4));
+  check Alcotest.string "adopt" "(adopt, 4)" (s (Adopt 4));
+  check Alcotest.string "commit" "(commit, 4)" (s (Commit 4));
+  let sa r = Format.asprintf "%a" (pp_ac Format.pp_print_int) r in
+  check Alcotest.string "ac adopt" "(adopt, 9)" (sa (AC_adopt 9))
+
+let suite =
+  [
+    Alcotest.test_case "values" `Quick values;
+    Alcotest.test_case "confidences" `Quick confidences;
+    Alcotest.test_case "AC embeds into VAC" `Quick embedding;
+    Alcotest.test_case "equality" `Quick equality;
+    Alcotest.test_case "printing" `Quick printing;
+  ]

@@ -1,0 +1,85 @@
+(* Tests for the growable array. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let push_get () =
+  let v = Dsim.Vec.create () in
+  for i = 0 to 99 do
+    Dsim.Vec.push v (i * i)
+  done;
+  check Alcotest.int "length" 100 (Dsim.Vec.length v);
+  check Alcotest.int "get 0" 0 (Dsim.Vec.get v 0);
+  check Alcotest.int "get 99" (99 * 99) (Dsim.Vec.get v 99);
+  check (Alcotest.option Alcotest.int) "last" (Some (99 * 99)) (Dsim.Vec.last v)
+
+let bounds () =
+  let v = Dsim.Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec.get: index 3 out of bounds (size 3)") (fun () ->
+      ignore (Dsim.Vec.get v 3 : int));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Vec.get: index -1 out of bounds (size 3)") (fun () ->
+      ignore (Dsim.Vec.get v (-1) : int))
+
+let set () =
+  let v = Dsim.Vec.of_list [ 1; 2; 3 ] in
+  Dsim.Vec.set v 1 42;
+  check (Alcotest.list Alcotest.int) "after set" [ 1; 42; 3 ] (Dsim.Vec.to_list v)
+
+let truncate () =
+  let v = Dsim.Vec.of_list [ 1; 2; 3; 4; 5 ] in
+  Dsim.Vec.truncate v 2;
+  check (Alcotest.list Alcotest.int) "truncated" [ 1; 2 ] (Dsim.Vec.to_list v);
+  Dsim.Vec.push v 9;
+  check (Alcotest.list Alcotest.int) "push after truncate" [ 1; 2; 9 ]
+    (Dsim.Vec.to_list v);
+  Alcotest.check_raises "truncate beyond length"
+    (Invalid_argument "Vec.truncate: bad length") (fun () -> Dsim.Vec.truncate v 4);
+  Dsim.Vec.truncate v 0;
+  check Alcotest.bool "truncate to zero" true (Dsim.Vec.is_empty v)
+
+let copy_is_independent () =
+  let v = Dsim.Vec.of_list [ 1; 2 ] in
+  let w = Dsim.Vec.copy v in
+  Dsim.Vec.push w 3;
+  Dsim.Vec.set w 0 100;
+  check (Alcotest.list Alcotest.int) "original untouched" [ 1; 2 ] (Dsim.Vec.to_list v);
+  check (Alcotest.list Alcotest.int) "copy mutated" [ 100; 2; 3 ] (Dsim.Vec.to_list w)
+
+let iteri_and_fold () =
+  let v = Dsim.Vec.of_list [ 10; 20; 30 ] in
+  let acc = ref [] in
+  Dsim.Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "iteri order"
+    [ (0, 10); (1, 20); (2, 30) ]
+    (List.rev !acc);
+  check Alcotest.int "fold sum" 60 (Dsim.Vec.fold_left ( + ) 0 v)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"to_list (of_list l) = l" ~count:300
+    QCheck.(list small_int)
+    (fun l -> Dsim.Vec.to_list (Dsim.Vec.of_list l) = l)
+
+let prop_truncate_prefix =
+  QCheck.Test.make ~name:"truncate keeps a prefix" ~count:300
+    QCheck.(pair (list small_int) small_nat)
+    (fun (l, k) ->
+      let v = Dsim.Vec.of_list l in
+      let k = min k (List.length l) in
+      Dsim.Vec.truncate v k;
+      Dsim.Vec.to_list v = List.filteri (fun i _ -> i < k) l)
+
+let suite =
+  [
+    Alcotest.test_case "push/get/last" `Quick push_get;
+    Alcotest.test_case "bounds checking" `Quick bounds;
+    Alcotest.test_case "set" `Quick set;
+    Alcotest.test_case "truncate" `Quick truncate;
+    Alcotest.test_case "copy independence" `Quick copy_is_independent;
+    Alcotest.test_case "iteri and fold" `Quick iteri_and_fold;
+    qtest prop_roundtrip;
+    qtest prop_truncate_prefix;
+  ]
