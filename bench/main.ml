@@ -111,6 +111,11 @@ let decentralized_run seed =
   done;
   ignore (Dsim.Engine.run eng : Dsim.Engine.outcome)
 
+let rsm_run backend seed =
+  ignore
+    (Workload.Rsm_load.run_one ~n:5 ~clients:4 ~commands:2 ~batch:8 ~seed ~backend ()
+      : Rsm.Runner.report * Workload.Rsm_load.summary)
+
 (* Rotate seeds so the benchmark averages over schedules instead of
    re-simulating one fixed run. *)
 let rotating f =
@@ -148,6 +153,13 @@ let tests =
           Test.make ~name:"consensus.n6" (rotating sharedmem_run);
           Test.make ~name:"vac-from-two-ac.n5" (rotating vac_from_two_ac_run);
         ];
+      Test.make_grouped ~name:"rsm"
+        (List.map
+           (fun b ->
+             Test.make
+               ~name:(Printf.sprintf "%s.n5" (Rsm.Backend.name b))
+               (rotating (rsm_run b)))
+           Rsm.Backend.all);
       (* E8 is the decomposed/monolithic pairs above read side by side. *)
     ]
 
@@ -187,6 +199,17 @@ let () =
   if not (has "bench-only") then begin
     Format.printf "Experiment tables (scale: %s) — paper-shape checks@.@."
       (if scale = Workload.Experiments.Full then "full" else "quick");
-    Workload.Experiments.run_all ~scale Format.std_formatter
+    Workload.Experiments.run_all ~scale Format.std_formatter;
+    (* RSM batching throughput: acked cmds per 1000 virtual-time units at
+       batch sizes {1, 8, 32} — batching should win monotonically. *)
+    let summaries =
+      if scale = Workload.Experiments.Full then
+        Workload.Rsm_load.sweep_batches Format.std_formatter
+      else
+        Workload.Rsm_load.sweep_batches ~clients:12 ~commands:3 ~seeds:1
+          Format.std_formatter
+    in
+    if List.exists (fun s -> not s.Workload.Rsm_load.ok) summaries then
+      Format.printf "WARNING: some RSM sweep cells reported violations@."
   end;
   if not (has "tables-only") then run_benchmarks ()

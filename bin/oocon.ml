@@ -266,6 +266,100 @@ let sharedmem_cmd =
        ~doc:"Run wait-free shared-memory consensus (registers, Aspnes' framework).")
     term
 
+(* ---------------------------------------------------------------- rsm -- *)
+
+let rsm_cmd =
+  let backend_arg =
+    let doc = "Consensus backend deciding each log slot: ben-or, phase-king, raft." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ben-or", Rsm.Backend.ben_or);
+               ("phase-king", Rsm.Backend.phase_king);
+               ("raft", Rsm.Backend.raft);
+             ])
+          Rsm.Backend.ben_or
+      & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let clients_arg =
+    let doc = "Closed-loop clients driving the store." in
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"K" ~doc)
+  in
+  let commands_arg =
+    let doc = "Commands per client." in
+    Arg.(value & opt int 8 & info [ "commands" ] ~docv:"M" ~doc)
+  in
+  let crashes_arg =
+    let doc = "Replicas to crash-stop (staggered early in the run)." in
+    Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"F" ~doc)
+  in
+  let batch_arg =
+    let doc = "Max commands batched into one consensus slot." in
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"B" ~doc)
+  in
+  let run n seed backend clients commands crashes batch show_trace =
+    if crashes >= n then begin
+      Format.eprintf "need at least one live replica (crashes < n)@.";
+      exit 2
+    end;
+    if batch < 1 then begin
+      Format.eprintf "batch must be >= 1@.";
+      exit 2
+    end;
+    let r, s =
+      Workload.Rsm_load.run_one ~n ~clients ~commands ~batch ~crashes ~seed
+        ~backend ()
+    in
+    Format.printf "RSM over %s: n=%d clients=%d x %d cmds batch=%d seed=%d@."
+      s.Workload.Rsm_load.backend_name n clients commands batch seed;
+    Format.printf
+      "  %d/%d commands acked, %d slots, %d consensus instances, %d messages@."
+      s.Workload.Rsm_load.acked s.Workload.Rsm_load.commands
+      s.Workload.Rsm_load.slots s.Workload.Rsm_load.instances
+      s.Workload.Rsm_load.messages;
+    (match r.Rsm.Runner.crashed with
+    | [] -> ()
+    | cs ->
+        Format.printf "  crashed: %s@."
+          (String.concat ", " (List.map (Printf.sprintf "p%d") cs)));
+    Array.iteri
+      (fun pid count ->
+        Format.printf "  p%d applied %d commands%s@." pid count
+          (if List.mem pid r.Rsm.Runner.crashed then " (crashed)" else ""))
+      r.Rsm.Runner.delivered;
+    Format.printf "  throughput %.1f cmds/1000vt over %d virtual time@."
+      s.Workload.Rsm_load.throughput s.Workload.Rsm_load.virtual_time;
+    Option.iter
+      (fun l -> Format.printf "  ack latency %a@." Workload.Stats.pp_summary l)
+      s.Workload.Rsm_load.latency;
+    let problems = r.Rsm.Runner.violations @ r.Rsm.Runner.completeness in
+    (match problems with
+    | [] when r.Rsm.Runner.digests_agree ->
+        Format.printf
+          "total order, integrity, no-duplication and completeness all hold; \
+           live replicas' states agree@."
+    | [] ->
+        Format.printf "VIOLATION: live replicas' state digests diverge@."
+    | vs ->
+        Format.printf "VIOLATIONS:@.";
+        List.iter (fun v -> Format.printf "  %a@." Rsm.Checker.pp_violation v) vs);
+    dump_trace ~limit:show_trace r.Rsm.Runner.trace;
+    if problems <> [] || not r.Rsm.Runner.digests_agree then exit 1
+  in
+  let term =
+    Term.(
+      const run $ n_arg 5 $ seed_arg $ backend_arg $ clients_arg $ commands_arg
+      $ crashes_arg $ batch_arg $ show_trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "rsm"
+       ~doc:
+         "Run the replicated KV state machine: total-order broadcast over a \
+          log of consensus slots, any backend.")
+    term
+
 (* -------------------------------------------------------- experiments -- *)
 
 let experiments_cmd =
@@ -298,6 +392,7 @@ let experiments_cmd =
 let main_cmd =
   let doc = "object-oriented consensus: decomposed consensus algorithms under simulation" in
   let info = Cmd.info "oocon" ~version:"1.0.0" ~doc in
-  Cmd.group info [ benor_cmd; phase_king_cmd; raft_cmd; sharedmem_cmd; experiments_cmd ]
+  Cmd.group info
+    [ benor_cmd; phase_king_cmd; raft_cmd; sharedmem_cmd; rsm_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,114 +1,70 @@
-(* A replicated key-value store on the Raft substrate.
+(* A replicated key-value store on the RSM subsystem, Raft backend.
 
-   This example uses the full Raft machinery (leader election, log
-   replication, repair) that the consensus reduction of paper Section 4.3
-   is built on, the way a downstream system would: commands are
-   "SET key value" strings, every replica applies committed commands to
-   its own hash table, and the cluster survives a leader crash and a
-   partition mid-stream.
+   The earlier version of this example drove the Raft cluster machinery
+   directly, parsing "SET key value" strings by hand.  Now that lib/rsm
+   lifts one-shot consensus into a replicated state machine, a
+   downstream system gets the same result from the typed KV interface:
+   closed-loop clients submit [Set]/[Get]/[Cas] commands, the
+   total-order-broadcast layer batches them into numbered log slots,
+   each slot is decided by nested Raft consensus instances, and the
+   checker certifies the total order — through two replica crashes.
 
      dune exec examples/raft_kv.exe *)
 
-module Cluster = Raft.Cluster
-module Replica = Raft.Replica
-
-type store = (string, string) Hashtbl.t
-
-let apply_command (store : store) cmd =
-  match String.split_on_char ' ' cmd with
-  | [ "SET"; key; value ] -> Hashtbl.replace store key value
-  | _ -> Format.printf "ignoring malformed command %S@." cmd
-
 let () =
   let n = 5 in
-  let cl = Cluster.create ~seed:11L ~n () in
-  let stores = Array.init n (fun _ -> (Hashtbl.create 16 : store)) in
-  (* Wire each replica's state machine: rebuild from scratch on restart
-     (committed entries are re-applied from index 1). *)
-  Array.iteri
-    (fun i r ->
-      Replica.subscribe r (fun ev ->
-          match ev with
-          | Replica.Event.Applied { cmd; _ } -> apply_command stores.(i) cmd
-          | Replica.Event.Restarted -> Hashtbl.reset stores.(i)
-          | Replica.Event.Became_candidate _ | Replica.Event.Became_leader _
-          | Replica.Event.Stepped_down _ | Replica.Event.Election_timeout _
-          | Replica.Event.Accepted_entries _ | Replica.Event.Committed _
-          | Replica.Event.Crashed ->
-              ()))
-    (Cluster.replicas cl);
-  Cluster.start cl;
-
-  let submit cmd =
-    if not (Cluster.run_until cl (fun () -> Cluster.propose_via_leader cl cmd)) then
-      failwith ("could not submit: " ^ cmd)
+  let ops =
+    [|
+      (* client 0 writes, then checks its own write is visible *)
+      [
+        Rsm.App.Set ("currency", "OCaml");
+        Rsm.App.Set ("paper", "object-oriented-consensus");
+        Rsm.App.Get "currency";
+      ];
+      (* client 1 races client 2 on the same key via CAS *)
+      [
+        Rsm.App.Set ("lock", "free");
+        Rsm.App.Cas { key = "lock"; expect = Some "free"; update = "held-by-1" };
+        Rsm.App.Set ("survivor", "true");
+      ];
+      [
+        Rsm.App.Cas { key = "lock"; expect = Some "free"; update = "held-by-2" };
+        Rsm.App.Set ("partition", "tolerated");
+        Rsm.App.Get "lock";
+      ];
+    |]
   in
-  let await_commit index =
-    let committed () =
-      let live_done = ref 0 and live = ref 0 in
-      Array.iter
-        (fun r ->
-          if not (Replica.is_stopped r) then begin
-            incr live;
-            if Replica.last_applied r >= index then incr live_done
-          end)
-        (Cluster.replicas cl);
-      !live_done = !live
-    in
-    if not (Cluster.run_until cl committed) then failwith "commit timed out"
+  let cfg =
+    {
+      (Rsm.Runner.default_config ~n ~ops) with
+      backend = Rsm.Backend.raft;
+      batch = 4;
+      seed = 11L;
+      (* crash two replicas mid-stream: a minority, so the RSM keeps going *)
+      crash_schedule = [ (50, 0); (120, 3) ];
+    }
   in
-
-  submit "SET currency OCaml";
-  submit "SET paper object-oriented-consensus";
-  await_commit 2;
-  Format.printf "2 commands committed cluster-wide (t=%d)@."
-    (Dsim.Engine.now (Cluster.engine cl));
-
-  (* Crash the leader; the cluster elects a successor and keeps going. *)
-  let leader = Option.get (Cluster.current_leader cl) in
-  Cluster.crash cl leader;
-  Format.printf "crashed leader p%d@." leader;
-  submit "SET survivor true";
-  await_commit 3;
-
-  (* Heal the crashed node: it catches up through log repair. *)
-  Cluster.restart cl leader;
-  ignore
-    (Cluster.run_until cl (fun () ->
-         Replica.last_applied (Cluster.replica cl leader) >= 3)
-    : bool);
-  Format.printf "p%d restarted and caught up@." leader;
-
-  (* Partition a minority away and commit through the majority side. *)
-  Cluster.partition cl [ [ 0; 1; 2 ]; [ 3; 4 ] ];
-  submit "SET partition tolerated";
-  ignore
-    (Cluster.run_until cl (fun () ->
-         let done_ = ref 0 in
-         Array.iter
-           (fun r -> if Replica.last_applied r >= 4 then incr done_)
-           (Cluster.replicas cl);
-         !done_ >= 3)
-    : bool);
-  Cluster.heal cl;
-  await_commit 4;
-  Format.printf "partition healed; all replicas converged@.";
-
-  (* Show the replicated state and check the Raft invariants. *)
-  let reference = stores.(0) in
+  let r = Rsm.Runner.run cfg in
+  Format.printf "replicated KV over %s consensus: n=%d, %d commands@."
+    (Rsm.Backend.name cfg.backend) n r.Rsm.Runner.submitted;
+  Format.printf "%d/%d acked in %d slots (%d nested consensus instances, t=%d)@."
+    r.Rsm.Runner.acked r.Rsm.Runner.submitted r.Rsm.Runner.slots
+    r.Rsm.Runner.instances r.Rsm.Runner.virtual_time;
+  List.iter (Format.printf "crashed replica p%d mid-run@.") r.Rsm.Runner.crashed;
   Array.iteri
-    (fun i store ->
-      let same =
-        Hashtbl.length store = Hashtbl.length reference
-        && Hashtbl.fold
-             (fun k v acc -> acc && Hashtbl.find_opt reference k = Some v)
-             store true
-      in
-      Format.printf "replica %d: %d keys%s@." i (Hashtbl.length store)
-        (if same then "" else " (DIVERGED)"))
-    stores;
-  match Cluster.violations cl @ Cluster.check_log_matching cl with
-  | [] -> Format.printf "election safety, log matching and SMS all held@."
+    (fun pid digest ->
+      let crashed = List.mem pid r.Rsm.Runner.crashed in
+      Format.printf "replica %d%s: applied %d, state {%s}@." pid
+        (if crashed then " (crashed)" else "")
+        r.Rsm.Runner.delivered.(pid)
+        (if crashed then "..." else digest))
+    r.Rsm.Runner.digests;
+  match r.Rsm.Runner.violations @ r.Rsm.Runner.completeness with
+  | [] when r.Rsm.Runner.digests_agree ->
+      Format.printf
+        "total order, integrity, completeness held; live replicas agree@."
   | vs ->
-      List.iter (Format.printf "VIOLATION: %s@.") vs;
+      List.iter (Format.printf "VIOLATION: %a@." Rsm.Checker.pp_violation) vs;
+      if not r.Rsm.Runner.digests_agree then
+        Format.printf "VIOLATION: live replica digests diverged@.";
       exit 1

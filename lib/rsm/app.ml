@@ -1,0 +1,92 @@
+module type MACHINE = sig
+  type t
+  type cmd
+  type output
+
+  val create : unit -> t
+  val apply : t -> cmd -> output
+  val digest : t -> string
+  val pp_cmd : Format.formatter -> cmd -> unit
+end
+
+module type INSTANCE = sig
+  type cmd
+  type output
+  type t
+
+  val create : unit -> t
+  val apply : t -> cmd -> output
+  val applied : t -> int
+  val history : t -> cmd list
+  val digest : t -> string
+  val pp_cmd : Format.formatter -> cmd -> unit
+end
+
+module Make (M : MACHINE) = struct
+  type cmd = M.cmd
+  type output = M.output
+
+  type t = {
+    machine : M.t;
+    mutable applied : int;
+    mutable history : M.cmd list;  (* newest first *)
+  }
+
+  let create () = { machine = M.create (); applied = 0; history = [] }
+
+  let apply t cmd =
+    let out = M.apply t.machine cmd in
+    t.applied <- t.applied + 1;
+    t.history <- cmd :: t.history;
+    out
+
+  let applied t = t.applied
+  let history t = List.rev t.history
+  let digest t = M.digest t.machine
+  let pp_cmd = M.pp_cmd
+end
+
+type kv_cmd =
+  | Get of string
+  | Set of string * string
+  | Cas of { key : string; expect : string option; update : string }
+
+type kv_output = Got of string option | Done | Cas_result of bool
+
+let pp_kv_cmd ppf = function
+  | Get k -> Format.fprintf ppf "GET %s" k
+  | Set (k, v) -> Format.fprintf ppf "SET %s=%s" k v
+  | Cas { key; expect; update } ->
+      Format.fprintf ppf "CAS %s %s->%s" key
+        (Option.value expect ~default:"\xe2\x88\x85")
+        update
+
+module Kv_machine = struct
+  type t = (string, string) Hashtbl.t
+  type cmd = kv_cmd
+  type output = kv_output
+
+  let create () = Hashtbl.create 32
+
+  let apply t = function
+    | Get k -> Got (Hashtbl.find_opt t k)
+    | Set (k, v) ->
+        Hashtbl.replace t k v;
+        Done
+    | Cas { key; expect; update } ->
+        if Hashtbl.find_opt t key = expect then begin
+          Hashtbl.replace t key update;
+          Cas_result true
+        end
+        else Cas_result false
+
+  let digest t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort compare
+    |> List.map (fun (k, v) -> k ^ "=" ^ v)
+    |> String.concat ";"
+
+  let pp_cmd = pp_kv_cmd
+end
+
+module Kv = Make (Kv_machine)

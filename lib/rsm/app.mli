@@ -1,0 +1,59 @@
+(** Replicated state machines for the RSM layer.
+
+    A {!MACHINE} is a deterministic sequential object; {!Make} wraps one
+    replica's copy with the bookkeeping the harness needs (apply count,
+    history, divergence digest).  Because every replica applies the same
+    command sequence — the total-order layer's guarantee, verified by
+    {!Checker} — all live copies stay in the same state. *)
+
+module type MACHINE = sig
+  type t
+  type cmd
+  type output
+
+  val create : unit -> t
+
+  val apply : t -> cmd -> output
+  (** Must be deterministic: same state and command, same result. *)
+
+  val digest : t -> string
+  (** A canonical serialization of the state; equal digests iff equal
+      states (the divergence check compares these across replicas). *)
+
+  val pp_cmd : Format.formatter -> cmd -> unit
+end
+
+(** One replica's wrapped state-machine instance. *)
+module type INSTANCE = sig
+  type cmd
+  type output
+  type t
+
+  val create : unit -> t
+  val apply : t -> cmd -> output
+  val applied : t -> int
+  val history : t -> cmd list
+  (** Applied commands, oldest first. *)
+
+  val digest : t -> string
+  val pp_cmd : Format.formatter -> cmd -> unit
+end
+
+module Make (M : MACHINE) :
+  INSTANCE with type cmd = M.cmd and type output = M.output
+
+(** {1 The replicated key-value store} *)
+
+type kv_cmd =
+  | Get of string
+  | Set of string * string
+  | Cas of { key : string; expect : string option; update : string }
+      (** compare-and-swap: store [update] iff the key currently maps to
+          [expect] ([None] = absent). *)
+
+type kv_output = Got of string option | Done | Cas_result of bool
+
+val pp_kv_cmd : Format.formatter -> kv_cmd -> unit
+
+module Kv_machine : MACHINE with type cmd = kv_cmd and type output = kv_output
+module Kv : INSTANCE with type cmd = kv_cmd and type output = kv_output

@@ -1,0 +1,125 @@
+type 'cmd slot_decision = {
+  winner : int;
+  batch : 'cmd list;
+  instances : int;
+  duration : int;
+}
+
+type 'cmd slot = {
+  opener : int;
+  mutable proposals : (int * 'cmd list) list;  (* registration order *)
+  mutable decision : 'cmd slot_decision option;
+}
+
+type 'cmd t = {
+  engine : Dsim.Engine.t;
+  backend : Backend.t;
+  seed : int64;
+  live : unit -> int list;
+  slots : (int, 'cmd slot) Hashtbl.t;
+  mutable decided_count : int;
+  mutable instances_total : int;
+}
+
+let create ~engine ~backend ~seed ~live () =
+  {
+    engine;
+    backend;
+    seed;
+    live;
+    slots = Hashtbl.create 64;
+    decided_count = 0;
+    instances_total = 0;
+  }
+
+let mix seed ~slot ~attempt =
+  Int64.add (Int64.mul seed 1_000_003L) (Int64.of_int ((slot * 7919) + attempt + 1))
+
+let compute t slot_no s =
+  let module B = (val t.backend : Backend.S) in
+  let proposers = List.sort compare (List.map fst s.proposals) in
+  let batch_of p = List.assoc p s.proposals in
+  (* A replica that brought commands prefers itself; an empty-handed
+     joiner backs whoever opened the slot. *)
+  let prefs =
+    List.map (fun p -> (p, if batch_of p <> [] then p else s.opener)) proposers
+  in
+  let candidates = List.sort_uniq compare (List.map snd prefs) in
+  let attempt = ref 0 in
+  let duration = ref 0 in
+  let run_instance k ~unanimous =
+    let inputs =
+      Array.of_list (List.map (fun (_, pref) -> unanimous || pref = k) prefs)
+    in
+    let b, d =
+      B.decide ~seed:(mix t.seed ~slot:slot_no ~attempt:!attempt) ~inputs
+    in
+    incr attempt;
+    duration := !duration + d;
+    b
+  in
+  let winner =
+    match List.find_opt (fun k -> run_instance k ~unanimous:false) candidates with
+    | Some k -> k
+    | None -> (
+        (* every candidate instance decided false: retry pass with
+           unanimous support for the first non-empty proposer, which the
+           backend must ratify by validity *)
+        match List.find_opt (fun p -> batch_of p <> []) proposers with
+        | Some fb ->
+            ignore (run_instance fb ~unanimous:true : bool);
+            fb
+        | None -> s.opener (* all batches empty: nothing to order *))
+  in
+  {
+    winner;
+    batch = batch_of winner;
+    instances = !attempt;
+    duration = !duration;
+  }
+
+let publish t slot_no s d =
+  let module B = (val t.backend : Backend.S) in
+  s.decision <- Some d;
+  t.decided_count <- t.decided_count + 1;
+  t.instances_total <- t.instances_total + d.instances;
+  Dsim.Engine.emit t.engine ~tag:"rsm"
+    (Printf.sprintf "slot %d <- proposer %d (%d cmds, %d %s instances, %d vt)"
+       slot_no d.winner
+       (List.length d.batch)
+       d.instances B.name d.duration)
+
+let propose t ~slot ~pid ~batch =
+  let s =
+    match Hashtbl.find_opt t.slots slot with
+    | Some s -> s
+    | None ->
+        let s = { opener = pid; proposals = []; decision = None } in
+        Hashtbl.replace t.slots slot s;
+        ignore
+          (Dsim.Engine.spawn t.engine
+             ~name:(Printf.sprintf "rsm-slot-%d" slot)
+             (fun ctx ->
+               Dsim.Engine.await_cond (fun () ->
+                   List.for_all
+                     (fun p -> List.mem_assoc p s.proposals)
+                     (t.live ()));
+               let d = compute t slot s in
+               if d.duration > 0 then Dsim.Engine.sleep ctx d.duration;
+               publish t slot s d)
+            : Dsim.Engine.pid);
+        s
+  in
+  if not (List.mem_assoc pid s.proposals) then
+    s.proposals <- s.proposals @ [ (pid, batch) ]
+
+let opened t ~slot = Hashtbl.mem t.slots slot
+
+let opener t ~slot =
+  Option.map (fun s -> s.opener) (Hashtbl.find_opt t.slots slot)
+
+let decided t ~slot =
+  match Hashtbl.find_opt t.slots slot with Some s -> s.decision | None -> None
+
+let decided_count t = t.decided_count
+let instances_total t = t.instances_total

@@ -1,0 +1,57 @@
+(** The replicated log: a sequence of numbered consensus slots.
+
+    Each slot is one multivalued consensus instance — {e which replica's
+    batch fills this slot?} — reduced to a series of binary instances of
+    the pluggable {!Backend} by the classic candidate loop: candidates
+    are scanned in ascending proposer order and the first whose binary
+    instance decides [true] wins.  Replica [i]'s input to candidate
+    [k]'s instance is "does [i] prefer [k]?"; a replica prefers its own
+    batch when it brought one and the slot opener's otherwise, so the
+    backends see genuinely split inputs whenever proposals race.  If
+    every candidate's instance decides [false] — which validity permits
+    on split inputs — a second, unanimous pass over the first non-empty
+    proposer decides by the backends' convergence property, mirroring
+    the retry round of binary-to-multivalued reductions.
+
+    A slot plays the role of [CS[sn]] in the TO-broadcast reduction
+    (SNIPPETS.md, snippet 3): {!propose} registers a replica's batch, a
+    per-slot decider process computes the outcome once every live
+    replica has proposed (crashed replicas drop out of the expected
+    set), and {!decided} exposes the cached result to everyone —
+    restoring uniform delivery even when the original command broadcast
+    was cut short by a crash. *)
+
+type 'cmd slot_decision = {
+  winner : int;  (** proposer whose batch fills the slot *)
+  batch : 'cmd list;  (** the winning batch *)
+  instances : int;  (** binary backend instances this slot consumed *)
+  duration : int;
+      (** virtual time the instances took; the decider holds the slot
+          that long, so consensus latency is visible to the outer run *)
+}
+
+type 'cmd t
+
+val create :
+  engine:Dsim.Engine.t ->
+  backend:Backend.t ->
+  seed:int64 ->
+  live:(unit -> int list) ->
+  unit ->
+  'cmd t
+(** [live] names the replicas a slot must still wait for; it is polled
+    while a slot gathers proposals, so crashes release waiting slots. *)
+
+val propose : 'cmd t -> slot:int -> pid:int -> batch:'cmd list -> unit
+(** Register [pid]'s proposal.  The first proposal opens the slot (its
+    sender becomes the opener) and spawns the slot's decider process.  A
+    replica proposes at most once per slot; repeats are ignored. *)
+
+val opened : 'cmd t -> slot:int -> bool
+val opener : 'cmd t -> slot:int -> int option
+val decided : 'cmd t -> slot:int -> 'cmd slot_decision option
+val decided_count : 'cmd t -> int
+
+val instances_total : 'cmd t -> int
+(** Binary consensus instances run so far — the log's cost metric
+    (batching amortizes it across commands). *)

@@ -1,0 +1,157 @@
+type config = {
+  backend : Backend.t;
+  n : int;
+  batch : int;
+  seed : int64;
+  latency : Netsim.Latency.t;
+  crash_schedule : (int * int) list;
+  ops : App.kv_cmd list array;
+  ack_timeout : int;
+  max_events : int;
+}
+
+let default_config ~n ~ops =
+  {
+    backend = Backend.ben_or;
+    n;
+    batch = 8;
+    seed = 1L;
+    latency = Netsim.Latency.Uniform (1, 10);
+    crash_schedule = [];
+    ops;
+    ack_timeout = 2_000;
+    max_events = 5_000_000;
+  }
+
+type report = {
+  engine_outcome : Dsim.Engine.outcome;
+  virtual_time : int;
+  submitted : int;
+  acked : int;
+  delivered : int array;
+  slots : int;
+  instances : int;
+  messages_sent : int;
+  messages_delivered : int;
+  crashed : int list;
+  violations : Checker.violation list;
+  completeness : Checker.violation list;
+  digests_agree : bool;
+  digests : string array;
+  latencies : float list;
+  trace : Dsim.Trace.event list;
+}
+
+(* Globally unique command ids: client in the high bits, sequence low. *)
+let cid ~client ~k = (client lsl 20) lor k
+
+let run cfg =
+  if cfg.n < 1 then invalid_arg "Runner.run: need at least one replica";
+  let eng = Dsim.Engine.create ~seed:cfg.seed () in
+  let net =
+    Netsim.Async_net.create eng ~n:cfg.n ~latency:cfg.latency ~retain_inbox:false ()
+  in
+  let live () =
+    List.filter
+      (fun p -> not (Netsim.Async_net.is_crashed net p))
+      (List.init cfg.n Fun.id)
+  in
+  let log =
+    Log.create ~engine:eng ~backend:cfg.backend ~seed:cfg.seed ~live ()
+  in
+  let apps = Array.init cfg.n (fun _ -> App.Kv.create ()) in
+  let checker = Checker.create () in
+  let deliver ~pid ~slot (e : App.kv_cmd Tob.entry) =
+    ignore (App.Kv.apply apps.(pid) e.Tob.op : App.kv_output);
+    Checker.record_applied checker ~replica:pid ~slot ~cid:e.Tob.cid
+  in
+  let tob = Tob.create ~engine:eng ~net ~log ~batch:cfg.batch ~deliver () in
+  let clients = Array.length cfg.ops in
+  let done_clients = ref 0 in
+  let acked = ref 0 in
+  let latencies = ref [] in
+  let client_body c ctx =
+    List.iteri
+      (fun k op ->
+        let cid = cid ~client:c ~k in
+        Checker.record_submitted checker ~cid;
+        let t0 = Dsim.Engine.now eng in
+        let attempt = ref 0 in
+        let rec submit_round () =
+          (* rotate over live replicas, starting at a client-specific one *)
+          let rec pick j =
+            if j >= cfg.n then None
+            else
+              let r = (c + !attempt + j) mod cfg.n in
+              if Netsim.Async_net.is_crashed net r then pick (j + 1) else Some r
+          in
+          Option.iter
+            (fun r -> ignore (Tob.submit tob ~replica:r { Tob.cid; op } : bool))
+            (pick 0);
+          incr attempt;
+          let deadline = Dsim.Engine.now eng + cfg.ack_timeout in
+          let rec wait_ack () =
+            if Tob.is_delivered tob ~cid then true
+            else if Dsim.Engine.now eng >= deadline then false
+            else begin
+              Dsim.Engine.sleep ctx 10;
+              wait_ack ()
+            end
+          in
+          if not (wait_ack ()) then submit_round ()
+        in
+        submit_round ();
+        incr acked;
+        latencies := float_of_int (Dsim.Engine.now eng - t0) :: !latencies)
+      cfg.ops.(c);
+    incr done_clients
+  in
+  for c = 0 to clients - 1 do
+    ignore
+      (Dsim.Engine.spawn eng ~name:(Printf.sprintf "client-%d" c) (client_body c)
+        : Dsim.Engine.pid)
+  done;
+  (* Once every client's last command is acked, no new pending can appear
+     (late duplicate copies are filtered at receipt), so ask the replica
+     loops to wind down and let the run reach quiescence. *)
+  ignore
+    (Dsim.Engine.spawn eng ~name:"supervisor" (fun _ctx ->
+         Dsim.Engine.await_cond (fun () -> !done_clients = clients);
+         Tob.stop tob)
+      : Dsim.Engine.pid);
+  let crashed = ref [] in
+  List.iter
+    (fun (time, victim) ->
+      Dsim.Engine.schedule eng ~delay:time (fun () ->
+          if not (Netsim.Async_net.is_crashed net victim) then begin
+            Netsim.Async_net.crash net victim;
+            Dsim.Engine.kill eng (Tob.process tob victim);
+            crashed := victim :: !crashed;
+            Dsim.Engine.emit eng ~tag:"rsm" (Printf.sprintf "crashed replica %d" victim)
+          end))
+    cfg.crash_schedule;
+  let engine_outcome = Dsim.Engine.run ~max_events:cfg.max_events eng in
+  let live_now = live () in
+  let digests = Array.map App.Kv.digest apps in
+  let live_digests = List.map (fun p -> digests.(p)) live_now in
+  let digests_agree =
+    match live_digests with [] -> true | d :: rest -> List.for_all (( = ) d) rest
+  in
+  {
+    engine_outcome;
+    virtual_time = Dsim.Engine.now eng;
+    submitted = Checker.submitted_count checker;
+    acked = !acked;
+    delivered = Array.init cfg.n (fun pid -> Tob.delivered_count tob ~pid);
+    slots = Log.decided_count log;
+    instances = Log.instances_total log;
+    messages_sent = Netsim.Async_net.messages_sent net;
+    messages_delivered = Netsim.Async_net.messages_delivered net;
+    crashed = List.rev !crashed;
+    violations = Checker.check checker;
+    completeness = Checker.check_complete checker ~live:live_now;
+    digests_agree;
+    digests;
+    latencies = List.rev !latencies;
+    trace = Dsim.Trace.events (Dsim.Engine.trace eng);
+  }

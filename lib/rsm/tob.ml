@@ -1,0 +1,111 @@
+type 'cmd entry = { cid : int; op : 'cmd }
+
+type 'cmd replica = {
+  pending : (int, 'cmd entry) Hashtbl.t;  (* cid -> entry, not yet ordered *)
+  delivered : (int, unit) Hashtbl.t;
+  mutable next_slot : int;
+  mutable delivered_count : int;
+}
+
+type 'cmd t = {
+  engine : Dsim.Engine.t;
+  net : 'cmd entry Netsim.Async_net.t;
+  log : 'cmd entry Log.t;
+  batch : int;
+  deliver : pid:int -> slot:int -> 'cmd entry -> unit;
+  replicas : 'cmd replica array;
+  processes : Dsim.Engine.pid array;
+  delivered_any : (int, unit) Hashtbl.t;
+  mutable stopped : bool;
+}
+
+let receive t pid e =
+  let r = t.replicas.(pid) in
+  if not (Hashtbl.mem r.delivered e.cid) then Hashtbl.replace r.pending e.cid e
+
+let take_batch t r =
+  let ids = Hashtbl.fold (fun cid _ acc -> cid :: acc) r.pending [] in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | cid :: rest -> Hashtbl.find r.pending cid :: take (k - 1) rest
+  in
+  take t.batch (List.sort compare ids)
+
+let replica_loop t pid _ctx =
+  let r = t.replicas.(pid) in
+  let rec loop () =
+    let verdict =
+      Dsim.Engine.await (fun () ->
+          if Hashtbl.length r.pending > 0 || Log.opened t.log ~slot:r.next_slot
+          then Some `Go
+          else if t.stopped then Some `Exit
+          else None)
+    in
+    match verdict with
+    | `Exit -> ()
+    | `Go ->
+        let slot = r.next_slot in
+        Log.propose t.log ~slot ~pid ~batch:(take_batch t r);
+        let d = Dsim.Engine.await (fun () -> Log.decided t.log ~slot) in
+        List.iter
+          (fun (e : _ entry) ->
+            Hashtbl.remove r.pending e.cid;
+            if not (Hashtbl.mem r.delivered e.cid) then begin
+              Hashtbl.replace r.delivered e.cid ();
+              r.delivered_count <- r.delivered_count + 1;
+              Hashtbl.replace t.delivered_any e.cid ();
+              t.deliver ~pid ~slot e
+            end)
+          d.Log.batch;
+        r.next_slot <- slot + 1;
+        loop ()
+  in
+  loop ()
+
+let create ~engine ~net ~log ~batch ~deliver () =
+  if batch < 1 then invalid_arg "Tob.create: batch must be >= 1";
+  let n = Netsim.Async_net.n net in
+  let t =
+    {
+      engine;
+      net;
+      log;
+      batch;
+      deliver;
+      replicas =
+        Array.init n (fun _ ->
+            {
+              pending = Hashtbl.create 32;
+              delivered = Hashtbl.create 64;
+              next_slot = 0;
+              delivered_count = 0;
+            });
+      processes = Array.make n (-1);
+      delivered_any = Hashtbl.create 64;
+      stopped = false;
+    }
+  in
+  for pid = 0 to n - 1 do
+    Netsim.Async_net.set_handler net pid (fun env ->
+        receive t pid env.Netsim.Async_net.payload);
+    t.processes.(pid) <-
+      Dsim.Engine.spawn engine
+        ~name:(Printf.sprintf "rsm-replica-%d" pid)
+        (replica_loop t pid)
+  done;
+  t
+
+let submit t ~replica e =
+  if Netsim.Async_net.is_crashed t.net replica then false
+  else begin
+    receive t replica e;
+    Netsim.Async_net.broadcast t.net ~src:replica e;
+    true
+  end
+
+let process t pid = t.processes.(pid)
+let delivered_count t ~pid = t.replicas.(pid).delivered_count
+let is_delivered t ~cid = Hashtbl.mem t.delivered_any cid
+let pending_count t ~pid = Hashtbl.length t.replicas.(pid).pending
+let stop t = t.stopped <- true

@@ -1,0 +1,56 @@
+(** Total-order broadcast over the slot log — the reduction of
+    SNIPPETS.md snippet 3 (TO-broadcast from a sequence of consensus
+    instances), with batching.
+
+    Each replica keeps the reduction's three pieces of state: the set of
+    commands it knows but has not yet ordered ([urb_delivered \
+    to_deliverable] — here the {e pending} set), the growing decided
+    sequence (realised through the [deliver] callback), and its slot
+    counter.  When a replica has pending commands it opens the next slot
+    with a batch of up to [batch] of them; every other live replica
+    joins the slot (with its own pending batch, possibly empty), the
+    {!Log} decides a winner, and all replicas append the winning batch —
+    skipping commands they already delivered, so a command that rides in
+    several proposals is still applied exactly once.
+
+    Command dissemination is a plain best-effort broadcast; the
+    consensus object restores uniformity (a decided batch reaches every
+    live replica through the log even when the original broadcast was
+    cut short by the sender's crash). *)
+
+type 'cmd entry = { cid : int; op : 'cmd }
+(** A uniquely identified command ([cid] de-duplicates re-submissions). *)
+
+type 'cmd t
+
+val create :
+  engine:Dsim.Engine.t ->
+  net:'cmd entry Netsim.Async_net.t ->
+  log:'cmd entry Log.t ->
+  batch:int ->
+  deliver:(pid:int -> slot:int -> 'cmd entry -> unit) ->
+  unit ->
+  'cmd t
+(** Install delivery handlers and spawn one replica process per network
+    node.  [batch] caps entries per proposal (>= 1).  [deliver] runs in
+    simulation context each time a replica to-delivers an entry — in
+    identical order across replicas, which {!Checker} verifies. *)
+
+val submit : 'cmd t -> replica:int -> 'cmd entry -> bool
+(** Inject a command at [replica] (the client RPC): [false] if that
+    replica has crashed, otherwise the entry joins its pending set and
+    is broadcast to the others.  Safe to re-submit the same [cid]
+    through any replica; duplicates are suppressed at delivery. *)
+
+val process : 'cmd t -> int -> Dsim.Engine.pid
+(** The engine process driving the given replica (kill it on crash). *)
+
+val delivered_count : 'cmd t -> pid:int -> int
+val is_delivered : 'cmd t -> cid:int -> bool
+(** Has {e some} replica to-delivered this command? (the client's ack) *)
+
+val pending_count : 'cmd t -> pid:int -> int
+
+val stop : 'cmd t -> unit
+(** Ask replica loops to exit once idle, so a drained run ends in
+    engine quiescence rather than a parked-forever await. *)

@@ -1,0 +1,139 @@
+type op_mix = { set_pct : int; get_pct : int; cas_pct : int }
+
+let default_mix = { set_pct = 60; get_pct = 25; cas_pct = 15 }
+
+let gen_ops ?(keys = 8) ?(mix = default_mix) ~seed ~clients ~commands () =
+  if mix.set_pct + mix.get_pct + mix.cas_pct <> 100 then
+    invalid_arg "Rsm_load.gen_ops: op mix must sum to 100";
+  let rng = Dsim.Rng.create seed in
+  (* Zipf-ish skew: half the traffic hits the first quarter of the keys. *)
+  let key () =
+    let hot = max 1 (keys / 4) in
+    if Dsim.Rng.bool rng then Printf.sprintf "k%d" (Dsim.Rng.int rng hot)
+    else Printf.sprintf "k%d" (Dsim.Rng.int rng keys)
+  in
+  Array.init clients (fun c ->
+      List.init commands (fun k ->
+          let roll = Dsim.Rng.int rng 100 in
+          if roll < mix.set_pct then
+            Rsm.App.Set (key (), Printf.sprintf "c%d.%d" c k)
+          else if roll < mix.set_pct + mix.get_pct then Rsm.App.Get (key ())
+          else
+            Rsm.App.Cas
+              {
+                key = key ();
+                expect = None;
+                update = Printf.sprintf "cas-c%d.%d" c k;
+              }))
+
+let crash_plan ~n ~crashes =
+  if crashes < 0 || crashes >= n then
+    invalid_arg "Rsm_load.crash_plan: need 0 <= crashes < n";
+  List.init crashes (fun k -> (40 + (60 * k), k))
+
+type summary = {
+  backend_name : string;
+  batch : int;
+  n : int;
+  clients : int;
+  commands : int;
+  acked : int;
+  crashes : int;
+  virtual_time : int;
+  slots : int;
+  instances : int;
+  messages : int;
+  throughput : float;
+  latency : Stats.summary option;
+  violations : int;
+  ok : bool;
+}
+
+let summarize (cfg : Rsm.Runner.config) (r : Rsm.Runner.report) =
+  let violations = List.length r.violations + List.length r.completeness in
+  {
+    backend_name = Rsm.Backend.name cfg.backend;
+    batch = cfg.batch;
+    n = cfg.n;
+    clients = Array.length cfg.ops;
+    commands = r.submitted;
+    acked = r.acked;
+    crashes = List.length r.crashed;
+    virtual_time = r.virtual_time;
+    slots = r.slots;
+    instances = r.instances;
+    messages = r.messages_sent;
+    throughput =
+      (if r.virtual_time = 0 then 0.
+       else 1000. *. float_of_int r.acked /. float_of_int r.virtual_time);
+    latency =
+      (match r.latencies with [] -> None | ls -> Some (Stats.summarize ls));
+    violations;
+    ok = (violations = 0 && r.digests_agree);
+  }
+
+let run_one ?(n = 5) ?(clients = 4) ?(commands = 8) ?(batch = 8) ?(crashes = 0)
+    ?(seed = 1) ~backend () =
+  let ops = gen_ops ~seed:(Int64.of_int seed) ~clients ~commands () in
+  let cfg =
+    {
+      (Rsm.Runner.default_config ~n ~ops) with
+      backend;
+      batch;
+      seed = Int64.of_int seed;
+      crash_schedule = crash_plan ~n ~crashes;
+    }
+  in
+  let r = Rsm.Runner.run cfg in
+  (r, summarize cfg r)
+
+let sweep_batches ?(n = 5) ?(clients = 24) ?(commands = 4) ?(seeds = 3)
+    ?(batches = [ 1; 8; 32 ]) ?(backends = Rsm.Backend.all) ppf =
+  let cells =
+    List.concat_map
+      (fun backend ->
+        List.map
+          (fun batch ->
+            let runs =
+              List.init seeds (fun s ->
+                  snd (run_one ~n ~clients ~commands ~batch ~seed:(s + 1) ~backend ()))
+            in
+            let fmean f = Stats.mean (List.map f runs) in
+            let imean f = int_of_float (Float.round (fmean (fun r -> float_of_int (f r)))) in
+            {
+              (List.hd runs) with
+              commands = imean (fun r -> r.commands);
+              acked = imean (fun r -> r.acked);
+              virtual_time = imean (fun r -> r.virtual_time);
+              slots = imean (fun r -> r.slots);
+              instances = imean (fun r -> r.instances);
+              messages = imean (fun r -> r.messages);
+              throughput = fmean (fun r -> r.throughput);
+              latency = None;
+              violations =
+                List.fold_left (fun a r -> a + r.violations) 0 runs;
+              ok = List.for_all (fun r -> r.ok) runs;
+            })
+          batches)
+      backends
+  in
+  Table.print ~ppf
+    ~title:
+      (Printf.sprintf
+         "RSM throughput vs batch size (n=%d, %d clients x %d cmds, %d seeds)" n
+         clients commands seeds)
+    ~headers:
+      [ "backend"; "batch"; "slots"; "instances"; "vtime"; "cmds/kvt"; "ok" ]
+    (List.map
+       (fun c ->
+         [
+           c.backend_name;
+           string_of_int c.batch;
+           string_of_int c.slots;
+           string_of_int c.instances;
+           string_of_int c.virtual_time;
+           Printf.sprintf "%.1f" c.throughput;
+           (if c.ok then "yes" else "NO");
+         ])
+       cells);
+  cells

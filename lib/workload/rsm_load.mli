@@ -1,0 +1,80 @@
+(** Closed-loop client workloads for the RSM subsystem, and the
+    throughput sweeps built on them (the multi-shot analogue of
+    {!Experiments}).
+
+    A workload is K closed-loop clients, each issuing M key-value
+    commands drawn deterministically from a seed: a configurable mix of
+    [SET] / [GET] / [CAS] over a bounded, skewed key space, so CAS
+    contention and read-your-writes patterns actually occur. *)
+
+type op_mix = {
+  set_pct : int;
+  get_pct : int;
+  cas_pct : int;  (** the three must sum to 100 *)
+}
+
+val default_mix : op_mix
+(** 60% SET, 25% GET, 15% CAS. *)
+
+val gen_ops :
+  ?keys:int ->
+  ?mix:op_mix ->
+  seed:int64 ->
+  clients:int ->
+  commands:int ->
+  unit ->
+  Rsm.App.kv_cmd list array
+(** One command list per client ([commands] each) over [keys] distinct
+    keys (default 8 — small on purpose, to create contention). *)
+
+val crash_plan : n:int -> crashes:int -> (int * int) list
+(** A staggered schedule crashing [crashes] distinct replicas early in
+    the run.  @raise Invalid_argument unless [0 <= crashes < n]. *)
+
+(** One run's scorecard, ready for tables. *)
+type summary = {
+  backend_name : string;
+  batch : int;
+  n : int;
+  clients : int;
+  commands : int;  (** distinct commands submitted *)
+  acked : int;
+  crashes : int;
+  virtual_time : int;
+  slots : int;
+  instances : int;  (** nested binary consensus instances *)
+  messages : int;
+  throughput : float;  (** acked commands per 1000 virtual time units *)
+  latency : Stats.summary option;  (** submit-to-ack virtual times *)
+  violations : int;  (** order + completeness violations (want 0) *)
+  ok : bool;  (** zero violations and identical live-replica digests *)
+}
+
+val summarize : Rsm.Runner.config -> Rsm.Runner.report -> summary
+
+val run_one :
+  ?n:int ->
+  ?clients:int ->
+  ?commands:int ->
+  ?batch:int ->
+  ?crashes:int ->
+  ?seed:int ->
+  backend:Rsm.Backend.t ->
+  unit ->
+  Rsm.Runner.report * summary
+(** Defaults: 5 replicas, 4 clients x 8 commands, batch 8, no crashes,
+    seed 1. *)
+
+val sweep_batches :
+  ?n:int ->
+  ?clients:int ->
+  ?commands:int ->
+  ?seeds:int ->
+  ?batches:int list ->
+  ?backends:Rsm.Backend.t list ->
+  Format.formatter ->
+  summary list
+(** The batching-throughput table: every backend at every batch size
+    (defaults {1, 8, 32}), averaged over [seeds] (default 3) seeds —
+    the experimental check that batching amortizes consensus latency.
+    Returns one (mean-throughput) summary per backend x batch cell. *)

@@ -26,5 +26,6 @@ let () =
       ("decentralized", Test_decentralized.suite);
       ("sharedmem", Test_sharedmem.suite);
       ("explore", Test_explore.suite);
+      ("rsm", Test_rsm.suite);
       ("workload", Test_workload.suite);
     ]
