@@ -116,6 +116,34 @@ let rsm_run backend seed =
     (Workload.Rsm_load.run_one ~n:5 ~clients:4 ~commands:2 ~batch:8 ~seed ~backend ()
       : Rsm.Runner.report * Workload.Rsm_load.summary)
 
+(* One fault-injected RSM run: generate a seeded plan, install it, audit. *)
+let nemesis_run backend seed =
+  let cfg = Nemesis.Campaign.default_config ~n:5 () in
+  let plan = Nemesis.Campaign.plan_for cfg ~seed in
+  ignore
+    (Nemesis.Campaign.run_plan cfg ~backend ~seed plan : Rsm.Runner.report)
+
+(* Campaign throughput: a whole seeded sweep through the safety auditor,
+   reported as runs/sec and faults injected (the numbers `oocon nemesis`
+   prints), one backend to keep the quick scale quick. *)
+let nemesis_campaign_table ~scale ppf =
+  let plans = if scale = Workload.Experiments.Full then 200 else 40 in
+  let cfg =
+    {
+      (Nemesis.Campaign.default_config ~n:5 ()) with
+      Nemesis.Campaign.backends = [ Rsm.Backend.ben_or ];
+      plans;
+    }
+  in
+  let r = Nemesis.Campaign.run cfg in
+  Format.fprintf ppf
+    "@.Nemesis campaign (ben-or, %d plans): %d runs, %d faults injected, \
+     %.0f runs/sec, %d safety failures, %d incomplete@."
+    plans r.Nemesis.Campaign.runs r.Nemesis.Campaign.faults_injected
+    r.Nemesis.Campaign.runs_per_sec
+    (List.length r.Nemesis.Campaign.safety_failures)
+    (List.length r.Nemesis.Campaign.incomplete)
+
 (* Rotate seeds so the benchmark averages over schedules instead of
    re-simulating one fixed run. *)
 let rotating f =
@@ -159,6 +187,13 @@ let tests =
              Test.make
                ~name:(Printf.sprintf "%s.n5" (Rsm.Backend.name b))
                (rotating (rsm_run b)))
+           Rsm.Backend.all);
+      Test.make_grouped ~name:"nemesis"
+        (List.map
+           (fun b ->
+             Test.make
+               ~name:(Printf.sprintf "faulted-run.%s.n5" (Rsm.Backend.name b))
+               (rotating (nemesis_run b)))
            Rsm.Backend.all);
       (* E8 is the decomposed/monolithic pairs above read side by side. *)
     ]
@@ -210,6 +245,7 @@ let () =
           Format.std_formatter
     in
     if List.exists (fun s -> not s.Workload.Rsm_load.ok) summaries then
-      Format.printf "WARNING: some RSM sweep cells reported violations@."
+      Format.printf "WARNING: some RSM sweep cells reported violations@.";
+    nemesis_campaign_table ~scale Format.std_formatter
   end;
   if not (has "tables-only") then run_benchmarks ()

@@ -13,14 +13,11 @@ let show_trace_arg =
   let doc = "Dump the last N structured trace events after the run." in
   Arg.(value & opt int 0 & info [ "show-trace" ] ~docv:"N" ~doc)
 
-let dump_trace ~limit events =
+let dump_trace ~limit trace =
   if limit > 0 then begin
-    let total = List.length events in
-    let tail =
-      if total <= limit then events
-      else List.filteri (fun i _ -> i >= total - limit) events
-    in
-    Format.printf "@.--- trace (last %d of %d events) ---@." (List.length tail) total;
+    let tail = Dsim.Trace.last trace limit in
+    Format.printf "@.--- trace (last %d of %d events) ---@." (List.length tail)
+      (Dsim.Trace.length trace);
     List.iter (fun ev -> Format.printf "%a@." Dsim.Trace.pp_event ev) tail
   end
 
@@ -217,8 +214,7 @@ let raft_cmd =
     | ps ->
         Format.printf "VIOLATIONS:@.";
         List.iter (Format.printf "  %s@.") ps);
-    dump_trace ~limit:show_trace
-      (Dsim.Trace.events (Dsim.Engine.trace (Raft.Cluster.engine cl)));
+    dump_trace ~limit:show_trace (Dsim.Engine.trace (Raft.Cluster.engine cl));
     if problems <> [] then exit 1
   in
   let term = Term.(const run $ n_arg 5 $ seed_arg $ fault_arg $ show_trace_arg) in
@@ -360,6 +356,211 @@ let rsm_cmd =
           log of consensus slots, any backend.")
     term
 
+(* ------------------------------------------------------------ nemesis -- *)
+
+let nemesis_cmd =
+  let backends_arg =
+    let doc = "Backend(s) to campaign against: ben-or, phase-king, raft, all." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ben-or", [ Rsm.Backend.ben_or ]);
+               ("phase-king", [ Rsm.Backend.phase_king ]);
+               ("raft", [ Rsm.Backend.raft ]);
+               ("all", Rsm.Backend.all);
+             ])
+          [ Rsm.Backend.ben_or ]
+      & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let plans_arg =
+    let doc = "Seeded random fault plans per backend." in
+    Arg.(value & opt int 50 & info [ "plans" ] ~docv:"P" ~doc)
+  in
+  let clients_arg =
+    let doc = "Closed-loop clients driving the store." in
+    Arg.(value & opt int 3 & info [ "clients" ] ~docv:"K" ~doc)
+  in
+  let commands_arg =
+    let doc = "Commands per client." in
+    Arg.(value & opt int 3 & info [ "commands" ] ~docv:"M" ~doc)
+  in
+  let batch_arg =
+    let doc = "Max commands batched into one consensus slot." in
+    Arg.(value & opt int 4 & info [ "batch" ] ~docv:"B" ~doc)
+  in
+  let max_actions_arg =
+    let doc = "Max fault actions per generated plan." in
+    Arg.(value & opt int 10 & info [ "max-actions" ] ~docv:"A" ~doc)
+  in
+  let max_down_arg =
+    let doc =
+      "Max simultaneously crashed replicas (default a minority; set to N to \
+       deliberately under-provision)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-down" ] ~docv:"D" ~doc)
+  in
+  let horizon_arg =
+    let doc = "Virtual-time window fault actions are placed in." in
+    Arg.(value & opt int 800 & info [ "horizon" ] ~docv:"H" ~doc)
+  in
+  let benign_arg =
+    let doc =
+      "Generate quiet-horizon plans only: every crash restarted and every \
+       partition healed before the horizon."
+    in
+    Arg.(value & flag & info [ "benign" ] ~doc)
+  in
+  let plan_file_arg =
+    let doc = "Replay this plan file (skips generation; one run per backend)." in
+    Arg.(value & opt (some file) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let dump_arg =
+    let doc = "Write the offending plan (shrunk if --shrink) to this file." in
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
+  in
+  let shrink_arg =
+    let doc = "On failure, shrink the first failing plan to a local minimum." in
+    Arg.(value & flag & info [ "shrink" ] ~doc)
+  in
+  let quiet_arg =
+    let doc = "No per-run progress dots." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let run n seed backends plans clients commands batch max_actions max_down
+      horizon benign plan_file dump shrink quiet show_trace =
+    let base = Nemesis.Campaign.default_config ~n () in
+    let profile =
+      {
+        (Nemesis.Gen.default ~n) with
+        horizon;
+        max_actions;
+        benign;
+        max_down =
+          Option.value max_down ~default:(Nemesis.Gen.default ~n).max_down;
+      }
+    in
+    let cfg =
+      {
+        base with
+        Nemesis.Campaign.backends;
+        plans;
+        first_seed = seed;
+        clients;
+        commands;
+        batch;
+        profile;
+      }
+    in
+    let write_plan file plan =
+      let oc = open_out file in
+      output_string oc (Nemesis.Plan.to_string plan);
+      close_out oc;
+      Format.printf "plan written to %s@." file
+    in
+    match plan_file with
+    | Some file ->
+        (* Single-plan replay mode. *)
+        let text = In_channel.with_open_text file In_channel.input_all in
+        let plan =
+          try Nemesis.Plan.of_string text
+          with Nemesis.Plan.Parse_error msg ->
+            Format.eprintf "cannot parse plan %s: %s@." file msg;
+            exit 2
+        in
+        (match Nemesis.Plan.validate ~n plan with
+        | [] -> ()
+        | problems ->
+            Format.eprintf "ill-formed plan %s:@." file;
+            List.iter (Format.eprintf "  %s@.") problems;
+            exit 2);
+        Format.printf "replaying %s (%d actions) at seed %d:@.%a" file
+          (Nemesis.Plan.length plan) seed Nemesis.Plan.pp plan;
+        let any_unsafe = ref false in
+        List.iter
+          (fun backend ->
+            let r = Nemesis.Campaign.run_plan cfg ~backend ~seed plan in
+            let safe = Nemesis.Campaign.safety_ok r in
+            let live = Nemesis.Campaign.complete r in
+            if not safe then any_unsafe := true;
+            Format.printf
+              "%-12s %d/%d acked, %d slots, vt %d — safety %s, complete %s@."
+              (Rsm.Backend.name backend) r.Rsm.Runner.acked
+              r.Rsm.Runner.submitted r.Rsm.Runner.slots r.Rsm.Runner.virtual_time
+              (if safe then "ok" else "VIOLATED")
+              (if live then "yes" else "NO");
+            List.iter
+              (fun v -> Format.printf "  %a@." Rsm.Checker.pp_violation v)
+              (r.Rsm.Runner.violations @ r.Rsm.Runner.completeness);
+            dump_trace ~limit:show_trace r.Rsm.Runner.trace)
+          backends;
+        if !any_unsafe then exit 1
+    | None ->
+        let on_outcome (o : Nemesis.Campaign.outcome) =
+          if not quiet then begin
+            print_char
+              (if not o.safety then 'X' else if not o.live then '!' else '.');
+            flush stdout
+          end
+        in
+        let report = Nemesis.Campaign.run ~on_outcome cfg in
+        if not quiet then print_newline ();
+        Format.printf "%a" Nemesis.Campaign.pp_report report;
+        let failing, predicate =
+          match (report.safety_failures, report.incomplete) with
+          | o :: _, _ ->
+              (Some o, fun r -> not (Nemesis.Campaign.safety_ok r))
+          | [], o :: _ ->
+              (Some o, fun r -> not (Nemesis.Campaign.complete r))
+          | [], [] -> (None, fun _ -> false)
+        in
+        Option.iter
+          (fun (o : Nemesis.Campaign.outcome) ->
+            let backend =
+              List.find
+                (fun b -> Rsm.Backend.name b = o.backend_name)
+                Rsm.Backend.all
+            in
+            Format.printf "@.first failing plan (%s, seed %d):@.%a"
+              o.backend_name o.plan_seed Nemesis.Plan.pp o.plan;
+            let final_plan =
+              if shrink then begin
+                let oracle =
+                  {
+                    Nemesis.Shrink.run =
+                      (fun p ->
+                        Nemesis.Campaign.run_plan cfg ~backend ~seed:o.plan_seed p);
+                    failing = predicate;
+                  }
+                in
+                let s = Nemesis.Shrink.shrink oracle o.plan in
+                Format.printf
+                  "@.shrunk %d -> %d actions in %d replays:@.%a" s.reduced_from
+                  (Nemesis.Plan.length s.plan) s.replays Nemesis.Plan.pp s.plan;
+                s.plan
+              end
+              else o.plan
+            in
+            Option.iter (fun file -> write_plan file final_plan) dump)
+          failing;
+        if report.safety_failures <> [] then exit 1
+  in
+  let term =
+    Term.(
+      const run $ n_arg 5 $ seed_arg $ backends_arg $ plans_arg $ clients_arg
+      $ commands_arg $ batch_arg $ max_actions_arg $ max_down_arg $ horizon_arg
+      $ benign_arg $ plan_file_arg $ dump_arg $ shrink_arg $ quiet_arg
+      $ show_trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:
+         "Fault-injection campaigns against the RSM: generate seeded random \
+          fault plans, audit every run with the total-order checker, shrink \
+          failing plans to minimal counterexamples.")
+    term
+
 (* -------------------------------------------------------- experiments -- *)
 
 let experiments_cmd =
@@ -393,6 +594,14 @@ let main_cmd =
   let doc = "object-oriented consensus: decomposed consensus algorithms under simulation" in
   let info = Cmd.info "oocon" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ benor_cmd; phase_king_cmd; raft_cmd; sharedmem_cmd; rsm_cmd; experiments_cmd ]
+    [
+      benor_cmd;
+      phase_king_cmd;
+      raft_cmd;
+      sharedmem_cmd;
+      rsm_cmd;
+      nemesis_cmd;
+      experiments_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

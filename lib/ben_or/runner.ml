@@ -42,7 +42,7 @@ type report = {
   process_failures : (int * exn) list;
   violations : Consensus.Monitor.violation list;
   adopt_overruled : bool;
-  trace : Dsim.Trace.event list;
+  trace : Dsim.Trace.t;
 }
 
 let run config =
@@ -144,7 +144,7 @@ let run config =
     process_failures;
     violations;
     adopt_overruled;
-    trace = Dsim.Trace.events (Engine.trace eng);
+    trace = Engine.trace eng;
   }
 
 let all_decided_same report ~expected_live =

@@ -44,8 +44,9 @@ type report = {
           the run decided [¬u] — the paper's Section-5 scenario showing why
           a commit-on-second-AC reading of such rounds would break
           agreement *)
-  trace : Dsim.Trace.event list;
-      (** the run's structured trace (bounded to the newest ~10k events) *)
+  trace : Dsim.Trace.t;
+      (** the run's structured trace (bounded to the newest ~10k events);
+          read with {!Dsim.Trace.events} / {!Dsim.Trace.last} *)
 }
 
 val run : config -> report

@@ -36,6 +36,14 @@ let count t tag =
 
 let length t = t.length
 
+let last t k =
+  let rec take n acc = function
+    | [] -> acc
+    | _ when n <= 0 -> acc
+    | ev :: rest -> take (n - 1) (ev :: acc) rest
+  in
+  take k [] t.rev_events
+
 let pp_event ppf ev =
   let pid = match ev.pid with None -> "-" | Some p -> string_of_int p in
   Format.fprintf ppf "t=%-8d pid=%-4s %-12s %s" ev.time pid ev.tag ev.detail

@@ -32,6 +32,11 @@ val count : t -> string -> int
 val length : t -> int
 (** Total number of retained events. *)
 
+val last : t -> int -> event list
+(** [last t k] is the newest [min k (length t)] retained events, oldest
+    first — the tail a trace dump wants.  [last t k = events t] whenever
+    [k >= length t]; [k <= 0] gives []. *)
+
 val pp_event : Format.formatter -> event -> unit
 (** Render one event as [t=... pid=... tag detail]. *)
 

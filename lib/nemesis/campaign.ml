@@ -1,0 +1,138 @@
+type config = {
+  backends : Rsm.Backend.t list;
+  plans : int;
+  first_seed : int;
+  n : int;
+  clients : int;
+  commands : int;
+  batch : int;
+  profile : Gen.profile;
+  ack_timeout : int;
+  max_events : int;
+  trace_capacity : int;
+}
+
+let default_config ?(n = 5) () =
+  {
+    backends = [ Rsm.Backend.ben_or ];
+    plans = 50;
+    first_seed = 1;
+    n;
+    clients = 3;
+    commands = 3;
+    batch = 4;
+    profile = Gen.default ~n;
+    ack_timeout = 400;
+    max_events = 400_000;
+    trace_capacity = 2_000;
+  }
+
+let safety_ok (r : Rsm.Runner.report) =
+  r.Rsm.Runner.violations = [] && r.Rsm.Runner.digests_agree
+
+let complete (r : Rsm.Runner.report) =
+  r.Rsm.Runner.completeness = []
+  && r.Rsm.Runner.acked = r.Rsm.Runner.submitted
+
+type outcome = {
+  backend_name : string;
+  plan_seed : int;
+  plan : Plan.t;
+  safety : bool;
+  live : bool;
+  acked : int;
+  submitted : int;
+  virtual_time : int;
+  engine_outcome : Dsim.Engine.outcome;
+}
+
+type report = {
+  runs : int;
+  outcomes : outcome list;
+  safety_failures : outcome list;
+  incomplete : outcome list;
+  faults_injected : int;
+  coverage : (string * int) list;
+  cpu_seconds : float;
+  runs_per_sec : float;
+}
+
+let run_plan cfg ~backend ~seed plan =
+  fst
+    (Workload.Rsm_load.run_one ~n:cfg.n ~clients:cfg.clients
+       ~commands:cfg.commands ~batch:cfg.batch ~seed
+       ~trace_capacity:cfg.trace_capacity ~ack_timeout:cfg.ack_timeout
+       ~max_events:cfg.max_events
+       ~inject:(Interp.install_rsm plan)
+       ~backend ())
+
+let plan_for cfg ~seed = Gen.generate { cfg.profile with n = cfg.n } ~seed
+
+let run ?on_outcome cfg =
+  let t0 = Sys.time () in
+  let outcomes = ref [] in
+  List.iter
+    (fun backend ->
+      for k = 0 to cfg.plans - 1 do
+        let seed = cfg.first_seed + k in
+        let plan = plan_for cfg ~seed in
+        let r = run_plan cfg ~backend ~seed plan in
+        let o =
+          {
+            backend_name = Rsm.Backend.name backend;
+            plan_seed = seed;
+            plan;
+            safety = safety_ok r;
+            live = complete r;
+            acked = r.Rsm.Runner.acked;
+            submitted = r.Rsm.Runner.submitted;
+            virtual_time = r.Rsm.Runner.virtual_time;
+            engine_outcome = r.Rsm.Runner.engine_outcome;
+          }
+        in
+        Option.iter (fun f -> f o) on_outcome;
+        outcomes := o :: !outcomes
+      done)
+    cfg.backends;
+  let cpu_seconds = Sys.time () -. t0 in
+  let outcomes = List.rev !outcomes in
+  let runs = List.length outcomes in
+  let faults_injected =
+    List.fold_left (fun a o -> a + Plan.length o.plan) 0 outcomes
+  in
+  let coverage =
+    List.map
+      (fun k ->
+        ( k,
+          List.fold_left
+            (fun a o -> a + (List.assoc k (Plan.count_kinds o.plan)))
+            0 outcomes ))
+      Plan.kinds
+  in
+  {
+    runs;
+    outcomes;
+    safety_failures = List.filter (fun o -> not o.safety) outcomes;
+    incomplete = List.filter (fun o -> not o.live) outcomes;
+    faults_injected;
+    coverage;
+    cpu_seconds;
+    runs_per_sec =
+      (if cpu_seconds <= 0. then 0. else float_of_int runs /. cpu_seconds);
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "nemesis campaign: %d runs, %d faults injected, %.1f runs/sec (%.2fs cpu)@."
+    r.runs r.faults_injected r.runs_per_sec r.cpu_seconds;
+  Format.fprintf ppf "  coverage: %s@."
+    (String.concat ", "
+       (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) r.coverage));
+  Format.fprintf ppf "  safety failures: %d, incomplete runs: %d@."
+    (List.length r.safety_failures)
+    (List.length r.incomplete);
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "  SAFETY %s seed=%d (%d actions, %d/%d acked)@."
+        o.backend_name o.plan_seed (Plan.length o.plan) o.acked o.submitted)
+    r.safety_failures

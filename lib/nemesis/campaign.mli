@@ -1,0 +1,70 @@
+(** Campaign runner: sweep seeded random fault plans x consensus
+    backends over the RSM workload, auditing every run with
+    {!Rsm.Checker} (total order, integrity, no-duplication,
+    completeness) plus the state-digest comparison, and aggregate a
+    coverage/violation report.
+
+    The run set a campaign explores is named by [(profile, first_seed,
+    plans)] alone — re-running the same campaign replays exactly the
+    same runs, so a failure report is a reproduction recipe. *)
+
+type config = {
+  backends : Rsm.Backend.t list;
+  plans : int;  (** seeded plans per backend *)
+  first_seed : int;  (** plan seeds are [first_seed .. first_seed+plans-1] *)
+  n : int;
+  clients : int;
+  commands : int;  (** per client *)
+  batch : int;
+  profile : Gen.profile;  (** plan-generation shape ([profile.n] is forced to [n]) *)
+  ack_timeout : int;
+  max_events : int;  (** per-run budget: bounds runs a hostile plan wedges *)
+  trace_capacity : int;  (** bound per-run trace retention *)
+}
+
+val default_config : ?n:int -> unit -> config
+(** Ben-Or only, 50 plans from seed 1, n=5 (3 clients x 3 commands,
+    batch 4), default minority-crash profile. *)
+
+val safety_ok : Rsm.Runner.report -> bool
+(** No checker violations and live-replica digests agree. *)
+
+val complete : Rsm.Runner.report -> bool
+(** Every submitted command acked and applied at every live replica. *)
+
+type outcome = {
+  backend_name : string;
+  plan_seed : int;
+  plan : Plan.t;
+  safety : bool;  (** {!safety_ok} of the run *)
+  live : bool;  (** {!complete} of the run *)
+  acked : int;
+  submitted : int;
+  virtual_time : int;
+  engine_outcome : Dsim.Engine.outcome;
+}
+
+type report = {
+  runs : int;
+  outcomes : outcome list;  (** in execution order *)
+  safety_failures : outcome list;
+  incomplete : outcome list;
+  faults_injected : int;  (** total plan actions across the campaign *)
+  coverage : (string * int) list;  (** injected actions by kind *)
+  cpu_seconds : float;
+  runs_per_sec : float;
+}
+
+val plan_for : config -> seed:int -> Plan.t
+(** The plan a given seed names under this campaign's profile. *)
+
+val run_plan :
+  config -> backend:Rsm.Backend.t -> seed:int -> Plan.t -> Rsm.Runner.report
+(** One deterministic run: the RSM workload for [seed] under the given
+    plan.  This is also the shrinker's replay function. *)
+
+val run : ?on_outcome:(outcome -> unit) -> config -> report
+(** The full sweep.  [on_outcome] observes each run as it completes
+    (progress reporting). *)
+
+val pp_report : Format.formatter -> report -> unit

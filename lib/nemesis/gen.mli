@@ -1,0 +1,29 @@
+(** Seeded random fault-plan generation.
+
+    Deterministic in [(profile, seed)]: the same pair always yields the
+    same plan, which is what lets a campaign name a failing run by its
+    seed alone and lets the shrinker replay candidates exactly. *)
+
+type profile = {
+  n : int;  (** cluster size the plans target *)
+  horizon : int;
+      (** virtual-time window actions are placed in; benign plans
+          guarantee every disturbance has ended strictly before it *)
+  max_actions : int;  (** upper bound on scripted actions per plan *)
+  max_down : int;
+      (** max simultaneously crashed nodes — set below a quorum for
+          safety campaigns, or to [n] to deliberately under-provision *)
+  benign : bool;
+      (** when set, every crash is eventually restarted and every
+          partition healed before [horizon] (the quiet-horizon plans the
+          liveness property quantifies over) *)
+}
+
+val default : n:int -> profile
+(** Horizon 800, at most 10 actions, minority crashes ([(n-1)/2]), not
+    benign. *)
+
+val generate : profile -> seed:int -> Plan.t
+(** A well-formed plan ({!Plan.validate} returns [] against [n]).  May
+    be empty for unlucky seeds — an empty plan is just a fault-free
+    run. *)

@@ -1,0 +1,81 @@
+type verdict_rule =
+  | R_drop
+  | R_duplicate of int
+  | R_delay of int
+
+type rule = { from_ : int; until_ : int; m : Plan.msg_match; rule : verdict_rule }
+
+type handle = {
+  crash : int -> unit;
+  restart : int -> unit;
+  partition : int list list -> unit;
+  heal : unit -> unit;
+}
+
+let rules plan =
+  List.filter_map
+    (fun { Plan.at; action } ->
+      match action with
+      | Plan.Drop_matching (m, lasts) ->
+          Some { from_ = at; until_ = at + lasts; m; rule = R_drop }
+      | Plan.Duplicate_matching (m, copies, lasts) ->
+          Some { from_ = at; until_ = at + lasts; m; rule = R_duplicate copies }
+      | Plan.Delay_spike (m, extra, lasts) ->
+          Some { from_ = at; until_ = at + lasts; m; rule = R_delay extra }
+      | Plan.Crash _ | Plan.Restart _ | Plan.Partition _ | Plan.Heal -> None)
+    plan
+
+let verdict_of_rules rs (env : 'msg Netsim.Async_net.envelope) =
+  (* The message's send time decides which windows are open; the first
+     matching open window (in plan order) wins. *)
+  let now = env.Netsim.Async_net.sent_at in
+  let applies r =
+    now >= r.from_ && now < r.until_
+    && Plan.matches r.m ~src:env.Netsim.Async_net.src ~dst:env.Netsim.Async_net.dst
+  in
+  match List.find_opt applies rs with
+  | None -> Netsim.Async_net.Deliver
+  | Some { rule = R_drop; _ } -> Netsim.Async_net.Drop
+  | Some { rule = R_duplicate copies; _ } -> Netsim.Async_net.Duplicate copies
+  | Some { rule = R_delay extra; _ } -> Netsim.Async_net.Delay_extra extra
+
+let policy plan =
+  let rs = rules plan in
+  fun env -> verdict_of_rules rs env
+
+let schedule ~engine handle plan =
+  let now = Dsim.Engine.now engine in
+  List.iter
+    (fun { Plan.at; action } ->
+      let delay = max 0 (at - now) in
+      let eff =
+        match action with
+        | Plan.Crash pid -> Some (fun () -> handle.crash pid)
+        | Plan.Restart pid -> Some (fun () -> handle.restart pid)
+        | Plan.Partition groups -> Some (fun () -> handle.partition groups)
+        | Plan.Heal -> Some (fun () -> handle.heal ())
+        | Plan.Drop_matching _ | Plan.Duplicate_matching _ | Plan.Delay_spike _ ->
+            None
+      in
+      Option.iter
+        (fun run ->
+          Dsim.Engine.schedule engine ~delay (fun () ->
+              Dsim.Engine.emit engine ~tag:"nemesis" (Plan.string_of_action action);
+              run ()))
+        eff)
+    plan
+
+let handle_of_net net =
+  {
+    crash = (fun pid -> Netsim.Async_net.crash net pid);
+    restart = (fun pid -> Netsim.Async_net.restart net pid);
+    partition = (fun groups -> Netsim.Async_net.set_partition net groups);
+    heal = (fun () -> Netsim.Async_net.heal net);
+  }
+
+let handle_of_faults (f : Rsm.Runner.faults) =
+  { crash = f.crash; restart = f.restart; partition = f.partition; heal = f.heal }
+
+let install_rsm plan (f : Rsm.Runner.faults) =
+  f.Rsm.Runner.set_policy (policy plan);
+  schedule ~engine:f.Rsm.Runner.engine (handle_of_faults f) plan

@@ -1,0 +1,44 @@
+(** Plan interpreter: gives a {!Plan.t} effect against a live run.
+
+    Two composable halves, matching the two fault surfaces of
+    {!Netsim.Async_net}:
+
+    - {b node/topology actions} (crash, restart, partition, heal) become
+      timer events scheduled in {!Dsim.Engine} that call back into a
+      {!handle} of effectful operations;
+    - {b message windows} (drop / duplicate / delay) compile into a pure
+      per-message {!policy} keyed on each envelope's send time, suitable
+      for {!Netsim.Async_net.create}'s [?policy] hook — no mutable
+      activation state, so the same plan yields the same verdicts in
+      every replay. *)
+
+type handle = {
+  crash : int -> unit;
+  restart : int -> unit;
+  partition : int list list -> unit;
+  heal : unit -> unit;
+}
+(** The effectful operations a plan's node/topology actions drive. *)
+
+val policy :
+  Plan.t -> 'msg Netsim.Async_net.envelope -> Netsim.Async_net.policy_verdict
+(** The per-message adversary the plan's windows describe: the first
+    window (in plan order) open at the envelope's send time and matching
+    its endpoints decides the verdict; otherwise deliver. *)
+
+val schedule : engine:Dsim.Engine.t -> handle -> Plan.t -> unit
+(** Schedule every node/topology action of the plan as an engine timer
+    event (times in the past fire immediately); each firing also emits a
+    ["nemesis"] trace event. *)
+
+val handle_of_net : 'msg Netsim.Async_net.t -> handle
+(** Drive a bare network: crash/restart/partition/heal map directly to
+    the net's own primitives (no protocol processes are touched). *)
+
+val handle_of_faults : Rsm.Runner.faults -> handle
+
+val install_rsm : Plan.t -> Rsm.Runner.faults -> unit
+(** The {!Rsm.Runner.config.inject} hook for a plan: installs the
+    message policy and schedules all node/topology actions against the
+    run's fault controller (which kills/respawns TOB replica processes
+    alongside the network-level crash/restart). *)

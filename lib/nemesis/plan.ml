@@ -1,0 +1,272 @@
+type msg_match = { srcs : int list option; dsts : int list option }
+
+let any = { srcs = None; dsts = None }
+
+let matches m ~src ~dst =
+  let mem set id = match set with None -> true | Some ids -> List.mem id ids in
+  mem m.srcs src && mem m.dsts dst
+
+type action =
+  | Crash of int
+  | Restart of int
+  | Partition of int list list
+  | Heal
+  | Drop_matching of msg_match * int
+  | Duplicate_matching of msg_match * int * int
+  | Delay_spike of msg_match * int * int
+
+type step = { at : int; action : action }
+type t = step list
+
+let length = List.length
+let normalize plan = List.stable_sort (fun a b -> compare a.at b.at) plan
+
+let kind = function
+  | Crash _ -> "crash"
+  | Restart _ -> "restart"
+  | Partition _ -> "partition"
+  | Heal -> "heal"
+  | Drop_matching _ -> "drop"
+  | Duplicate_matching _ -> "dup"
+  | Delay_spike _ -> "delay"
+
+let kinds = [ "crash"; "restart"; "partition"; "heal"; "drop"; "dup"; "delay" ]
+
+let count_kinds plan =
+  List.map
+    (fun k ->
+      (k, List.length (List.filter (fun s -> String.equal (kind s.action) k) plan)))
+    kinds
+
+(* --- well-formedness ---------------------------------------------------- *)
+
+let check_match ~n ~problems ~at m =
+  let ids set =
+    Option.iter
+      (fun ids ->
+        if ids = [] then
+          problems := Printf.sprintf "@%d: empty id set in match" at :: !problems;
+        List.iter
+          (fun id ->
+            if id < 0 || id >= n then
+              problems := Printf.sprintf "@%d: match id %d out of range" at id :: !problems)
+          ids)
+      set
+  in
+  ids m.srcs;
+  ids m.dsts
+
+let validate ~n plan =
+  let problems = ref [] in
+  let down = Hashtbl.create 8 in
+  let prev = ref min_int in
+  List.iter
+    (fun { at; action } ->
+      if at < 0 then problems := Printf.sprintf "@%d: negative time" at :: !problems;
+      if at < !prev then
+        problems :=
+          Printf.sprintf "@%d: out of order (after @%d)" at !prev :: !problems;
+      prev := max !prev at;
+      let pid_ok what pid =
+        if pid < 0 || pid >= n then
+          problems := Printf.sprintf "@%d: %s pid %d out of range" at what pid :: !problems
+      in
+      (match action with
+      | Crash pid ->
+          pid_ok "crash" pid;
+          if Hashtbl.mem down pid then
+            problems := Printf.sprintf "@%d: crash of already-down %d" at pid :: !problems
+          else Hashtbl.replace down pid ()
+      | Restart pid ->
+          pid_ok "restart" pid;
+          if not (Hashtbl.mem down pid) then
+            problems := Printf.sprintf "@%d: restart of live %d" at pid :: !problems
+          else Hashtbl.remove down pid
+      | Partition groups ->
+          let seen = Hashtbl.create 8 in
+          if groups = [] then
+            problems := Printf.sprintf "@%d: empty partition" at :: !problems;
+          List.iter
+            (fun g ->
+              if g = [] then
+                problems := Printf.sprintf "@%d: empty partition group" at :: !problems;
+              List.iter
+                (fun id ->
+                  pid_ok "partition" id;
+                  if Hashtbl.mem seen id then
+                    problems :=
+                      Printf.sprintf "@%d: pid %d in two partition groups" at id
+                      :: !problems
+                  else Hashtbl.replace seen id ())
+                g)
+            groups
+      | Heal -> ()
+      | Drop_matching (m, lasts) ->
+          check_match ~n ~problems ~at m;
+          if lasts < 1 then
+            problems := Printf.sprintf "@%d: drop window must last >= 1" at :: !problems
+      | Duplicate_matching (m, copies, lasts) ->
+          check_match ~n ~problems ~at m;
+          if copies < 1 then
+            problems := Printf.sprintf "@%d: dup needs copies >= 1" at :: !problems;
+          if lasts < 1 then
+            problems := Printf.sprintf "@%d: dup window must last >= 1" at :: !problems
+      | Delay_spike (m, extra, lasts) ->
+          check_match ~n ~problems ~at m;
+          if extra < 1 then
+            problems := Printf.sprintf "@%d: delay spike needs extra >= 1" at :: !problems;
+          if lasts < 1 then
+            problems := Printf.sprintf "@%d: delay window must last >= 1" at :: !problems))
+    plan;
+  List.rev !problems
+
+let quiet_after plan =
+  (* The earliest time by which every scripted disturbance has ended:
+     crashes all restarted, partitions healed, message windows expired.
+     None when some crash is never restarted or a partition never heals. *)
+  let horizon = ref 0 in
+  let down = Hashtbl.create 8 in
+  let cut = ref false in
+  List.iter
+    (fun { at; action } ->
+      (match action with
+      | Crash pid -> Hashtbl.replace down pid ()
+      | Restart pid -> Hashtbl.remove down pid
+      | Partition _ -> cut := true
+      | Heal -> cut := false
+      | Drop_matching (_, lasts)
+      | Duplicate_matching (_, _, lasts)
+      | Delay_spike (_, _, lasts) ->
+          horizon := max !horizon (at + lasts));
+      horizon := max !horizon at)
+    plan;
+  if Hashtbl.length down > 0 || !cut then None else Some !horizon
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let string_of_ids = function
+  | None -> "*"
+  | Some ids -> String.concat "," (List.map string_of_int ids)
+
+let string_of_match m =
+  Printf.sprintf "src=%s dst=%s" (string_of_ids m.srcs) (string_of_ids m.dsts)
+
+let string_of_action = function
+  | Crash pid -> Printf.sprintf "crash %d" pid
+  | Restart pid -> Printf.sprintf "restart %d" pid
+  | Partition groups ->
+      Printf.sprintf "partition %s"
+        (String.concat "|"
+           (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups))
+  | Heal -> "heal"
+  | Drop_matching (m, lasts) ->
+      Printf.sprintf "drop %s for %d" (string_of_match m) lasts
+  | Duplicate_matching (m, copies, lasts) ->
+      Printf.sprintf "dup %s copies=%d for %d" (string_of_match m) copies lasts
+  | Delay_spike (m, extra, lasts) ->
+      Printf.sprintf "delay %s extra=%d for %d" (string_of_match m) extra lasts
+
+let pp_step ppf { at; action } =
+  Format.fprintf ppf "@%-6d %s" at (string_of_action action)
+
+let pp ppf plan =
+  if plan = [] then Format.fprintf ppf "(empty plan)@."
+  else List.iter (fun s -> Format.fprintf ppf "%a@." pp_step s) plan
+
+let to_string plan =
+  String.concat ""
+    (List.map
+       (fun { at; action } -> Printf.sprintf "@%d %s\n" at (string_of_action action))
+       plan)
+
+(* --- parsing ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_ids what s =
+  if String.equal s "*" then None
+  else
+    Some
+      (List.map
+         (fun tok ->
+           match int_of_string_opt tok with
+           | Some id -> id
+           | None -> fail "bad %s id %S" what tok)
+         (String.split_on_char ',' s))
+
+let parse_match ~what tokens =
+  let get prefix tok =
+    let plen = String.length prefix in
+    if String.length tok > plen && String.sub tok 0 plen = prefix then
+      Some (String.sub tok plen (String.length tok - plen))
+    else None
+  in
+  match tokens with
+  | src :: dst :: rest -> (
+      match (get "src=" src, get "dst=" dst) with
+      | Some s, Some d -> ({ srcs = parse_ids "src" s; dsts = parse_ids "dst" d }, rest)
+      | _ -> fail "%s: expected src=... dst=..." what)
+  | _ -> fail "%s: expected src=... dst=..." what
+
+let parse_keyed ~what key tok =
+  let prefix = key ^ "=" in
+  let plen = String.length prefix in
+  if String.length tok > plen && String.sub tok 0 plen = prefix then
+    match int_of_string_opt (String.sub tok plen (String.length tok - plen)) with
+    | Some v -> v
+    | None -> fail "%s: bad %s value %S" what key tok
+  else fail "%s: expected %s=<int>, got %S" what key tok
+
+let parse_lasts ~what = function
+  | [ "for"; d ] -> (
+      match int_of_string_opt d with
+      | Some v -> v
+      | None -> fail "%s: bad duration %S" what d)
+  | _ -> fail "%s: expected 'for <duration>'" what
+
+let parse_action = function
+  | [ "crash"; pid ] -> Crash (int_of_string pid)
+  | [ "restart"; pid ] -> Restart (int_of_string pid)
+  | [ "heal" ] -> Heal
+  | [ "partition"; groups ] ->
+      Partition
+        (List.map
+           (fun g -> List.map int_of_string (String.split_on_char ',' g))
+           (String.split_on_char '|' groups))
+  | "drop" :: rest ->
+      let m, rest = parse_match ~what:"drop" rest in
+      Drop_matching (m, parse_lasts ~what:"drop" rest)
+  | "dup" :: rest -> (
+      let m, rest = parse_match ~what:"dup" rest in
+      match rest with
+      | copies :: rest ->
+          Duplicate_matching
+            (m, parse_keyed ~what:"dup" "copies" copies, parse_lasts ~what:"dup" rest)
+      | [] -> fail "dup: expected copies=<k>")
+  | "delay" :: rest -> (
+      let m, rest = parse_match ~what:"delay" rest in
+      match rest with
+      | extra :: rest ->
+          Delay_spike
+            (m, parse_keyed ~what:"delay" "extra" extra, parse_lasts ~what:"delay" rest)
+      | [] -> fail "delay: expected extra=<d>")
+  | tokens -> fail "unrecognized action %S" (String.concat " " tokens)
+
+let of_string text =
+  let parse_line i line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then None
+    else
+      match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+      | at :: rest when String.length at > 1 && at.[0] = '@' -> (
+          match int_of_string_opt (String.sub at 1 (String.length at - 1)) with
+          | Some t -> (
+              try Some { at = t; action = parse_action rest }
+              with Parse_error m | Failure m ->
+                fail "line %d: %s" (i + 1) m)
+          | None -> fail "line %d: bad time %S" (i + 1) at)
+      | _ -> fail "line %d: expected '@<time> <action>'" (i + 1)
+  in
+  String.split_on_char '\n' text |> List.mapi parse_line |> List.filter_map Fun.id

@@ -1,0 +1,70 @@
+(** Declarative fault plans: a virtual-time-stamped script of fault
+    actions against one simulated cluster run.
+
+    A plan is data — generated, validated, pretty-printed, serialized,
+    shrunk — and only {!Interp} gives it effect.  Crash/restart act on
+    nodes (the recoverable crash–restart model), partition/heal act on
+    the whole net, and the three [*_matching] actions open timed windows
+    during which an adversary verdict (drop / duplicate / delay) applies
+    to every message whose endpoints match. *)
+
+type msg_match = {
+  srcs : int list option;  (** sources the rule applies to; [None] = any *)
+  dsts : int list option;  (** destinations; [None] = any *)
+}
+
+val any : msg_match
+val matches : msg_match -> src:int -> dst:int -> bool
+
+type action =
+  | Crash of int  (** crash-stop the node (kills its protocol process) *)
+  | Restart of int  (** crash–recovery: bring a crashed node back *)
+  | Partition of int list list  (** install these groups (others isolated) *)
+  | Heal  (** remove any partition *)
+  | Drop_matching of msg_match * int
+      (** drop matching messages for the given duration *)
+  | Duplicate_matching of msg_match * int * int
+      (** deliver [copies] extra copies of matching messages, for the
+          given duration *)
+  | Delay_spike of msg_match * int * int
+      (** add [extra] latency to matching messages, for the duration *)
+
+type step = { at : int; action : action }
+type t = step list
+(** Steps in non-decreasing [at] order (see {!validate} / {!normalize}). *)
+
+val length : t -> int
+val normalize : t -> t
+(** Stable-sort by time. *)
+
+val kind : action -> string
+(** Short tag: crash / restart / partition / heal / drop / dup / delay. *)
+
+val kinds : string list
+val count_kinds : t -> (string * int) list
+(** Occurrences of every action kind (coverage accounting). *)
+
+val validate : n:int -> t -> string list
+(** Well-formedness problems, empty when the plan is well-formed: times
+    non-negative and sorted; pids and match ids in [0, n); no crash of a
+    down node or restart of a live one; partition groups disjoint and
+    non-empty; window durations and intensities positive. *)
+
+val quiet_after : t -> int option
+(** The earliest virtual time by which every scripted disturbance has
+    ended — crashes restarted, partitions healed, message windows
+    expired.  [None] when some crash is never restarted or a partition
+    is never healed (the plan never goes quiet). *)
+
+val string_of_action : action -> string
+val pp_step : Format.formatter -> step -> unit
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** One action per line: [@<time> <action>].  Inverse of {!of_string}. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse the {!to_string} format ([#] comments and blank lines are
+    ignored).  @raise Parse_error on malformed input. *)

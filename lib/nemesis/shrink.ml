@@ -1,0 +1,72 @@
+type 'r oracle = { run : Plan.t -> 'r; failing : 'r -> bool }
+
+type result = { plan : Plan.t; replays : int; reduced_from : int }
+
+let weaker_steps { Plan.at; action } =
+  let half x = x / 2 in
+  let steps =
+    match action with
+    | Plan.Crash _ | Plan.Restart _ | Plan.Heal -> []
+    | Plan.Partition groups ->
+        (* merging the first two groups weakens the cut *)
+        if List.length groups > 2 then
+          [ Plan.Partition (List.concat [ [ List.concat [ List.nth groups 0; List.nth groups 1 ] ]; List.filteri (fun i _ -> i >= 2) groups ]) ]
+        else []
+    | Plan.Drop_matching (m, lasts) ->
+        if lasts > 1 then [ Plan.Drop_matching (m, half lasts) ] else []
+    | Plan.Duplicate_matching (m, copies, lasts) ->
+        (if copies > 1 then [ Plan.Duplicate_matching (m, half copies, lasts) ] else [])
+        @ (if lasts > 1 then [ Plan.Duplicate_matching (m, copies, half lasts) ] else [])
+    | Plan.Delay_spike (m, extra, lasts) ->
+        (if extra > 1 then [ Plan.Delay_spike (m, half extra, lasts) ] else [])
+        @ (if lasts > 1 then [ Plan.Delay_spike (m, extra, half lasts) ] else [])
+  in
+  List.map (fun action -> { Plan.at; action }) steps
+
+let shrink ?(max_replays = 400) oracle plan0 =
+  let replays = ref 0 in
+  let fails p =
+    if !replays >= max_replays then false
+    else begin
+      incr replays;
+      oracle.failing (oracle.run p)
+    end
+  in
+  if not (fails plan0) then
+    invalid_arg "Shrink.shrink: the initial plan does not fail";
+  (* Greedy delta debugging to a local minimum: first try dropping whole
+     steps (restarting the scan after every success), then try weakening
+     the survivors, going back to removal whenever a weakening lands. *)
+  let without i plan = List.filteri (fun j _ -> j <> i) plan in
+  let rec remove_pass plan =
+    let len = List.length plan in
+    let rec try_at i =
+      if i >= len then None
+      else
+        let cand = without i plan in
+        if fails cand then Some cand else try_at (i + 1)
+    in
+    match try_at 0 with Some p -> remove_pass p | None -> plan
+  in
+  let rec weaken_pass plan =
+    let arr = Array.of_list plan in
+    let rec try_at i =
+      if i >= Array.length arr then None
+      else
+        let weakenings = weaker_steps arr.(i) in
+        let rec try_w = function
+          | [] -> try_at (i + 1)
+          | w :: rest ->
+              let cand =
+                List.mapi (fun j s -> if j = i then w else s) plan
+              in
+              if fails cand then Some cand else try_w rest
+        in
+        try_w weakenings
+    in
+    match try_at 0 with
+    | Some p -> weaken_pass (remove_pass p)
+    | None -> plan
+  in
+  let plan = weaken_pass (remove_pass plan0) in
+  { plan; replays = !replays; reduced_from = List.length plan0 }

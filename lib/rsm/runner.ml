@@ -1,3 +1,15 @@
+type faults = {
+  engine : Dsim.Engine.t;
+  crash : int -> unit;
+  restart : int -> unit;
+  partition : int list list -> unit;
+  heal : unit -> unit;
+  set_policy :
+    (App.kv_cmd Tob.entry Netsim.Async_net.envelope ->
+    Netsim.Async_net.policy_verdict) ->
+    unit;
+}
+
 type config = {
   backend : Backend.t;
   n : int;
@@ -5,6 +17,9 @@ type config = {
   seed : int64;
   latency : Netsim.Latency.t;
   crash_schedule : (int * int) list;
+  restart_schedule : (int * int) list;
+  inject : (faults -> unit) option;
+  trace_capacity : int option;
   ops : App.kv_cmd list array;
   ack_timeout : int;
   max_events : int;
@@ -18,6 +33,9 @@ let default_config ~n ~ops =
     seed = 1L;
     latency = Netsim.Latency.Uniform (1, 10);
     crash_schedule = [];
+    restart_schedule = [];
+    inject = None;
+    trace_capacity = None;
     ops;
     ack_timeout = 2_000;
     max_events = 5_000_000;
@@ -34,12 +52,13 @@ type report = {
   messages_sent : int;
   messages_delivered : int;
   crashed : int list;
+  restarted : int list;
   violations : Checker.violation list;
   completeness : Checker.violation list;
   digests_agree : bool;
   digests : string array;
   latencies : float list;
-  trace : Dsim.Trace.event list;
+  trace : Dsim.Trace.t;
 }
 
 (* Globally unique command ids: client in the high bits, sequence low. *)
@@ -47,9 +66,14 @@ let cid ~client ~k = (client lsl 20) lor k
 
 let run cfg =
   if cfg.n < 1 then invalid_arg "Runner.run: need at least one replica";
-  let eng = Dsim.Engine.create ~seed:cfg.seed () in
+  let eng =
+    Dsim.Engine.create ~seed:cfg.seed ?trace_capacity:cfg.trace_capacity ()
+  in
+  let policy_ref = ref (fun _ -> Netsim.Async_net.Deliver) in
   let net =
-    Netsim.Async_net.create eng ~n:cfg.n ~latency:cfg.latency ~retain_inbox:false ()
+    Netsim.Async_net.create eng ~n:cfg.n ~latency:cfg.latency
+      ~policy:(fun env -> !policy_ref env)
+      ~retain_inbox:false ()
   in
   let live () =
     List.filter
@@ -120,16 +144,43 @@ let run cfg =
          Tob.stop tob)
       : Dsim.Engine.pid);
   let crashed = ref [] in
+  let restarted = ref [] in
+  let crash_replica victim =
+    if not (Netsim.Async_net.is_crashed net victim) then begin
+      Netsim.Async_net.crash net victim;
+      Dsim.Engine.kill eng (Tob.process tob victim);
+      crashed := victim :: !crashed;
+      Dsim.Engine.emit eng ~tag:"rsm" (Printf.sprintf "crashed replica %d" victim)
+    end
+  in
+  let restart_replica victim =
+    if Netsim.Async_net.is_crashed net victim then begin
+      Netsim.Async_net.restart net victim;
+      Tob.restart tob victim;
+      restarted := victim :: !restarted;
+      Dsim.Engine.emit eng ~tag:"rsm"
+        (Printf.sprintf "restarted replica %d" victim)
+    end
+  in
+  let faults =
+    {
+      engine = eng;
+      crash = crash_replica;
+      restart = restart_replica;
+      partition = (fun groups -> Netsim.Async_net.set_partition net groups);
+      heal = (fun () -> Netsim.Async_net.heal net);
+      set_policy = (fun p -> policy_ref := p);
+    }
+  in
   List.iter
     (fun (time, victim) ->
-      Dsim.Engine.schedule eng ~delay:time (fun () ->
-          if not (Netsim.Async_net.is_crashed net victim) then begin
-            Netsim.Async_net.crash net victim;
-            Dsim.Engine.kill eng (Tob.process tob victim);
-            crashed := victim :: !crashed;
-            Dsim.Engine.emit eng ~tag:"rsm" (Printf.sprintf "crashed replica %d" victim)
-          end))
+      Dsim.Engine.schedule eng ~delay:time (fun () -> crash_replica victim))
     cfg.crash_schedule;
+  List.iter
+    (fun (time, victim) ->
+      Dsim.Engine.schedule eng ~delay:time (fun () -> restart_replica victim))
+    cfg.restart_schedule;
+  Option.iter (fun f -> f faults) cfg.inject;
   let engine_outcome = Dsim.Engine.run ~max_events:cfg.max_events eng in
   let live_now = live () in
   let digests = Array.map App.Kv.digest apps in
@@ -148,10 +199,11 @@ let run cfg =
     messages_sent = Netsim.Async_net.messages_sent net;
     messages_delivered = Netsim.Async_net.messages_delivered net;
     crashed = List.rev !crashed;
+    restarted = List.rev !restarted;
     violations = Checker.check checker;
     completeness = Checker.check_complete checker ~live:live_now;
     digests_agree;
     digests;
     latencies = List.rev !latencies;
-    trace = Dsim.Trace.events (Dsim.Engine.trace eng);
+    trace = Dsim.Engine.trace eng;
   }

@@ -1,6 +1,6 @@
 (** End-to-end RSM harness: K closed-loop clients drive a replicated KV
     store through the total-order-broadcast layer over a simulated
-    asynchronous network, under a crash schedule, with the total-order
+    asynchronous network, under a fault schedule, with the total-order
     checker watching every application.
 
     Clients are closed-loop with retry: each submits its next command to
@@ -8,7 +8,35 @@
     somewhere), and re-submits through another replica on timeout — so a
     command whose entry replica crashed mid-broadcast is still
     eventually ordered, and the duplicate-suppression path is exercised
-    whenever the first copy survives after all. *)
+    whenever the first copy survives after all.
+
+    Faults come in three layers: the static [crash_schedule] /
+    [restart_schedule] pairs (crash–stop and crash–recovery), and the
+    generic [inject] hook handing a {!faults} controller to an external
+    fault injector (the [Nemesis] subsystem) that can also partition the
+    network and rewrite the per-message adversary policy mid-run. *)
+
+type faults = {
+  engine : Dsim.Engine.t;
+  crash : int -> unit;
+      (** crash-stop the replica: freeze its inbox and kill its TOB
+          process (idempotent) *)
+  restart : int -> unit;
+      (** crash–recovery: resume reception and respawn the TOB loop; the
+          replica catches up from the log's cached decisions (no-op on a
+          live replica) *)
+  partition : int list list -> unit;  (** install a network partition *)
+  heal : unit -> unit;  (** remove any partition *)
+  set_policy :
+    (App.kv_cmd Tob.entry Netsim.Async_net.envelope ->
+    Netsim.Async_net.policy_verdict) ->
+    unit;
+      (** replace the per-message adversary policy (drop / duplicate /
+          delay verdicts at send time) *)
+}
+(** Live controller over one run's fault surface, handed to [inject]
+    after the cluster is wired and before the simulation starts.  All
+    functions may also be called later from scheduled engine events. *)
 
 type config = {
   backend : Backend.t;
@@ -17,16 +45,23 @@ type config = {
   seed : int64;
   latency : Netsim.Latency.t;
   crash_schedule : (int * int) list;
-      (** [(virtual_time, pid)]: crash-stop that replica at that time;
-          keep at least one replica alive *)
+      (** [(virtual_time, pid)]: crash-stop that replica at that time *)
+  restart_schedule : (int * int) list;
+      (** [(virtual_time, pid)]: restart that replica at that time
+          (no-op unless it crashed earlier) *)
+  inject : (faults -> unit) option;
+      (** fault-injection hook, run once at virtual time 0 *)
+  trace_capacity : int option;
+      (** bound retained trace events (None = unbounded); long campaigns
+          should bound this so traces don't retain the whole run *)
   ops : App.kv_cmd list array;  (** one command list per client *)
   ack_timeout : int;  (** virtual time before a client re-submits *)
   max_events : int;  (** engine event budget (runaway guard) *)
 }
 
 val default_config : n:int -> ops:App.kv_cmd list array -> config
-(** Ben-Or backend, batch 8, seed 1, uniform 1-10 latency, no crashes,
-    ack timeout 2000, 5M event budget. *)
+(** Ben-Or backend, batch 8, seed 1, uniform 1-10 latency, no faults,
+    unbounded trace, ack timeout 2000, 5M event budget. *)
 
 type report = {
   engine_outcome : Dsim.Engine.outcome;
@@ -38,7 +73,8 @@ type report = {
   instances : int;  (** binary backend instances consumed *)
   messages_sent : int;
   messages_delivered : int;
-  crashed : int list;  (** pids crashed during the run *)
+  crashed : int list;  (** crash events during the run, in order *)
+  restarted : int list;  (** restart events during the run, in order *)
   violations : Checker.violation list;
       (** order, integrity and duplication violations — the safety gate *)
   completeness : Checker.violation list;
@@ -48,8 +84,9 @@ type report = {
   digests : string array;  (** per-replica final KV digest *)
   latencies : float list;
       (** per-command submit-to-ack virtual times, acked commands only *)
-  trace : Dsim.Trace.event list;
-      (** the run's structured trace (slot decisions, crashes, ...) *)
+  trace : Dsim.Trace.t;
+      (** the run's structured trace (slot decisions, crashes, ...);
+          read with {!Dsim.Trace.events} / {!Dsim.Trace.last} *)
 }
 
 val run : config -> report

@@ -105,6 +105,13 @@ let submit t ~replica e =
   end
 
 let process t pid = t.processes.(pid)
+
+let restart t pid =
+  if not (Dsim.Engine.alive t.engine t.processes.(pid)) then
+    t.processes.(pid) <-
+      Dsim.Engine.spawn t.engine
+        ~name:(Printf.sprintf "rsm-replica-%d" pid)
+        (replica_loop t pid)
 let delivered_count t ~pid = t.replicas.(pid).delivered_count
 let is_delivered t ~cid = Hashtbl.mem t.delivered_any cid
 let pending_count t ~pid = Hashtbl.length t.replicas.(pid).pending

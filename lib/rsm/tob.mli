@@ -45,6 +45,12 @@ val submit : 'cmd t -> replica:int -> 'cmd entry -> bool
 val process : 'cmd t -> int -> Dsim.Engine.pid
 (** The engine process driving the given replica (kill it on crash). *)
 
+val restart : 'cmd t -> int -> unit
+(** Respawn the replica loop after its process was killed (crash–recovery
+    with intact state, the recoverable model): the replica resumes at its
+    pre-crash slot counter and catches up by replaying the decisions the
+    log cached while it was down.  No-op while the process is alive. *)
+
 val delivered_count : 'cmd t -> pid:int -> int
 val is_delivered : 'cmd t -> cid:int -> bool
 (** Has {e some} replica to-delivered this command? (the client's ack) *)

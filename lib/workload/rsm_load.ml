@@ -31,6 +31,12 @@ let crash_plan ~n ~crashes =
     invalid_arg "Rsm_load.crash_plan: need 0 <= crashes < n";
   List.init crashes (fun k -> (40 + (60 * k), k))
 
+let crash_restart_plan ~n ~crashes ?(down_for = 150) () =
+  if down_for < 1 then
+    invalid_arg "Rsm_load.crash_restart_plan: down_for must be >= 1";
+  let cs = crash_plan ~n ~crashes in
+  (cs, List.map (fun (t, p) -> (t + down_for, p)) cs)
+
 type summary = {
   backend_name : string;
   batch : int;
@@ -39,6 +45,7 @@ type summary = {
   commands : int;
   acked : int;
   crashes : int;
+  restarts : int;
   virtual_time : int;
   slots : int;
   instances : int;
@@ -59,6 +66,7 @@ let summarize (cfg : Rsm.Runner.config) (r : Rsm.Runner.report) =
     commands = r.submitted;
     acked = r.acked;
     crashes = List.length r.crashed;
+    restarts = List.length r.restarted;
     virtual_time = r.virtual_time;
     slots = r.slots;
     instances = r.instances;
@@ -73,15 +81,27 @@ let summarize (cfg : Rsm.Runner.config) (r : Rsm.Runner.report) =
   }
 
 let run_one ?(n = 5) ?(clients = 4) ?(commands = 8) ?(batch = 8) ?(crashes = 0)
-    ?(seed = 1) ~backend () =
+    ?restart_after ?(seed = 1) ?trace_capacity ?ack_timeout ?max_events ?inject
+    ~backend () =
   let ops = gen_ops ~seed:(Int64.of_int seed) ~clients ~commands () in
+  let crash_schedule, restart_schedule =
+    match restart_after with
+    | None -> (crash_plan ~n ~crashes, [])
+    | Some down_for -> crash_restart_plan ~n ~crashes ~down_for ()
+  in
+  let base = Rsm.Runner.default_config ~n ~ops in
   let cfg =
     {
-      (Rsm.Runner.default_config ~n ~ops) with
+      base with
       backend;
       batch;
       seed = Int64.of_int seed;
-      crash_schedule = crash_plan ~n ~crashes;
+      crash_schedule;
+      restart_schedule;
+      trace_capacity;
+      inject;
+      ack_timeout = Option.value ack_timeout ~default:base.Rsm.Runner.ack_timeout;
+      max_events = Option.value max_events ~default:base.Rsm.Runner.max_events;
     }
   in
   let r = Rsm.Runner.run cfg in

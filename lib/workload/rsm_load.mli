@@ -31,6 +31,14 @@ val crash_plan : n:int -> crashes:int -> (int * int) list
 (** A staggered schedule crashing [crashes] distinct replicas early in
     the run.  @raise Invalid_argument unless [0 <= crashes < n]. *)
 
+val crash_restart_plan :
+  n:int -> crashes:int -> ?down_for:int -> unit -> (int * int) list * (int * int) list
+(** The crash–{e recovery} variant: the same staggered crash schedule
+    paired with a restart schedule bringing each victim back [down_for]
+    (default 150) virtual-time units after its crash — the recoverable
+    crash–restart model.  Feed the pair to
+    {!Rsm.Runner.config.crash_schedule} / [restart_schedule]. *)
+
 (** One run's scorecard, ready for tables. *)
 type summary = {
   backend_name : string;
@@ -40,6 +48,7 @@ type summary = {
   commands : int;  (** distinct commands submitted *)
   acked : int;
   crashes : int;
+  restarts : int;
   virtual_time : int;
   slots : int;
   instances : int;  (** nested binary consensus instances *)
@@ -58,12 +67,20 @@ val run_one :
   ?commands:int ->
   ?batch:int ->
   ?crashes:int ->
+  ?restart_after:int ->
   ?seed:int ->
+  ?trace_capacity:int ->
+  ?ack_timeout:int ->
+  ?max_events:int ->
+  ?inject:(Rsm.Runner.faults -> unit) ->
   backend:Rsm.Backend.t ->
   unit ->
   Rsm.Runner.report * summary
 (** Defaults: 5 replicas, 4 clients x 8 commands, batch 8, no crashes,
-    seed 1. *)
+    seed 1.  [restart_after] turns the crash schedule into the
+    crash–restart plan (each victim recovers that long after its crash).
+    [trace_capacity] bounds retained trace events, [inject] hands the
+    run's fault controller to an external injector (see {!Rsm.Runner}). *)
 
 val sweep_batches :
   ?n:int ->

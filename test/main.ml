@@ -28,4 +28,5 @@ let () =
       ("explore", Test_explore.suite);
       ("rsm", Test_rsm.suite);
       ("workload", Test_workload.suite);
+      ("nemesis", Test_nemesis.suite);
     ]

@@ -72,6 +72,53 @@ let restart_resumes_delivery () =
   check (Alcotest.list Alcotest.string) "only post-restart message" [ "found" ]
     (payloads net 1)
 
+(* Restart semantics are about *arrival* time: a message still in flight
+   when the node comes back is delivered; one arriving during the outage
+   is lost for good. *)
+let restart_keeps_in_flight_messages () =
+  let e, net = make ~latency:(Netsim.Latency.Fixed 10) () in
+  Net.crash net 1;
+  Net.send net ~src:0 ~dst:1 "in-flight";
+  (* arrives at t=10 *)
+  Engine.schedule e ~delay:5 (fun () -> Net.restart net 1);
+  ignore (Engine.run e : Engine.outcome);
+  check (Alcotest.list Alcotest.string) "in-flight message survives the outage"
+    [ "in-flight" ] (payloads net 1)
+
+let restart_loses_messages_arriving_while_down () =
+  let e, net = make ~latency:(Netsim.Latency.Fixed 2) () in
+  Net.crash net 1;
+  Net.send net ~src:0 ~dst:1 "lost";
+  (* arrives at t=2, node down until t=5 *)
+  Engine.schedule e ~delay:5 (fun () -> Net.restart net 1);
+  ignore (Engine.run e : Engine.outcome);
+  check (Alcotest.list Alcotest.string) "down-time arrival is gone" []
+    (payloads net 1);
+  check Alcotest.bool "node is back up" false (Net.is_crashed net 1);
+  check Alcotest.int "crashed count back to zero" 0 (Net.crashed_count net)
+
+let restart_resumes_sending_and_handler () =
+  let e, net = make ~latency:(Netsim.Latency.Fixed 1) ~retain_inbox:false () in
+  let seen = ref [] in
+  Net.set_handler net 0 (fun env -> seen := env.Net.payload :: !seen);
+  Net.crash net 1;
+  Net.send net ~src:1 ~dst:0 "while-down";
+  Engine.schedule e ~delay:3 (fun () ->
+      Net.restart net 1;
+      Net.send net ~src:1 ~dst:0 "after-restart");
+  ignore (Engine.run e : Engine.outcome);
+  check (Alcotest.list Alcotest.string)
+    "handler sees only the post-restart send" [ "after-restart" ] !seen
+
+let restart_of_live_node_is_noop () =
+  let e, net = make ~latency:(Netsim.Latency.Fixed 1) () in
+  Net.restart net 2;
+  check Alcotest.bool "still up" false (Net.is_crashed net 2);
+  Net.send net ~src:0 ~dst:2 "fine";
+  ignore (Engine.run e : Engine.outcome);
+  check (Alcotest.list Alcotest.string) "delivery unaffected" [ "fine" ]
+    (payloads net 2)
+
 let partition_drops_cross_cut () =
   let e, net = make ~latency:(Netsim.Latency.Fixed 1) () in
   Net.set_partition net [ [ 0; 1 ]; [ 2; 3 ] ];
@@ -168,6 +215,14 @@ let suite =
     Alcotest.test_case "crash stops delivery" `Quick crash_stops_delivery;
     Alcotest.test_case "crashed node cannot send" `Quick crashed_node_cannot_send;
     Alcotest.test_case "restart resumes delivery" `Quick restart_resumes_delivery;
+    Alcotest.test_case "restart keeps in-flight messages" `Quick
+      restart_keeps_in_flight_messages;
+    Alcotest.test_case "restart loses down-time arrivals" `Quick
+      restart_loses_messages_arriving_while_down;
+    Alcotest.test_case "restart resumes sending and handler" `Quick
+      restart_resumes_sending_and_handler;
+    Alcotest.test_case "restart of live node is noop" `Quick
+      restart_of_live_node_is_noop;
     Alcotest.test_case "partition drops cross-cut" `Quick partition_drops_cross_cut;
     Alcotest.test_case "isolated node" `Quick isolated_node_in_partition;
     Alcotest.test_case "policy drop and duplicate" `Quick policy_drop_and_duplicate;

@@ -166,6 +166,49 @@ let backend_crash_run backend () =
     no_violations ~msg:(Printf.sprintf "seed %d" seed) r
   done
 
+(* Crash–restart (the recoverable model): replicas that crash and come
+   back must catch up from the log's cached decisions — all commands
+   acked, every replica (all live at the end) applies every command, and
+   all digests agree. *)
+let backend_crash_restart_run backend () =
+  for seed = 1 to 3 do
+    let ops = Array.init 2 (fun c -> ops_of_n ~client:c 4) in
+    let crash_schedule, restart_schedule =
+      Workload.Rsm_load.crash_restart_plan ~n:4 ~crashes:2 ~down_for:120 ()
+    in
+    let r =
+      Runner.run
+        {
+          (Runner.default_config ~n:4 ~ops) with
+          backend;
+          batch = 4;
+          seed = Int64.of_int seed;
+          crash_schedule;
+          restart_schedule;
+        }
+    in
+    check Alcotest.int
+      (Printf.sprintf "seed %d: crash events" seed)
+      2
+      (List.length r.crashed);
+    check Alcotest.int
+      (Printf.sprintf "seed %d: restart events" seed)
+      2
+      (List.length r.restarted);
+    check Alcotest.int
+      (Printf.sprintf "seed %d: all acked across restarts" seed)
+      8 r.acked;
+    no_violations ~msg:(Printf.sprintf "seed %d" seed) r;
+    (* Everyone is live at the end, so completeness + digests above cover
+       the restarted replicas too; delivered counts must all match. *)
+    Array.iter
+      (fun d ->
+        check Alcotest.int
+          (Printf.sprintf "seed %d: every replica applied everything" seed)
+          r.delivered.(0) d)
+      r.delivered
+  done
+
 (* CAS commands must resolve identically everywhere: total order makes the
    winner deterministic per run, and digests already catch divergence. *)
 let cas_replicated_consistently () =
@@ -223,6 +266,12 @@ let suite =
           Alcotest.test_case
             (Printf.sprintf "crash tolerance (%s)" (backend_name b))
             `Quick (backend_crash_run b))
+        Backend.all;
+      List.map
+        (fun b ->
+          Alcotest.test_case
+            (Printf.sprintf "crash-restart recovery (%s)" (backend_name b))
+            `Quick (backend_crash_restart_run b))
         Backend.all;
       [ qtest prop_total_order ];
     ]

@@ -36,6 +36,22 @@ let capacity_keeps_newest () =
   check Alcotest.bool "bounded" true (List.length times <= 20);
   check Alcotest.int "newest retained" 100 (List.fold_left max 0 times)
 
+let last_is_the_tail () =
+  let t = Dsim.Trace.create () in
+  for i = 1 to 7 do
+    Dsim.Trace.emit t ~time:i ~tag:"e" "x"
+  done;
+  let times evs = List.map (fun e -> e.Dsim.Trace.time) evs in
+  check (Alcotest.list Alcotest.int) "last 3, oldest first" [ 5; 6; 7 ]
+    (times (Dsim.Trace.last t 3));
+  check (Alcotest.list Alcotest.int) "k beyond length gives everything"
+    (times (Dsim.Trace.events t))
+    (times (Dsim.Trace.last t 100));
+  check (Alcotest.list Alcotest.int) "k = 0 gives nothing" []
+    (times (Dsim.Trace.last t 0));
+  check (Alcotest.list Alcotest.int) "negative k gives nothing" []
+    (times (Dsim.Trace.last t (-2)))
+
 let pp_formats () =
   let t = Dsim.Trace.create () in
   Dsim.Trace.emit t ~time:5 ~pid:3 ~tag:"kill" "victim";
@@ -52,5 +68,6 @@ let suite =
     Alcotest.test_case "emit and read" `Quick emit_and_read;
     Alcotest.test_case "filtering" `Quick filtering;
     Alcotest.test_case "capacity keeps newest" `Quick capacity_keeps_newest;
+    Alcotest.test_case "last is the tail" `Quick last_is_the_tail;
     Alcotest.test_case "pp formats" `Quick pp_formats;
   ]
