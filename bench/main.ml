@@ -116,6 +116,67 @@ let rsm_run backend seed =
     (Workload.Rsm_load.run_one ~n:5 ~clients:4 ~commands:2 ~batch:8 ~seed ~backend ()
       : Rsm.Runner.report * Workload.Rsm_load.summary)
 
+let rsm_durable_run ~snapshot_every backend seed =
+  let store = { Rsm.Runner.default_store_config with snapshot_every } in
+  ignore
+    (Workload.Rsm_load.run_one ~n:5 ~clients:4 ~commands:2 ~batch:8 ~seed ~store
+       ~backend ()
+      : Rsm.Runner.report * Workload.Rsm_load.summary)
+
+(* WAL overhead and snapshot/compaction cost vs the in-memory baseline:
+   same workload three ways — no store, WAL only (ack gated on fsync, no
+   snapshots), WAL + snapshot-every-4.  Virtual time measures protocol
+   cost (fsync stalls, floor round-trips); appends/fsyncs/compacted come
+   straight from the disks' counters. *)
+let store_overhead_table ~scale ppf =
+  let clients, commands = if scale = Workload.Experiments.Full then (6, 6) else (4, 3) in
+  Format.fprintf ppf
+    "@.Durable-store overhead (n=5, %d clients x %d cmds, seed-averaged x3)@."
+    clients commands;
+  Format.fprintf ppf
+    "%-12s %-14s %8s %10s %8s %8s %6s %10s@." "backend" "store" "vt"
+    "thr/kvt" "appends" "fsyncs" "snaps" "compacted";
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun (label, store) ->
+          let runs =
+            List.map
+              (fun seed ->
+                Workload.Rsm_load.run_one ~n:5 ~clients ~commands ~batch:4
+                  ~seed ?store ~backend ())
+              [ 1; 2; 3 ]
+          in
+          let avg f =
+            List.fold_left (fun a r -> a + f r) 0 runs / List.length runs
+          in
+          let vt = avg (fun (r, _) -> r.Rsm.Runner.virtual_time) in
+          let thr =
+            List.fold_left
+              (fun a (_, s) -> a +. s.Workload.Rsm_load.throughput)
+              0. runs
+            /. float_of_int (List.length runs)
+          in
+          let sum_stats f =
+            avg (fun (r, _) ->
+                Array.fold_left (fun a st -> a + f st) 0 r.Rsm.Runner.store_stats)
+          in
+          Format.fprintf ppf "%-12s %-14s %8d %10.2f %8d %8d %6d %10d@."
+            (Rsm.Backend.name backend) label vt thr
+            (sum_stats (fun st -> st.Store.Disk.appends))
+            (sum_stats (fun st -> st.Store.Disk.fsyncs))
+            (sum_stats (fun st -> st.Store.Disk.snapshots_taken))
+            (sum_stats (fun st -> st.Store.Disk.compacted_records));
+          if List.exists (fun (_, s) -> not s.Workload.Rsm_load.ok) runs then
+            Format.fprintf ppf "  WARNING: %s/%s reported violations@."
+              (Rsm.Backend.name backend) label)
+        [
+          ("none", None);
+          ("wal", Some { Rsm.Runner.default_store_config with snapshot_every = 0 });
+          ("wal+snap4", Some Rsm.Runner.default_store_config);
+        ])
+    Rsm.Backend.all
+
 (* One fault-injected RSM run: generate a seeded plan, install it, audit. *)
 let nemesis_run backend seed =
   let cfg = Nemesis.Campaign.default_config ~n:5 () in
@@ -188,6 +249,15 @@ let tests =
                ~name:(Printf.sprintf "%s.n5" (Rsm.Backend.name b))
                (rotating (rsm_run b)))
            Rsm.Backend.all);
+      Test.make_grouped ~name:"store"
+        [
+          Test.make ~name:"rsm.ben-or.wal"
+            (rotating (rsm_durable_run ~snapshot_every:0 Rsm.Backend.ben_or));
+          Test.make ~name:"rsm.ben-or.wal-snap4"
+            (rotating (rsm_durable_run ~snapshot_every:4 Rsm.Backend.ben_or));
+          Test.make ~name:"rsm.raft.wal"
+            (rotating (rsm_durable_run ~snapshot_every:0 Rsm.Backend.raft));
+        ];
       Test.make_grouped ~name:"nemesis"
         (List.map
            (fun b ->
@@ -246,6 +316,7 @@ let () =
     in
     if List.exists (fun s -> not s.Workload.Rsm_load.ok) summaries then
       Format.printf "WARNING: some RSM sweep cells reported violations@.";
+    store_overhead_table ~scale Format.std_formatter;
     nemesis_campaign_table ~scale Format.std_formatter
   end;
   if not (has "tables-only") then run_benchmarks ()

@@ -356,6 +356,149 @@ let rsm_cmd =
           log of consensus slots, any backend.")
     term
 
+(* -------------------------------------------------------------- store -- *)
+
+let store_cmd =
+  let backend_arg =
+    let doc = "Consensus backend deciding each log slot: ben-or, phase-king, raft." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ben-or", Rsm.Backend.ben_or);
+               ("phase-king", Rsm.Backend.phase_king);
+               ("raft", Rsm.Backend.raft);
+             ])
+          Rsm.Backend.ben_or
+      & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let clients_arg =
+    let doc = "Closed-loop clients driving the store." in
+    Arg.(value & opt int 3 & info [ "clients" ] ~docv:"K" ~doc)
+  in
+  let commands_arg =
+    let doc = "Commands per client." in
+    Arg.(value & opt int 5 & info [ "commands" ] ~docv:"M" ~doc)
+  in
+  let crashes_arg =
+    let doc = "Replicas to crash (staggered early in the run)." in
+    Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"F" ~doc)
+  in
+  let restart_after_arg =
+    let doc =
+      "Restart each crashed replica this much virtual time after its crash \
+       (crash-recovery through real WAL replay; default: crashed replicas \
+       stay down)."
+    in
+    Arg.(value & opt (some int) None & info [ "restart-after" ] ~docv:"T" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc = "Snapshot + compact every this many non-empty slots (0 = never)." in
+    Arg.(value & opt int 4 & info [ "snapshot-every" ] ~docv:"S" ~doc)
+  in
+  let ack_before_fsync_arg =
+    let doc =
+      "Deliberately broken store: ack commands at delivery, before their WAL \
+       records are durable.  Exists to demonstrate the durability audit."
+    in
+    Arg.(value & flag & info [ "ack-before-fsync" ] ~doc)
+  in
+  let plan_file_arg =
+    let doc = "Inject this nemesis plan (storage-fault actions welcome)." in
+    Arg.(value & opt (some file) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let dump_wal_arg =
+    let doc = "Dump every replica's durable WAL records after the run." in
+    Arg.(value & flag & info [ "dump-wal" ] ~doc)
+  in
+  let run n seed backend clients commands crashes restart_after snapshot_every
+      ack_before_fsync plan_file dump_wal show_trace =
+    if crashes >= n then begin
+      Format.eprintf "need at least one live replica (crashes < n)@.";
+      exit 2
+    end;
+    let inject =
+      Option.map
+        (fun file ->
+          let text = In_channel.with_open_text file In_channel.input_all in
+          let plan =
+            try Nemesis.Plan.of_string text
+            with Nemesis.Plan.Parse_error msg ->
+              Format.eprintf "cannot parse plan %s: %s@." file msg;
+              exit 2
+          in
+          (match Nemesis.Plan.validate ~n plan with
+          | [] -> ()
+          | problems ->
+              Format.eprintf "ill-formed plan %s:@." file;
+              List.iter (Format.eprintf "  %s@.") problems;
+              exit 2);
+          Nemesis.Interp.install_rsm plan)
+        plan_file
+    in
+    let store =
+      {
+        Rsm.Runner.default_store_config with
+        Rsm.Runner.snapshot_every;
+        ack_before_fsync;
+      }
+    in
+    let r, s =
+      Workload.Rsm_load.run_one ~n ~clients ~commands ~batch:4 ~crashes
+        ?restart_after ~seed ?inject ~store ~backend ()
+    in
+    Format.printf "Durable RSM over %s: n=%d clients=%d x %d cmds seed=%d%s@."
+      s.Workload.Rsm_load.backend_name n clients commands seed
+      (if ack_before_fsync then " (BROKEN: ack-before-fsync)" else "");
+    Format.printf "  %d/%d commands acked, %d slots, vt %d@."
+      s.Workload.Rsm_load.acked s.Workload.Rsm_load.commands
+      s.Workload.Rsm_load.slots s.Workload.Rsm_load.virtual_time;
+    Array.iteri
+      (fun pid (disk : Store.Disk.t) ->
+        let st = Store.Disk.stats disk in
+        Format.printf "  p%d disk: %a@." pid Store.Disk.pp_stats st;
+        (match Store.Disk.latest_snapshot disk with
+        | Some snap ->
+            Format.printf "    snapshot chain (%d): latest %a@."
+              (List.length (Store.Disk.snapshots disk))
+              Store.Disk.pp_snapshot snap
+        | None -> Format.printf "    no snapshot@.");
+        if dump_wal then
+          List.iter
+            (fun rec_ -> Format.printf "    %a@." Store.Disk.pp_record rec_)
+            (Store.Disk.records disk))
+      r.Rsm.Runner.disks;
+    let problems =
+      r.Rsm.Runner.violations @ r.Rsm.Runner.completeness
+      @ r.Rsm.Runner.durability
+    in
+    (match problems with
+    | [] when r.Rsm.Runner.digests_agree ->
+        Format.printf
+          "total order, completeness and durability all hold; live replicas' \
+           states agree@."
+    | [] -> Format.printf "VIOLATION: live replicas' state digests diverge@."
+    | vs ->
+        Format.printf "VIOLATIONS:@.";
+        List.iter (fun v -> Format.printf "  %a@." Rsm.Checker.pp_violation v) vs);
+    dump_trace ~limit:show_trace r.Rsm.Runner.trace;
+    if problems <> [] || not r.Rsm.Runner.digests_agree then exit 1
+  in
+  let term =
+    Term.(
+      const run $ n_arg 5 $ seed_arg $ backend_arg $ clients_arg $ commands_arg
+      $ crashes_arg $ restart_after_arg $ snapshot_every_arg
+      $ ack_before_fsync_arg $ plan_file_arg $ dump_wal_arg $ show_trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:
+         "Run the RSM on simulated stable storage (per-replica WAL + \
+          snapshots), inspect the WAL and snapshot chains, and audit \
+          durability: every acked command must survive crash-recovery.")
+    term
+
 (* ------------------------------------------------------------ nemesis -- *)
 
 let nemesis_cmd =
@@ -428,8 +571,16 @@ let nemesis_cmd =
     let doc = "No per-run progress dots." in
     Arg.(value & flag & info [ "quiet" ] ~doc)
   in
+  let storage_arg =
+    let doc =
+      "Give every run a WAL-backed store, let generated plans draw storage \
+       faults (torn writes, sync-tail loss, io errors, stalls), and audit \
+       durability: acked commands must survive at the live replicas."
+    in
+    Arg.(value & flag & info [ "storage-faults" ] ~doc)
+  in
   let run n seed backends plans clients commands batch max_actions max_down
-      horizon benign plan_file dump shrink quiet show_trace =
+      horizon benign storage plan_file dump shrink quiet show_trace =
     let base = Nemesis.Campaign.default_config ~n () in
     let profile =
       {
@@ -451,6 +602,7 @@ let nemesis_cmd =
         commands;
         batch;
         profile;
+        storage;
       }
     in
     let write_plan file plan =
@@ -483,16 +635,20 @@ let nemesis_cmd =
             let r = Nemesis.Campaign.run_plan cfg ~backend ~seed plan in
             let safe = Nemesis.Campaign.safety_ok r in
             let live = Nemesis.Campaign.complete r in
-            if not safe then any_unsafe := true;
+            let durable = Nemesis.Campaign.durable_ok r in
+            if (not safe) || not durable then any_unsafe := true;
             Format.printf
-              "%-12s %d/%d acked, %d slots, vt %d — safety %s, complete %s@."
+              "%-12s %d/%d acked, %d slots, vt %d — safety %s, complete %s, \
+               durable %s@."
               (Rsm.Backend.name backend) r.Rsm.Runner.acked
               r.Rsm.Runner.submitted r.Rsm.Runner.slots r.Rsm.Runner.virtual_time
               (if safe then "ok" else "VIOLATED")
-              (if live then "yes" else "NO");
+              (if live then "yes" else "NO")
+              (if durable then "yes" else "VIOLATED");
             List.iter
               (fun v -> Format.printf "  %a@." Rsm.Checker.pp_violation v)
-              (r.Rsm.Runner.violations @ r.Rsm.Runner.completeness);
+              (r.Rsm.Runner.violations @ r.Rsm.Runner.completeness
+             @ r.Rsm.Runner.durability);
             dump_trace ~limit:show_trace r.Rsm.Runner.trace)
           backends;
         if !any_unsafe then exit 1
@@ -508,12 +664,17 @@ let nemesis_cmd =
         if not quiet then print_newline ();
         Format.printf "%a" Nemesis.Campaign.pp_report report;
         let failing, predicate =
-          match (report.safety_failures, report.incomplete) with
-          | o :: _, _ ->
+          match
+            (report.safety_failures, report.durability_failures,
+             report.incomplete)
+          with
+          | o :: _, _, _ ->
               (Some o, fun r -> not (Nemesis.Campaign.safety_ok r))
-          | [], o :: _ ->
+          | [], o :: _, _ ->
+              (Some o, fun r -> not (Nemesis.Campaign.durable_ok r))
+          | [], [], o :: _ ->
               (Some o, fun r -> not (Nemesis.Campaign.complete r))
-          | [], [] -> (None, fun _ -> false)
+          | [], [], [] -> (None, fun _ -> false)
         in
         Option.iter
           (fun (o : Nemesis.Campaign.outcome) ->
@@ -544,14 +705,15 @@ let nemesis_cmd =
             in
             Option.iter (fun file -> write_plan file final_plan) dump)
           failing;
-        if report.safety_failures <> [] then exit 1
+        if report.safety_failures <> [] || report.durability_failures <> []
+        then exit 1
   in
   let term =
     Term.(
       const run $ n_arg 5 $ seed_arg $ backends_arg $ plans_arg $ clients_arg
       $ commands_arg $ batch_arg $ max_actions_arg $ max_down_arg $ horizon_arg
-      $ benign_arg $ plan_file_arg $ dump_arg $ shrink_arg $ quiet_arg
-      $ show_trace_arg)
+      $ benign_arg $ storage_arg $ plan_file_arg $ dump_arg $ shrink_arg
+      $ quiet_arg $ show_trace_arg)
   in
   Cmd.v
     (Cmd.info "nemesis"
@@ -600,6 +762,7 @@ let main_cmd =
       raft_cmd;
       sharedmem_cmd;
       rsm_cmd;
+      store_cmd;
       nemesis_cmd;
       experiments_cmd;
     ]

@@ -10,6 +10,7 @@ type config = {
   ack_timeout : int;
   max_events : int;
   trace_capacity : int;
+  storage : bool;
 }
 
 let default_config ?(n = 5) () =
@@ -25,6 +26,7 @@ let default_config ?(n = 5) () =
     ack_timeout = 400;
     max_events = 400_000;
     trace_capacity = 2_000;
+    storage = false;
   }
 
 let safety_ok (r : Rsm.Runner.report) =
@@ -34,12 +36,15 @@ let complete (r : Rsm.Runner.report) =
   r.Rsm.Runner.completeness = []
   && r.Rsm.Runner.acked = r.Rsm.Runner.submitted
 
+let durable_ok (r : Rsm.Runner.report) = r.Rsm.Runner.durability = []
+
 type outcome = {
   backend_name : string;
   plan_seed : int;
   plan : Plan.t;
   safety : bool;
   live : bool;
+  durable : bool;
   acked : int;
   submitted : int;
   virtual_time : int;
@@ -51,6 +56,7 @@ type report = {
   outcomes : outcome list;
   safety_failures : outcome list;
   incomplete : outcome list;
+  durability_failures : outcome list;
   faults_injected : int;
   coverage : (string * int) list;
   cpu_seconds : float;
@@ -64,9 +70,14 @@ let run_plan cfg ~backend ~seed plan =
        ~trace_capacity:cfg.trace_capacity ~ack_timeout:cfg.ack_timeout
        ~max_events:cfg.max_events
        ~inject:(Interp.install_rsm plan)
+       ?store:
+         (if cfg.storage then Some Rsm.Runner.default_store_config else None)
        ~backend ())
 
-let plan_for cfg ~seed = Gen.generate { cfg.profile with n = cfg.n } ~seed
+let plan_for cfg ~seed =
+  Gen.generate
+    { cfg.profile with n = cfg.n; storage = cfg.profile.storage || cfg.storage }
+    ~seed
 
 let run ?on_outcome cfg =
   let t0 = Sys.time () in
@@ -84,6 +95,7 @@ let run ?on_outcome cfg =
             plan;
             safety = safety_ok r;
             live = complete r;
+            durable = durable_ok r;
             acked = r.Rsm.Runner.acked;
             submitted = r.Rsm.Runner.submitted;
             virtual_time = r.Rsm.Runner.virtual_time;
@@ -114,6 +126,7 @@ let run ?on_outcome cfg =
     outcomes;
     safety_failures = List.filter (fun o -> not o.safety) outcomes;
     incomplete = List.filter (fun o -> not o.live) outcomes;
+    durability_failures = List.filter (fun o -> not o.durable) outcomes;
     faults_injected;
     coverage;
     cpu_seconds;
@@ -128,11 +141,18 @@ let pp_report ppf r =
   Format.fprintf ppf "  coverage: %s@."
     (String.concat ", "
        (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) r.coverage));
-  Format.fprintf ppf "  safety failures: %d, incomplete runs: %d@."
+  Format.fprintf ppf
+    "  safety failures: %d, incomplete runs: %d, durability failures: %d@."
     (List.length r.safety_failures)
-    (List.length r.incomplete);
+    (List.length r.incomplete)
+    (List.length r.durability_failures);
   List.iter
     (fun o ->
       Format.fprintf ppf "  SAFETY %s seed=%d (%d actions, %d/%d acked)@."
         o.backend_name o.plan_seed (Plan.length o.plan) o.acked o.submitted)
-    r.safety_failures
+    r.safety_failures;
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "  DURABILITY %s seed=%d (%d actions, %d/%d acked)@."
+        o.backend_name o.plan_seed (Plan.length o.plan) o.acked o.submitted)
+    r.durability_failures

@@ -20,11 +20,14 @@ type config = {
   ack_timeout : int;
   max_events : int;  (** per-run budget: bounds runs a hostile plan wedges *)
   trace_capacity : int;  (** bound per-run trace retention *)
+  storage : bool;
+      (** give every run a WAL-backed store ({!Rsm.Runner.default_store_config}),
+          draw storage faults in generated plans, and audit durability *)
 }
 
 val default_config : ?n:int -> unit -> config
 (** Ben-Or only, 50 plans from seed 1, n=5 (3 clients x 3 commands,
-    batch 4), default minority-crash profile. *)
+    batch 4), default minority-crash profile, no storage. *)
 
 val safety_ok : Rsm.Runner.report -> bool
 (** No checker violations and live-replica digests agree. *)
@@ -32,12 +35,17 @@ val safety_ok : Rsm.Runner.report -> bool
 val complete : Rsm.Runner.report -> bool
 (** Every submitted command acked and applied at every live replica. *)
 
+val durable_ok : Rsm.Runner.report -> bool
+(** Empty durability audit: every acked command survives at some live
+    replica (vacuously true for runs without a store). *)
+
 type outcome = {
   backend_name : string;
   plan_seed : int;
   plan : Plan.t;
   safety : bool;  (** {!safety_ok} of the run *)
   live : bool;  (** {!complete} of the run *)
+  durable : bool;  (** {!durable_ok} of the run *)
   acked : int;
   submitted : int;
   virtual_time : int;
@@ -49,6 +57,7 @@ type report = {
   outcomes : outcome list;  (** in execution order *)
   safety_failures : outcome list;
   incomplete : outcome list;
+  durability_failures : outcome list;
   faults_injected : int;  (** total plan actions across the campaign *)
   coverage : (string * int) list;  (** injected actions by kind *)
   cpu_seconds : float;

@@ -4,6 +4,7 @@ type profile = {
   max_actions : int;
   max_down : int;
   benign : bool;
+  storage : bool;
 }
 
 let default ~n =
@@ -13,6 +14,7 @@ let default ~n =
     max_actions = 10;
     max_down = (if n <= 1 then 0 else (n - 1) / 2);
     benign = false;
+    storage = false;
   }
 
 let generate p ~seed =
@@ -71,6 +73,7 @@ let generate p ~seed =
             (if p.n >= 2 then [ `Partition ] else []);
             (if !partitioned then [ `Heal ] else []);
             [ `Drop; `Dup; `Delay ];
+            (if p.storage then [ `Torn; `Sync_loss; `Io_error; `Stall ] else []);
           ]
       in
       match Dsim.Rng.pick_list rng candidates with
@@ -95,6 +98,12 @@ let generate p ~seed =
       | `Delay ->
           push at
             (Plan.Delay_spike (some_match (), 5 + Dsim.Rng.int rng 50, window at))
+      | `Torn -> push at (Plan.Torn_write (some_ids (), window at))
+      | `Sync_loss -> push at (Plan.Sync_loss (some_ids (), window at))
+      | `Io_error -> push at (Plan.Io_error (some_ids (), window at))
+      | `Stall ->
+          push at
+            (Plan.Disk_stall (some_ids (), 10 + Dsim.Rng.int rng 90, window at))
     end
   done;
   if p.benign then begin

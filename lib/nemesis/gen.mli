@@ -17,11 +17,15 @@ type profile = {
       (** when set, every crash is eventually restarted and every
           partition healed before [horizon] (the quiet-horizon plans the
           liveness property quantifies over) *)
+  storage : bool;
+      (** when set, also draw storage faults (torn writes, lying fsyncs,
+          IO-error windows, disk stalls) — only meaningful against runs
+          with a configured store *)
 }
 
 val default : n:int -> profile
 (** Horizon 800, at most 10 actions, minority crashes ([(n-1)/2]), not
-    benign. *)
+    benign, no storage faults. *)
 
 val generate : profile -> seed:int -> Plan.t
 (** A well-formed plan ({!Plan.validate} returns [] against [n]).  May

@@ -22,8 +22,42 @@ let rules plan =
           Some { from_ = at; until_ = at + lasts; m; rule = R_duplicate copies }
       | Plan.Delay_spike (m, extra, lasts) ->
           Some { from_ = at; until_ = at + lasts; m; rule = R_delay extra }
-      | Plan.Crash _ | Plan.Restart _ | Plan.Partition _ | Plan.Heal -> None)
+      | Plan.Crash _ | Plan.Restart _ | Plan.Partition _ | Plan.Heal
+      | Plan.Torn_write _ | Plan.Sync_loss _ | Plan.Io_error _ | Plan.Disk_stall _
+        ->
+          None)
     plan
+
+(* Storage windows compile the same way message windows do: into a pure
+   policy keyed on the disk operation's time, with no activation state. *)
+let store_policy plan =
+  List.fold_left
+    (fun acc { Plan.at; action } ->
+      let window pids lasts =
+        Store.Policy.rule ?pids ~from_:at ~until_:(at + lasts) ()
+      in
+      match action with
+      | Plan.Torn_write (pids, lasts) ->
+          { acc with Store.Policy.torn = window pids lasts :: acc.Store.Policy.torn }
+      | Plan.Sync_loss (pids, lasts) ->
+          {
+            acc with
+            Store.Policy.sync_loss = window pids lasts :: acc.Store.Policy.sync_loss;
+          }
+      | Plan.Io_error (pids, lasts) ->
+          {
+            acc with
+            Store.Policy.io_error = window pids lasts :: acc.Store.Policy.io_error;
+          }
+      | Plan.Disk_stall (pids, extra, lasts) ->
+          {
+            acc with
+            Store.Policy.stall = (window pids lasts, extra) :: acc.Store.Policy.stall;
+          }
+      | Plan.Crash _ | Plan.Restart _ | Plan.Partition _ | Plan.Heal
+      | Plan.Drop_matching _ | Plan.Duplicate_matching _ | Plan.Delay_spike _ ->
+          acc)
+    Store.Policy.none plan
 
 let verdict_of_rules rs (env : 'msg Netsim.Async_net.envelope) =
   (* The message's send time decides which windows are open; the first
@@ -54,7 +88,9 @@ let schedule ~engine handle plan =
         | Plan.Restart pid -> Some (fun () -> handle.restart pid)
         | Plan.Partition groups -> Some (fun () -> handle.partition groups)
         | Plan.Heal -> Some (fun () -> handle.heal ())
-        | Plan.Drop_matching _ | Plan.Duplicate_matching _ | Plan.Delay_spike _ ->
+        | Plan.Drop_matching _ | Plan.Duplicate_matching _ | Plan.Delay_spike _
+        | Plan.Torn_write _ | Plan.Sync_loss _ | Plan.Io_error _
+        | Plan.Disk_stall _ ->
             None
       in
       Option.iter
@@ -78,4 +114,5 @@ let handle_of_faults (f : Rsm.Runner.faults) =
 
 let install_rsm plan (f : Rsm.Runner.faults) =
   f.Rsm.Runner.set_policy (policy plan);
+  f.Rsm.Runner.set_store_policy (store_policy plan);
   schedule ~engine:f.Rsm.Runner.engine (handle_of_faults f) plan

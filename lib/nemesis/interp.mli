@@ -26,6 +26,11 @@ val policy :
     window (in plan order) open at the envelope's send time and matching
     its endpoints decides the verdict; otherwise deliver. *)
 
+val store_policy : Plan.t -> Store.Policy.t
+(** The storage fault policy the plan's torn / sync-loss / io-err /
+    stall windows describe, for {!Store.Disk}'s policy hook — pure and
+    time-keyed like {!policy}, so replays see identical disk faults. *)
+
 val schedule : engine:Dsim.Engine.t -> handle -> Plan.t -> unit
 (** Schedule every node/topology action of the plan as an engine timer
     event (times in the past fire immediately); each firing also emits a
@@ -39,6 +44,8 @@ val handle_of_faults : Rsm.Runner.faults -> handle
 
 val install_rsm : Plan.t -> Rsm.Runner.faults -> unit
 (** The {!Rsm.Runner.config.inject} hook for a plan: installs the
-    message policy and schedules all node/topology actions against the
-    run's fault controller (which kills/respawns TOB replica processes
-    alongside the network-level crash/restart). *)
+    message policy and the storage fault policy, and schedules all
+    node/topology actions against the run's fault controller (which
+    kills/respawns TOB replica processes alongside the network-level
+    crash/restart).  Storage windows only bite when the run has a
+    [store] configured. *)

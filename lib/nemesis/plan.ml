@@ -14,6 +14,10 @@ type action =
   | Drop_matching of msg_match * int
   | Duplicate_matching of msg_match * int * int
   | Delay_spike of msg_match * int * int
+  | Torn_write of int list option * int
+  | Sync_loss of int list option * int
+  | Io_error of int list option * int
+  | Disk_stall of int list option * int * int
 
 type step = { at : int; action : action }
 type t = step list
@@ -29,8 +33,16 @@ let kind = function
   | Drop_matching _ -> "drop"
   | Duplicate_matching _ -> "dup"
   | Delay_spike _ -> "delay"
+  | Torn_write _ -> "torn"
+  | Sync_loss _ -> "sync-loss"
+  | Io_error _ -> "io-err"
+  | Disk_stall _ -> "stall"
 
-let kinds = [ "crash"; "restart"; "partition"; "heal"; "drop"; "dup"; "delay" ]
+let kinds =
+  [
+    "crash"; "restart"; "partition"; "heal"; "drop"; "dup"; "delay"; "torn";
+    "sync-loss"; "io-err"; "stall";
+  ]
 
 let count_kinds plan =
   List.map
@@ -39,6 +51,18 @@ let count_kinds plan =
     kinds
 
 (* --- well-formedness ---------------------------------------------------- *)
+
+let check_pids ~n ~problems ~at pids =
+  Option.iter
+    (fun ids ->
+      if ids = [] then
+        problems := Printf.sprintf "@%d: empty pid set" at :: !problems;
+      List.iter
+        (fun id ->
+          if id < 0 || id >= n then
+            problems := Printf.sprintf "@%d: disk pid %d out of range" at id :: !problems)
+        ids)
+    pids
 
 let check_match ~n ~problems ~at m =
   let ids set =
@@ -116,7 +140,20 @@ let validate ~n plan =
           if extra < 1 then
             problems := Printf.sprintf "@%d: delay spike needs extra >= 1" at :: !problems;
           if lasts < 1 then
-            problems := Printf.sprintf "@%d: delay window must last >= 1" at :: !problems))
+            problems := Printf.sprintf "@%d: delay window must last >= 1" at :: !problems
+      | Torn_write (pids, lasts) | Sync_loss (pids, lasts) | Io_error (pids, lasts)
+        ->
+          check_pids ~n ~problems ~at pids;
+          if lasts < 1 then
+            problems :=
+              Printf.sprintf "@%d: storage window must last >= 1" at :: !problems
+      | Disk_stall (pids, extra, lasts) ->
+          check_pids ~n ~problems ~at pids;
+          if extra < 1 then
+            problems := Printf.sprintf "@%d: stall needs extra >= 1" at :: !problems;
+          if lasts < 1 then
+            problems :=
+              Printf.sprintf "@%d: stall window must last >= 1" at :: !problems))
     plan;
   List.rev !problems
 
@@ -136,7 +173,11 @@ let quiet_after plan =
       | Heal -> cut := false
       | Drop_matching (_, lasts)
       | Duplicate_matching (_, _, lasts)
-      | Delay_spike (_, _, lasts) ->
+      | Delay_spike (_, _, lasts)
+      | Torn_write (_, lasts)
+      | Sync_loss (_, lasts)
+      | Io_error (_, lasts)
+      | Disk_stall (_, _, lasts) ->
           horizon := max !horizon (at + lasts));
       horizon := max !horizon at)
     plan;
@@ -165,6 +206,14 @@ let string_of_action = function
       Printf.sprintf "dup %s copies=%d for %d" (string_of_match m) copies lasts
   | Delay_spike (m, extra, lasts) ->
       Printf.sprintf "delay %s extra=%d for %d" (string_of_match m) extra lasts
+  | Torn_write (pids, lasts) ->
+      Printf.sprintf "torn pid=%s for %d" (string_of_ids pids) lasts
+  | Sync_loss (pids, lasts) ->
+      Printf.sprintf "sync-loss pid=%s for %d" (string_of_ids pids) lasts
+  | Io_error (pids, lasts) ->
+      Printf.sprintf "io-err pid=%s for %d" (string_of_ids pids) lasts
+  | Disk_stall (pids, extra, lasts) ->
+      Printf.sprintf "stall pid=%s extra=%d for %d" (string_of_ids pids) extra lasts
 
 let pp_step ppf { at; action } =
   Format.fprintf ppf "@%-6d %s" at (string_of_action action)
@@ -210,6 +259,12 @@ let parse_match ~what tokens =
       | _ -> fail "%s: expected src=... dst=..." what)
   | _ -> fail "%s: expected src=... dst=..." what
 
+let parse_pids ~what = function
+  | tok :: rest
+    when String.length tok > 4 && String.sub tok 0 4 = "pid=" ->
+      (parse_ids "pid" (String.sub tok 4 (String.length tok - 4)), rest)
+  | _ -> fail "%s: expected pid=<ids|*>" what
+
 let parse_keyed ~what key tok =
   let prefix = key ^ "=" in
   let plen = String.length prefix in
@@ -252,6 +307,21 @@ let parse_action = function
           Delay_spike
             (m, parse_keyed ~what:"delay" "extra" extra, parse_lasts ~what:"delay" rest)
       | [] -> fail "delay: expected extra=<d>")
+  | (("torn" | "sync-loss" | "io-err") as what) :: rest -> (
+      let pids, rest = parse_pids ~what rest in
+      let lasts = parse_lasts ~what rest in
+      match what with
+      | "torn" -> Torn_write (pids, lasts)
+      | "sync-loss" -> Sync_loss (pids, lasts)
+      | _ -> Io_error (pids, lasts))
+  | "stall" :: rest -> (
+      let pids, rest = parse_pids ~what:"stall" rest in
+      match rest with
+      | extra :: rest ->
+          Disk_stall
+            (pids, parse_keyed ~what:"stall" "extra" extra,
+             parse_lasts ~what:"stall" rest)
+      | [] -> fail "stall: expected extra=<d>")
   | tokens -> fail "unrecognized action %S" (String.concat " " tokens)
 
 let of_string text =

@@ -28,6 +28,19 @@ type action =
           given duration *)
   | Delay_spike of msg_match * int * int
       (** add [extra] latency to matching messages, for the duration *)
+  | Torn_write of int list option * int
+      (** storage: records appended by the matching disks ([None] = all)
+          during the window are silently torn — invisible at write time,
+          they truncate [read_back] at recovery *)
+  | Sync_loss of int list option * int
+      (** storage: fsyncs during the window lie — they acknowledge but
+          the batch never reaches the durable region *)
+  | Io_error of int list option * int
+      (** storage: appends and fsyncs fail visibly during the window
+          (callers see [Error] and retry) *)
+  | Disk_stall of int list option * int * int
+      (** storage: fsyncs during the window take [extra] additional
+          virtual time to reach durability *)
 
 type step = { at : int; action : action }
 type t = step list
@@ -38,7 +51,8 @@ val normalize : t -> t
 (** Stable-sort by time. *)
 
 val kind : action -> string
-(** Short tag: crash / restart / partition / heal / drop / dup / delay. *)
+(** Short tag: crash / restart / partition / heal / drop / dup / delay /
+    torn / sync-loss / io-err / stall. *)
 
 val kinds : string list
 val count_kinds : t -> (string * int) list

@@ -20,6 +20,16 @@ let weaker_steps { Plan.at; action } =
     | Plan.Delay_spike (m, extra, lasts) ->
         (if extra > 1 then [ Plan.Delay_spike (m, half extra, lasts) ] else [])
         @ (if lasts > 1 then [ Plan.Delay_spike (m, extra, half lasts) ] else [])
+    | Plan.Torn_write (pids, lasts) ->
+        if lasts > 1 then [ Plan.Torn_write (pids, half lasts) ] else []
+    | Plan.Sync_loss (pids, lasts) ->
+        if lasts > 1 then [ Plan.Sync_loss (pids, half lasts) ] else []
+    | Plan.Io_error (pids, lasts) ->
+        if lasts > 1 then [ Plan.Io_error (pids, half lasts) ] else []
+    | Plan.Disk_stall (pids, extra, lasts) ->
+        (if extra > 1 then [ Plan.Disk_stall (pids, half extra, lasts) ] else [])
+        @
+        if lasts > 1 then [ Plan.Disk_stall (pids, extra, half lasts) ] else []
   in
   List.map (fun action -> { Plan.at; action }) steps
 

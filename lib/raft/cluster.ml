@@ -39,7 +39,8 @@ let watch t i (ev : Replica.Event.t) =
       | None -> Hashtbl.replace t.applied index cmd)
   | Replica.Event.Became_candidate _ | Replica.Event.Stepped_down _
   | Replica.Event.Election_timeout _ | Replica.Event.Accepted_entries _
-  | Replica.Event.Committed _ | Replica.Event.Crashed | Replica.Event.Restarted ->
+  | Replica.Event.Committed _ | Replica.Event.Crashed | Replica.Event.Restarted
+  | Replica.Event.Recovered _ ->
       ()
 
 let create ?(seed = 1L) ?(config = Replica.default_config)

@@ -62,7 +62,8 @@ let watch t i (ev : Replica.Event.t) =
       if index = 1 && not (Hashtbl.mem t.decisions_tbl i) then
         Hashtbl.replace t.decisions_tbl i (value_of_command cmd)
   | Replica.Event.Became_candidate _ | Replica.Event.Stepped_down _
-  | Replica.Event.Crashed | Replica.Event.Restarted ->
+  | Replica.Event.Crashed | Replica.Event.Restarted | Replica.Event.Recovered _
+    ->
       ()
 
 let create ~cluster:cl ~inputs =

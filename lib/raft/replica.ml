@@ -23,6 +23,7 @@ module Event = struct
     | Applied of { index : int; cmd : Types.command }
     | Crashed
     | Restarted
+    | Recovered of { term : Types.term; log : int }
 
   let pp ppf = function
     | Became_candidate { term } -> Format.fprintf ppf "became-candidate(t%d)" term
@@ -35,6 +36,8 @@ module Event = struct
     | Applied { index; cmd } -> Format.fprintf ppf "applied(i%d,%S)" index cmd
     | Crashed -> Format.fprintf ppf "crashed"
     | Restarted -> Format.fprintf ppf "restarted"
+    | Recovered { term; log } ->
+        Format.fprintf ppf "recovered(t%d,log=%d)" term log
 end
 
 type t = {
@@ -44,7 +47,10 @@ type t = {
   config : config;
   rng : Dsim.Rng.t;
   apply : int -> Types.command -> unit;
-  (* Persistent state (survives stop/restart). *)
+  disk : Store.Disk.t option;
+  (* Persistent state.  With a disk it survives stop/restart only to
+     the extent it was fsynced; without one it survives by fiat (the
+     idealized recoverable model). *)
   mutable current_term : Types.term;
   mutable voted_for : int option;
   log : Types.entry Vec.t;
@@ -95,6 +101,48 @@ let arm_election_timer t =
   let lo, hi = t.config.election_timeout in
   Timer.arm t.election_timer ~delay:(Dsim.Rng.int_in t.rng lo hi)
 
+(* --- stable storage ------------------------------------------------------
+
+   WAL records, one line each:
+     M <term> <voted_for|-1>     term/vote metadata
+     E <term> <command>          log append
+     X <upto>                    log truncation (conflict repair)
+
+   Raft's persistence rule: (term, vote) must be durable before a vote
+   leaves the replica, and log entries durable before they are
+   acknowledged — so recovery can never un-promise anything a peer may
+   have acted on. *)
+
+let disk_io_erroring t =
+  match t.disk with Some d -> Store.Disk.io_erroring d | None -> false
+
+let disk_append t s =
+  match t.disk with
+  | None -> true
+  | Some d -> (
+      match Store.Disk.append d s with Ok _ -> true | Error `Io_error -> false)
+
+let entry_record (e : Types.entry) =
+  Printf.sprintf "E %d %S" e.Types.entry_term e.Types.cmd
+
+let meta_record t =
+  Printf.sprintf "M %d %d" t.current_term
+    (match t.voted_for with Some v -> v | None -> -1)
+
+(* Run [k] once everything appended so far is durable.  Without a disk
+   durability is free and [k] runs immediately; with one, [k] may run
+   later (stall) or never (crash first).  On a visible IO error [k] is
+   dropped: the protocol action it guards — a vote, a reply, an ack —
+   simply does not happen, and the peer's retry/timeout path recovers
+   once the fault window closes. *)
+let disk_sync t ~k =
+  match t.disk with
+  | None -> k ()
+  | Some d -> (
+      match Store.Disk.fsync d ~k with Ok () -> () | Error `Io_error -> ())
+
+let persist_meta t ~k = if disk_append t (meta_record t) then disk_sync t ~k
+
 let apply_committed t =
   while t.last_applied < t.commit_index do
     t.last_applied <- t.last_applied + 1;
@@ -107,7 +155,8 @@ let step_down t term =
   let was_leader = t.role = Leader in
   if term > t.current_term then begin
     t.current_term <- term;
-    t.voted_for <- None
+    t.voted_for <- None;
+    persist_meta t ~k:(fun () -> ())
   end;
   if t.role <> Follower then begin
     t.role <- Follower;
@@ -192,20 +241,27 @@ let become_candidate t =
   Array.fill t.votes 0 t.n false;
   t.votes.(t.me) <- true;
   emit_event t (Event.Became_candidate { term = t.current_term });
-  let last = Vec.length t.log in
-  for dst = 0 to t.n - 1 do
-    if dst <> t.me then
-      send t ~dst
-        (Types.Request_vote
-           {
-             term = t.current_term;
-             candidate_id = t.me;
-             last_log_index = last;
-             last_log_term = log_term_at t last;
-           })
-  done;
   arm_election_timer t;
-  if quorum t 1 then become_leader t (* single-node cluster *)
+  (* The campaign only launches once the self-vote's (term, vote) is
+     durable; if persistence fails, the armed timer retries the
+     candidacy after the fault window. *)
+  let term = t.current_term in
+  persist_meta t ~k:(fun () ->
+      if (not t.stopped) && t.role = Candidate && t.current_term = term then begin
+        let last = Vec.length t.log in
+        for dst = 0 to t.n - 1 do
+          if dst <> t.me then
+            send t ~dst
+              (Types.Request_vote
+                 {
+                   term;
+                   candidate_id = t.me;
+                   last_log_index = last;
+                   last_log_term = log_term_at t last;
+                 })
+        done;
+        if quorum t 1 then become_leader t (* single-node cluster *)
+      end)
 
 let on_election_timeout t =
   if not t.stopped && t.role <> Leader then begin
@@ -239,8 +295,14 @@ let handle_request_vote t ~src ~term ~candidate_id ~last_log_index ~last_log_ter
     if free_to_vote && up_to_date then begin
       t.voted_for <- Some candidate_id;
       arm_election_timer t;
-      send t ~dst:src
-        (Types.Request_vote_reply { term = t.current_term; granted = true })
+      (* the grant must not leave before the vote is durable *)
+      let term = t.current_term in
+      persist_meta t ~k:(fun () ->
+          if
+            (not t.stopped) && t.current_term = term
+            && t.voted_for = Some candidate_id
+          then
+            send t ~dst:src (Types.Request_vote_reply { term; granted = true }))
     end
     else
       send t ~dst:src
@@ -274,19 +336,33 @@ let handle_append_entries t ~src ~term ~leader_id:_ ~prev_log_index ~prev_log_te
       send t ~dst:src
         (Types.Append_entries_reply
            { term = t.current_term; success = false; match_index = 0 })
+    else if disk_io_erroring t then
+      (* the disk would reject the WAL writes: refuse without mutating,
+         so the leader backs off and retries after the fault window *)
+      send t ~dst:src
+        (Types.Append_entries_reply
+           { term = t.current_term; success = false; match_index = 0 })
     else begin
       (* Append new entries; delete conflicting ones and all that follow. *)
       let count = List.length entries in
+      let wrote = ref false in
       List.iteri
         (fun k entry ->
           let idx = prev_log_index + 1 + k in
           if idx <= Vec.length t.log then begin
             if (log_entry t idx).Types.entry_term <> entry.Types.entry_term then begin
               Vec.truncate t.log (idx - 1);
-              Vec.push t.log entry
+              ignore (disk_append t (Printf.sprintf "X %d" (idx - 1)) : bool);
+              Vec.push t.log entry;
+              ignore (disk_append t (entry_record entry) : bool);
+              wrote := true
             end
           end
-          else Vec.push t.log entry)
+          else begin
+            Vec.push t.log entry;
+            ignore (disk_append t (entry_record entry) : bool);
+            wrote := true
+          end)
         entries;
       let old_commit = t.commit_index in
       let last_new = prev_log_index + count in
@@ -299,9 +375,16 @@ let handle_append_entries t ~src ~term ~leader_id:_ ~prev_log_index ~prev_log_te
       apply_committed t;
       emit_event t
         (Event.Accepted_entries { term = t.current_term; count; commit_advanced });
-      send t ~dst:src
-        (Types.Append_entries_reply
-           { term = t.current_term; success = true; match_index = last_new })
+      (* success is only claimed once the accepted entries are durable —
+         the leader may count this replica toward commitment *)
+      let term = t.current_term in
+      let reply () =
+        if not t.stopped then
+          send t ~dst:src
+            (Types.Append_entries_reply
+               { term; success = true; match_index = last_new })
+      in
+      if !wrote then disk_sync t ~k:reply else reply ()
     end
   end
 
@@ -337,7 +420,7 @@ let handle t env =
 
 (* --- lifecycle ---------------------------------------------------------- *)
 
-let create ~net ~id ?(config = default_config) ~apply ~rng () =
+let create ~net ~id ?(config = default_config) ?disk ~apply ~rng () =
   let eng = Net.engine net in
   let n = Net.n net in
   if id < 0 || id >= n then invalid_arg "Raft.Replica.create: bad id";
@@ -350,6 +433,7 @@ let create ~net ~id ?(config = default_config) ~apply ~rng () =
         config;
         rng;
         apply;
+        disk;
         current_term = 0;
         voted_for = None;
         log = Vec.create ();
@@ -373,14 +457,23 @@ let start t =
   arm_election_timer t
 
 let propose t cmd =
-  if t.stopped || t.role <> Leader then false
+  if t.stopped || t.role <> Leader || disk_io_erroring t then false
   else begin
-    Vec.push t.log { Types.entry_term = t.current_term; cmd };
-    t.match_index.(t.me) <- Vec.length t.log;
-    (* Single-node clusters commit immediately; otherwise the next
-       replication wave carries the entry. *)
-    ignore (advance_commit t : bool);
-    broadcast_append t;
+    let entry = { Types.entry_term = t.current_term; cmd } in
+    Vec.push t.log entry;
+    ignore (disk_append t (entry_record entry) : bool);
+    let len = Vec.length t.log in
+    let term = t.current_term in
+    (* The leader only counts itself toward commitment — and starts the
+       replication wave — once its own copy is durable. *)
+    disk_sync t ~k:(fun () ->
+        if (not t.stopped) && t.role = Leader && t.current_term = term then begin
+          if t.match_index.(t.me) < len then t.match_index.(t.me) <- len;
+          (* Single-node clusters commit immediately; otherwise the next
+             replication wave carries the entry. *)
+          ignore (advance_commit t : bool);
+          broadcast_append t
+        end);
     true
   end
 
@@ -390,13 +483,43 @@ let stop t =
     Timer.cancel t.election_timer;
     Timer.cancel t.heartbeat_timer;
     Net.crash t.net t.me;
+    Option.iter Store.Disk.crash t.disk;
     emit_event t Event.Crashed
   end
+
+(* Rebuild persistent state from the WAL: whatever was fsynced — and
+   only that — comes back.  Unsynced appends, votes and truncations are
+   gone, exactly as on a real machine. *)
+let recover_from_disk t d =
+  t.current_term <- 0;
+  t.voted_for <- None;
+  Vec.truncate t.log 0;
+  List.iter
+    (fun (r : Store.Disk.record) ->
+      let s = r.Store.Disk.data in
+      if String.length s > 0 then
+        match s.[0] with
+        | 'M' ->
+            Scanf.sscanf s "M %d %d" (fun term vote ->
+                t.current_term <- term;
+                t.voted_for <- (if vote < 0 then None else Some vote))
+        | 'E' ->
+            Scanf.sscanf s "E %d %S" (fun entry_term cmd ->
+                Vec.push t.log { Types.entry_term; cmd })
+        | 'X' -> Scanf.sscanf s "X %d" (fun upto -> Vec.truncate t.log upto)
+        | _ -> ())
+    (Store.Disk.read_back d);
+  emit_event t (Event.Recovered { term = t.current_term; log = Vec.length t.log })
 
 let restart t =
   if t.stopped then begin
     t.stopped <- false;
+    Option.iter (fun d -> recover_from_disk t d) t.disk;
     t.role <- Follower;
+    (* The commit index is volatile in Raft (Figure 2): it is NOT
+       restored here but re-derived — from AppendEntries leader_commit
+       as a follower, or from quorum match indexes after winning an
+       election.  Entries re-apply from index 1 as it re-advances. *)
     t.commit_index <- 0;
     t.last_applied <- 0;
     Array.fill t.votes 0 t.n false;

@@ -7,11 +7,22 @@
     {!Netsim.Async_net.set_handler}) and to its two timers.  Handlers never
     suspend, so no engine process is needed per replica.
 
-    Persistence model: [current_term], [voted_for] and the log survive a
-    {!stop}/{!restart} pair; volatile state (role, commit index, applied
-    index, leadership bookkeeping) is reset, and committed entries are
-    re-applied from index 1 — the [apply] callback must rebuild its state
-    machine from scratch after {!Event.Restarted}. *)
+    Persistence model: without a disk, [current_term], [voted_for] and
+    the log survive a {!stop}/{!restart} pair wholesale (recoverable
+    memory — the optimistic legacy model).  With [?disk], persistence is
+    honest: each of those is written to the WAL and only what was
+    {e fsynced} before the crash comes back at {!restart}; unsynced
+    appends, vote grants and truncations are lost, and the replica
+    refuses to accept entries, grant votes or acknowledge proposals
+    while its disk reports IO errors.  In both models the commit index
+    is {e volatile} — Raft's Figure 2 deliberately excludes it from
+    stable storage — so a restarted replica always resumes at commit
+    index 0 and re-derives it (from a leader's commit advertisement, or
+    from quorum match indexes after winning an election); volatile state
+    (role, applied index, leadership bookkeeping) is likewise reset, and
+    committed entries are re-applied from index 1 — the [apply] callback
+    must rebuild its state machine from scratch after
+    {!Event.Restarted}. *)
 
 type role = Follower | Candidate | Leader
 
@@ -43,6 +54,9 @@ module Event : sig
     | Applied of { index : int; cmd : Types.command }
     | Crashed
     | Restarted
+    | Recovered of { term : Types.term; log : int }
+        (** what the WAL reproduced on a disk-backed restart: the
+            recovered term and log length (fired before [Restarted]) *)
 
   val pp : Format.formatter -> t -> unit
 end
@@ -53,13 +67,16 @@ val create :
   net:Types.msg Netsim.Async_net.t ->
   id:int ->
   ?config:config ->
+  ?disk:Store.Disk.t ->
   apply:(int -> Types.command -> unit) ->
   rng:Dsim.Rng.t ->
   unit ->
   t
 (** Create a replica for node [id] of the network.  [apply index cmd] is
     called exactly once per committed index while up (and again from 1
-    after a restart). *)
+    after a restart).  [?disk] switches the replica from recoverable
+    memory to honest WAL-backed persistence (see the module docs); the
+    replica crashes the disk on {!stop} and replays it on {!restart}. *)
 
 val start : t -> unit
 (** Install the delivery handler and arm the election timer. *)
@@ -99,4 +116,8 @@ val stop : t -> unit
 (** Crash: timers stop, the network stops delivering to this node. *)
 
 val restart : t -> unit
-(** Recover with persistent state intact and volatile state reset. *)
+(** Recover.  Persistent state comes back whole (no disk) or is replayed
+    from the WAL's durable records (with a disk); volatile state is
+    reset either way — in particular the commit index restarts at 0 and
+    is re-derived from the protocol, never trusted from before the
+    crash. *)

@@ -6,6 +6,8 @@ module type MACHINE = sig
   val create : unit -> t
   val apply : t -> cmd -> output
   val digest : t -> string
+  val snapshot : t -> string
+  val restore : string -> t
   val pp_cmd : Format.formatter -> cmd -> unit
 end
 
@@ -19,6 +21,8 @@ module type INSTANCE = sig
   val applied : t -> int
   val history : t -> cmd list
   val digest : t -> string
+  val snapshot : t -> string
+  val restore : string -> t
   val pp_cmd : Format.formatter -> cmd -> unit
 end
 
@@ -43,6 +47,11 @@ module Make (M : MACHINE) = struct
   let applied t = t.applied
   let history t = List.rev t.history
   let digest t = M.digest t.machine
+  let snapshot t = M.snapshot t.machine
+
+  (* A restored instance starts with fresh bookkeeping: the snapshot
+     captures machine state, not the harness's apply count/history. *)
+  let restore s = { machine = M.restore s; applied = 0; history = [] }
   let pp_cmd = M.pp_cmd
 end
 
@@ -86,7 +95,50 @@ module Kv_machine = struct
     |> List.map (fun (k, v) -> k ^ "=" ^ v)
     |> String.concat ";"
 
+  (* Snapshots quote keys and values, so arbitrary strings roundtrip
+     (the digest format above is for divergence checks only and assumes
+     ';'/'='-free data). *)
+  let snapshot t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort compare
+    |> List.map (fun (k, v) -> Printf.sprintf "%S %S" k v)
+    |> String.concat ";"
+
+  let restore s =
+    let t = create () in
+    if s <> "" then
+      String.split_on_char ';' s
+      |> List.iter (fun pair ->
+             Scanf.sscanf pair " %S %S" (fun k v -> Hashtbl.replace t k v));
+    t
+
   let pp_cmd = pp_kv_cmd
 end
 
 module Kv = Make (Kv_machine)
+
+(* A wire/WAL codec for KV commands. [%S] quoting makes the encoding
+   total: any key/value roundtrips, including spaces and newlines. *)
+let kv_cmd_to_string = function
+  | Get k -> Printf.sprintf "G %S" k
+  | Set (k, v) -> Printf.sprintf "S %S %S" k v
+  | Cas { key; expect = None; update } -> Printf.sprintf "C0 %S %S" key update
+  | Cas { key; expect = Some e; update } ->
+      Printf.sprintf "C1 %S %S %S" key e update
+
+let kv_cmd_of_string s =
+  match String.index_opt s ' ' with
+  | None -> invalid_arg ("App.kv_cmd_of_string: " ^ s)
+  | Some i -> (
+      let tag = String.sub s 0 i in
+      let rest = String.sub s i (String.length s - i) in
+      match tag with
+      | "G" -> Scanf.sscanf rest " %S" (fun k -> Get k)
+      | "S" -> Scanf.sscanf rest " %S %S" (fun k v -> Set (k, v))
+      | "C0" ->
+          Scanf.sscanf rest " %S %S" (fun key update ->
+              Cas { key; expect = None; update })
+      | "C1" ->
+          Scanf.sscanf rest " %S %S %S" (fun key e update ->
+              Cas { key; expect = Some e; update })
+      | _ -> invalid_arg ("App.kv_cmd_of_string: " ^ s))

@@ -20,6 +20,11 @@ module type MACHINE = sig
   (** A canonical serialization of the state; equal digests iff equal
       states (the divergence check compares these across replicas). *)
 
+  val snapshot : t -> string
+  (** Serialize the full state for stable storage. Must satisfy
+      [digest (restore (snapshot t)) = digest t]. *)
+
+  val restore : string -> t
   val pp_cmd : Format.formatter -> cmd -> unit
 end
 
@@ -36,6 +41,14 @@ module type INSTANCE = sig
   (** Applied commands, oldest first. *)
 
   val digest : t -> string
+
+  val snapshot : t -> string
+  (** Serialize the machine state (not the apply count/history). *)
+
+  val restore : string -> t
+  (** An instance holding the snapshotted machine state, with fresh
+      bookkeeping ([applied = 0], empty history). *)
+
   val pp_cmd : Format.formatter -> cmd -> unit
 end
 
@@ -57,3 +70,10 @@ val pp_kv_cmd : Format.formatter -> kv_cmd -> unit
 
 module Kv_machine : MACHINE with type cmd = kv_cmd and type output = kv_output
 module Kv : INSTANCE with type cmd = kv_cmd and type output = kv_output
+
+val kv_cmd_to_string : kv_cmd -> string
+(** Total one-line encoding for WAL records and dumps; inverse of
+    {!kv_cmd_of_string}. *)
+
+val kv_cmd_of_string : string -> kv_cmd
+(** @raise Invalid_argument on malformed input. *)

@@ -13,12 +13,21 @@ let pp_violation ppf v =
 
 type t = {
   submitted : (int, unit) Hashtbl.t;
+  acked : (int, unit) Hashtbl.t;
   applied : (int, (int * int) list ref) Hashtbl.t;
       (* replica -> (slot, cid) newest first *)
 }
 
-let create () = { submitted = Hashtbl.create 64; applied = Hashtbl.create 8 }
+let create () =
+  {
+    submitted = Hashtbl.create 64;
+    acked = Hashtbl.create 64;
+    applied = Hashtbl.create 8;
+  }
+
 let record_submitted t ~cid = Hashtbl.replace t.submitted cid ()
+let record_acked t ~cid = Hashtbl.replace t.acked cid ()
+let acked_count t = Hashtbl.length t.acked
 
 let record_applied t ~replica ~slot ~cid =
   let seq =
@@ -32,6 +41,30 @@ let record_applied t ~replica ~slot ~cid =
   seq := (slot, cid) :: !seq
 
 let submitted_count t = Hashtbl.length t.submitted
+
+(* The replica crashed having durably persisted only its first
+   [survived] applications: discard the volatile tail of its record so
+   all order/agreement properties are judged against what recovery can
+   actually reproduce. *)
+let record_crashed t ~replica ~survived =
+  match Hashtbl.find_opt t.applied replica with
+  | None -> ()
+  | Some seq ->
+      let n = List.length !seq in
+      if n > survived then
+        seq := List.filteri (fun i _ -> i >= n - survived) !seq
+
+(* [replica] installed [from_replica]'s snapshot covering slots up to
+   [upto_slot]: its logical history becomes the donor's prefix. *)
+let record_installed t ~replica ~from_replica ~upto_slot =
+  let donor =
+    match Hashtbl.find_opt t.applied from_replica with
+    | Some seq -> List.filter (fun (slot, _) -> slot <= upto_slot) !seq
+    | None -> []
+  in
+  match Hashtbl.find_opt t.applied replica with
+  | Some seq -> seq := donor
+  | None -> Hashtbl.replace t.applied replica (ref donor)
 
 let applied_seq t ~replica =
   match Hashtbl.find_opt t.applied replica with
@@ -177,3 +210,29 @@ let check_complete t ~live =
               })
         submitted)
     live
+
+let check_durable t ~live =
+  let acked = Hashtbl.fold (fun cid _ acc -> cid :: acc) t.acked [] in
+  let held = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (_, cid) -> Hashtbl.replace held cid ())
+        (applied_seq t ~replica:r))
+    live;
+  if live = [] then []
+  else
+    List.filter_map
+      (fun cid ->
+        if Hashtbl.mem held cid then None
+        else
+          Some
+            {
+              property = "durability";
+              replica = None;
+              slot = None;
+              message =
+                Printf.sprintf
+                  "acknowledged command %d survives at no live replica" cid;
+            })
+      (List.sort compare acked)

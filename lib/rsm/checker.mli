@@ -37,7 +37,23 @@ val record_applied : t -> replica:int -> slot:int -> cid:int -> unit
 (** Record that [replica] applied command [cid] as part of slot [slot];
     calls must arrive in the replica's apply order. *)
 
+val record_acked : t -> cid:int -> unit
+(** The client observed an acknowledgement for [cid]. Acked commands
+    are the durability audit's obligation set: once acked, a command
+    must survive any sequence of crash–recoveries. *)
+
+val record_crashed : t -> replica:int -> survived:int -> unit
+(** [replica] crashed with only its first [survived] applications
+    durable; the volatile tail of its recorded sequence is discarded so
+    every property is judged against what recovery reproduces. *)
+
+val record_installed : t -> replica:int -> from_replica:int -> upto_slot:int -> unit
+(** [replica] installed [from_replica]'s snapshot covering slots
+    [<= upto_slot]: its recorded history is replaced by the donor's
+    prefix (state transfer adopts the donor's logical history). *)
+
 val submitted_count : t -> int
+val acked_count : t -> int
 val applied_count : t -> replica:int -> int
 
 val applied_seq : t -> replica:int -> (int * int) list
@@ -48,3 +64,11 @@ val check : t -> violation list
 
 val check_complete : t -> live:int list -> violation list
 (** Every submitted command applied at every replica in [live]. *)
+
+val check_durable : t -> live:int list -> violation list
+(** The durability audit: every {e acknowledged} command is present in
+    at least one replica in [live]. Vacuously empty when [live] is
+    empty (nobody is left to ask). Strictly weaker
+    than {!check_complete} (some live replica vs. every live replica,
+    acked vs. submitted), so it isolates ack-durability bugs such as
+    acking before fsync. *)

@@ -11,12 +11,15 @@ type 'cmd slot = {
   mutable decision : 'cmd slot_decision option;
 }
 
+type floor = { owner : int; upto : int; state : string; cids : int list }
+
 type 'cmd t = {
   engine : Dsim.Engine.t;
   backend : Backend.t;
   seed : int64;
   live : unit -> int list;
   slots : (int, 'cmd slot) Hashtbl.t;
+  mutable floor : floor option;
   mutable decided_count : int;
   mutable instances_total : int;
 }
@@ -28,6 +31,7 @@ let create ~engine ~backend ~seed ~live () =
     seed;
     live;
     slots = Hashtbl.create 64;
+    floor = None;
     decided_count = 0;
     instances_total = 0;
   }
@@ -123,3 +127,30 @@ let decided t ~slot =
 
 let decided_count t = t.decided_count
 let instances_total t = t.instances_total
+
+(* The shared slot cache models what live peers remember.  When the
+   whole cluster is down there is nobody left to remember anything, so
+   an honest recovery must start from the disks alone. *)
+let forget_volatile t =
+  Hashtbl.reset t.slots;
+  t.floor <- None
+
+let reseed t ~slot ~winner ~batch =
+  if not (Hashtbl.mem t.slots slot) then begin
+    Hashtbl.replace t.slots slot
+      {
+        opener = winner;
+        proposals = [ (winner, batch) ];
+        decision = Some { winner; batch; instances = 0; duration = 0 };
+      };
+    Dsim.Engine.emit t.engine ~tag:"rsm"
+      (Printf.sprintf "slot %d reseeded from replica %d's WAL (%d cmds)" slot
+         winner (List.length batch))
+  end
+
+let set_floor t ~owner ~upto ~state ~cids =
+  match t.floor with
+  | Some f when f.upto >= upto -> ()
+  | _ -> t.floor <- Some { owner; upto; state; cids }
+
+let floor t = t.floor

@@ -55,3 +55,39 @@ val decided_count : 'cmd t -> int
 val instances_total : 'cmd t -> int
 (** Binary consensus instances run so far — the log's cost metric
     (batching amortizes it across commands). *)
+
+(** {1 Stable-storage hooks}
+
+    The slot cache models what live peers collectively remember, which
+    is why a recovering replica can normally catch up by replaying
+    decisions.  Honest crash–recovery needs two corrections: the cache
+    must be wiped when {e nobody} is left alive (total outage), and
+    recovering replicas must be able to re-feed it from their durable
+    WALs and offer snapshot-based state transfer to peers that fell
+    behind a compaction point. *)
+
+val forget_volatile : 'cmd t -> unit
+(** Drop every cached slot (and the snapshot floor).  Call when the
+    last live replica crashes; decisions must then be reseeded from
+    stable storage as replicas recover. *)
+
+val reseed : 'cmd t -> slot:int -> winner:int -> batch:'cmd list -> unit
+(** Re-install a decision recovered from a replica's WAL.  No-op if the
+    slot is already cached (first recovery wins; all WALs agree by slot
+    agreement).  Reseeded decisions cost no backend instances. *)
+
+type floor = {
+  owner : int;  (** replica offering the snapshot (the state donor) *)
+  upto : int;  (** highest slot the snapshot covers *)
+  state : string;  (** opaque app snapshot payload *)
+  cids : int list;  (** every command id delivered up to [upto] *)
+}
+
+val set_floor :
+  'cmd t -> owner:int -> upto:int -> state:string -> cids:int list -> unit
+(** Advertise a durable snapshot for state transfer.  Kept only if it
+    covers more than the current floor.  A replica whose next slot is at
+    or below the floor cannot replay slot-by-slot (the donor may have
+    compacted those slots away) and installs the snapshot instead. *)
+
+val floor : 'cmd t -> floor option

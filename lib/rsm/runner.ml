@@ -8,7 +8,17 @@ type faults = {
     (App.kv_cmd Tob.entry Netsim.Async_net.envelope ->
     Netsim.Async_net.policy_verdict) ->
     unit;
+  set_store_policy : Store.Policy.t -> unit;
 }
+
+type store_config = {
+  policy : Store.Policy.t;
+  snapshot_every : int;
+  ack_before_fsync : bool;
+}
+
+let default_store_config =
+  { policy = Store.Policy.none; snapshot_every = 4; ack_before_fsync = false }
 
 type config = {
   backend : Backend.t;
@@ -23,6 +33,7 @@ type config = {
   ops : App.kv_cmd list array;
   ack_timeout : int;
   max_events : int;
+  store : store_config option;
 }
 
 let default_config ~n ~ops =
@@ -39,6 +50,7 @@ let default_config ~n ~ops =
     ops;
     ack_timeout = 2_000;
     max_events = 5_000_000;
+    store = None;
   }
 
 type report = {
@@ -55,14 +67,128 @@ type report = {
   restarted : int list;
   violations : Checker.violation list;
   completeness : Checker.violation list;
+  durability : Checker.violation list;
   digests_agree : bool;
   digests : string array;
   latencies : float list;
   trace : Dsim.Trace.t;
+  store_stats : Store.Disk.stats array;
+  disks : Store.Disk.t array;
 }
 
 (* Globally unique command ids: client in the high bits, sequence low. *)
 let cid ~client ~k = (client lsl 20) lor k
+
+(* {2 WAL record format}
+
+   One line per record.  A slot is written as its freshly applied
+   entries followed by a commit marker; recovery only trusts slots whose
+   marker made it to disk, so a batch is committed atomically.
+
+     E <slot> <cid> <encoded command>
+     C <slot> <winner>
+
+   A snapshot payload is three lines: covered slot, serialized app
+   state, comma-separated delivered cids (the encodings contain no raw
+   newlines). *)
+
+type wal_item =
+  | W_entry of int * int * App.kv_cmd
+  | W_commit of int * int
+
+let encode_entry slot (e : App.kv_cmd Tob.entry) =
+  Printf.sprintf "E %d %d %s" slot e.Tob.cid (App.kv_cmd_to_string e.Tob.op)
+
+let encode_commit slot winner = Printf.sprintf "C %d %d" slot winner
+
+let decode_record s =
+  if String.length s > 0 && s.[0] = 'C' then
+    Scanf.sscanf s "C %d %d" (fun slot w -> W_commit (slot, w))
+  else
+    Scanf.sscanf s "E %d %d %[^\n]" (fun slot cid rest ->
+        W_entry (slot, cid, App.kv_cmd_of_string rest))
+
+let encode_snapshot ~upto ~state ~cids =
+  Printf.sprintf "%d\n%s\n%s" upto state
+    (String.concat "," (List.map string_of_int cids))
+
+let decode_snapshot payload =
+  match String.split_on_char '\n' payload with
+  | upto :: state :: cids :: _ ->
+      ( int_of_string upto,
+        state,
+        if cids = "" then []
+        else List.map int_of_string (String.split_on_char ',' cids) )
+  | _ -> invalid_arg "Runner: malformed snapshot payload"
+
+type recovered_disk = {
+  r_snap : (int * string * int list) option;  (* upto, app state, cids *)
+  r_slots : (int * int * App.kv_cmd Tob.entry list) list;
+      (* every committed slot on disk (slot, winner, entries), ascending *)
+  r_next_slot : int;  (* end of the contiguous committed prefix *)
+  r_cids : int list;  (* delivered set recovery reproduces *)
+}
+
+(* Read a disk back the way recovery would: latest snapshot, then the
+   WAL, trusting only slots whose commit marker survived, and only up to
+   the first gap in slot numbers (a gap means that slot's batch was
+   still volatile at the crash, so everything logically after it must be
+   re-delivered). *)
+let recover_disk disk =
+  let r_snap =
+    Option.map
+      (fun s -> decode_snapshot s.Store.Disk.payload)
+      (Store.Disk.latest_snapshot disk)
+  in
+  let base_slot = match r_snap with Some (upto, _, _) -> upto | None -> -1 in
+  let entries : (int, App.kv_cmd Tob.entry list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let committed : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Store.Disk.record) ->
+      match decode_record r.Store.Disk.data with
+      | W_entry (slot, cid, op) when slot > base_slot ->
+          let l =
+            match Hashtbl.find_opt entries slot with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace entries slot l;
+                l
+          in
+          (* retries may append a slot's records twice; replay is
+             idempotent per (slot, cid) *)
+          if not (List.exists (fun (e : _ Tob.entry) -> e.Tob.cid = cid) !l)
+          then l := !l @ [ { Tob.cid; op } ]
+      | W_commit (slot, w) when slot > base_slot ->
+          if not (Hashtbl.mem committed slot) then Hashtbl.replace committed slot w
+      | W_entry _ | W_commit _ -> ())
+    (Store.Disk.read_back disk);
+  let entries_of slot =
+    match Hashtbl.find_opt entries slot with Some l -> !l | None -> []
+  in
+  let r_slots =
+    Hashtbl.fold (fun slot w acc -> (slot, w, entries_of slot) :: acc) committed []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let rec prefix_end s = if Hashtbl.mem committed s then prefix_end (s + 1) else s in
+  let r_next_slot = prefix_end (base_slot + 1) in
+  let cid_set = Hashtbl.create 64 in
+  (match r_snap with
+  | Some (_, _, cids) -> List.iter (fun c -> Hashtbl.replace cid_set c ()) cids
+  | None -> ());
+  List.iter
+    (fun (slot, _, es) ->
+      if slot < r_next_slot then
+        List.iter
+          (fun (e : _ Tob.entry) -> Hashtbl.replace cid_set e.Tob.cid ())
+          es)
+    r_slots;
+  let r_cids =
+    Hashtbl.fold (fun c _ acc -> c :: acc) cid_set [] |> List.sort compare
+  in
+  { r_snap; r_slots; r_next_slot; r_cids }
 
 let run cfg =
   if cfg.n < 1 then invalid_arg "Runner.run: need at least one replica";
@@ -89,11 +215,139 @@ let run cfg =
     ignore (App.Kv.apply apps.(pid) e.Tob.op : App.kv_output);
     Checker.record_applied checker ~replica:pid ~slot ~cid:e.Tob.cid
   in
-  let tob = Tob.create ~engine:eng ~net ~log ~batch:cfg.batch ~deliver () in
+  (* --- stable storage --- *)
+  let store_on = cfg.store <> None in
+  let scfg = Option.value cfg.store ~default:default_store_config in
+  let store_policy_ref = ref scfg.policy in
+  let disks =
+    if store_on then
+      Array.init cfg.n (fun pid ->
+          Store.Disk.create ~engine:eng ~pid
+            ~policy:(fun () -> !store_policy_ref)
+            ())
+    else [||]
+  in
+  let durable_cids : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let mark_durable cids =
+    List.iter (fun c -> Hashtbl.replace durable_cids c ()) cids
+  in
+  (* per-replica cids committed to the WAL but not yet known durable *)
+  let awaiting = Array.make cfg.n [] in
+  let last_seq = Array.make cfg.n (-1) in
+  let nonempty_slots = Array.make cfg.n 0 in
+  let tob_ref = ref None in
+  let the_tob () = Option.get !tob_ref in
+  let retry_delay = 17 in
+  (* Try to fsync everything unsynced on [pid]'s disk; on a visible IO
+     error, keep retrying after the window — a real WAL would not drop a
+     committed batch on EIO either. *)
+  let rec flush pid epoch0 () =
+    let disk = disks.(pid) in
+    if Store.Disk.epoch disk = epoch0 && not (Netsim.Async_net.is_crashed net pid)
+    then begin
+      let batch = awaiting.(pid) in
+      match Store.Disk.fsync disk ~k:(fun () -> mark_durable batch) with
+      | Ok () -> awaiting.(pid) <- []
+      | Error `Io_error ->
+          Dsim.Engine.schedule eng ~delay:retry_delay (flush pid epoch0)
+    end
+  in
+  (* Write one finished slot to the WAL: fresh entries, then the commit
+     marker, then fsync.  All appends in one attempt happen at the same
+     virtual instant, so an IO-error window fails the attempt atomically
+     and the whole slot is retried later. *)
+  let rec log_slot pid slot fresh epoch0 () =
+    let disk = disks.(pid) in
+    if Store.Disk.epoch disk = epoch0 && not (Netsim.Async_net.is_crashed net pid)
+    then begin
+      let append s =
+        match Store.Disk.append disk s with
+        | Ok seq ->
+            last_seq.(pid) <- seq;
+            true
+        | Error `Io_error -> false
+      in
+      let winner =
+        match Log.decided log ~slot with Some d -> d.Log.winner | None -> pid
+      in
+      if
+        List.for_all (fun e -> append (encode_entry slot e)) fresh
+        && append (encode_commit slot winner)
+      then begin
+        awaiting.(pid) <-
+          awaiting.(pid) @ List.map (fun (e : _ Tob.entry) -> e.Tob.cid) fresh;
+        if fresh <> [] then flush pid epoch0 ()
+      end
+      else
+        Dsim.Engine.schedule eng ~delay:retry_delay (log_slot pid slot fresh epoch0)
+    end
+  in
+  let take_snapshot pid ~upto =
+    let disk = disks.(pid) in
+    let state = App.Kv.snapshot apps.(pid) in
+    let cids = Tob.delivered_cids (the_tob ()) ~pid in
+    let payload = encode_snapshot ~upto ~state ~cids in
+    let watermark = last_seq.(pid) in
+    let flying = awaiting.(pid) in
+    awaiting.(pid) <- [];
+    match
+      Store.Disk.save_snapshot disk ~upto payload ~k:(fun () ->
+          (* compact only once the snapshot is durable, and advertise it
+             for state transfer *)
+          Store.Disk.compact disk ~upto_seq:watermark;
+          mark_durable flying;
+          Log.set_floor log ~owner:pid ~upto ~state ~cids)
+    with
+    | Ok () -> ()
+    | Error `Io_error -> awaiting.(pid) <- flying
+  in
+  let on_slot_applied ~pid ~slot ~fresh =
+    if store_on && not (Netsim.Async_net.is_crashed net pid) then begin
+      log_slot pid slot fresh (Store.Disk.epoch disks.(pid)) ();
+      if fresh <> [] then begin
+        nonempty_slots.(pid) <- nonempty_slots.(pid) + 1;
+        if
+          scfg.snapshot_every > 0
+          && nonempty_slots.(pid) mod scfg.snapshot_every = 0
+        then take_snapshot pid ~upto:slot
+      end
+    end
+  in
+  let on_install ~pid ~owner ~upto ~state ~cids =
+    apps.(pid) <- App.Kv.restore state;
+    Checker.record_installed checker ~replica:pid ~from_replica:owner
+      ~upto_slot:upto;
+    Dsim.Engine.emit eng ~tag:"rsm"
+      (Printf.sprintf "replica %d installed snapshot upto slot %d from %d" pid
+         upto owner);
+    if store_on then begin
+      (* persist the received snapshot so this replica's own next
+         recovery starts from it, and drop the WAL it supersedes *)
+      let payload = encode_snapshot ~upto ~state ~cids in
+      let watermark = last_seq.(pid) in
+      match
+        Store.Disk.save_snapshot disks.(pid) ~upto payload ~k:(fun () ->
+            Store.Disk.compact disks.(pid) ~upto_seq:watermark)
+      with
+      | Ok () | Error `Io_error -> ()
+    end
+  in
+  let tob =
+    Tob.create ~engine:eng ~net ~log ~batch:cfg.batch ~deliver ~on_slot_applied
+      ~on_install ()
+  in
+  tob_ref := Some tob;
   let clients = Array.length cfg.ops in
   let done_clients = ref 0 in
   let acked = ref 0 in
   let latencies = ref [] in
+  (* An honest server acks only after the command is durable somewhere;
+     [ack_before_fsync] is the deliberately broken mode the durability
+     audit exists to catch. *)
+  let ack_ready cid =
+    Tob.is_delivered tob ~cid
+    && ((not store_on) || scfg.ack_before_fsync || Hashtbl.mem durable_cids cid)
+  in
   let client_body c ctx =
     List.iteri
       (fun k op ->
@@ -115,7 +369,7 @@ let run cfg =
           incr attempt;
           let deadline = Dsim.Engine.now eng + cfg.ack_timeout in
           let rec wait_ack () =
-            if Tob.is_delivered tob ~cid then true
+            if ack_ready cid then true
             else if Dsim.Engine.now eng >= deadline then false
             else begin
               Dsim.Engine.sleep ctx 10;
@@ -125,6 +379,7 @@ let run cfg =
           if not (wait_ack ()) then submit_round ()
         in
         submit_round ();
+        Checker.record_acked checker ~cid;
         incr acked;
         latencies := float_of_int (Dsim.Engine.now eng - t0) :: !latencies)
       cfg.ops.(c);
@@ -149,6 +404,16 @@ let run cfg =
     if not (Netsim.Async_net.is_crashed net victim) then begin
       Netsim.Async_net.crash net victim;
       Dsim.Engine.kill eng (Tob.process tob victim);
+      if store_on then begin
+        Tob.crash tob victim;
+        Store.Disk.crash disks.(victim);
+        awaiting.(victim) <- [];
+        (* judge this replica's history by what its disk can reproduce *)
+        let rd = recover_disk disks.(victim) in
+        Checker.record_crashed checker ~replica:victim
+          ~survived:(List.length rd.r_cids);
+        if live () = [] then Log.forget_volatile log
+      end;
       crashed := victim :: !crashed;
       Dsim.Engine.emit eng ~tag:"rsm" (Printf.sprintf "crashed replica %d" victim)
     end
@@ -156,7 +421,35 @@ let run cfg =
   let restart_replica victim =
     if Netsim.Async_net.is_crashed net victim then begin
       Netsim.Async_net.restart net victim;
-      Tob.restart tob victim;
+      if store_on then begin
+        let rd = recover_disk disks.(victim) in
+        (match rd.r_snap with
+        | Some (upto, state, cids) ->
+            apps.(victim) <- App.Kv.restore state;
+            Log.set_floor log ~owner:victim ~upto ~state ~cids
+        | None -> apps.(victim) <- App.Kv.create ());
+        List.iter
+          (fun (slot, _w, entries) ->
+            if slot < rd.r_next_slot then
+              List.iter
+                (fun (e : _ Tob.entry) ->
+                  ignore (App.Kv.apply apps.(victim) e.Tob.op : App.kv_output))
+                entries)
+          rd.r_slots;
+        (* re-feed the cluster's slot cache with every decision this
+           disk committed — after a total outage this is the only place
+           decisions can come from *)
+        List.iter
+          (fun (slot, w, entries) -> Log.reseed log ~slot ~winner:w ~batch:entries)
+          rd.r_slots;
+        Tob.restart tob
+          ~recovery:{ Tob.next_slot = rd.r_next_slot; delivered_cids = rd.r_cids }
+          victim;
+        Dsim.Engine.emit eng ~tag:"rsm"
+          (Printf.sprintf "replica %d recovered %d commands, next slot %d" victim
+             (List.length rd.r_cids) rd.r_next_slot)
+      end
+      else Tob.restart tob victim;
       restarted := victim :: !restarted;
       Dsim.Engine.emit eng ~tag:"rsm"
         (Printf.sprintf "restarted replica %d" victim)
@@ -170,6 +463,7 @@ let run cfg =
       partition = (fun groups -> Netsim.Async_net.set_partition net groups);
       heal = (fun () -> Netsim.Async_net.heal net);
       set_policy = (fun p -> policy_ref := p);
+      set_store_policy = (fun p -> store_policy_ref := p);
     }
   in
   List.iter
@@ -202,8 +496,11 @@ let run cfg =
     restarted = List.rev !restarted;
     violations = Checker.check checker;
     completeness = Checker.check_complete checker ~live:live_now;
+    durability = Checker.check_durable checker ~live:live_now;
     digests_agree;
     digests;
     latencies = List.rev !latencies;
     trace = Dsim.Engine.trace eng;
+    store_stats = Array.map Store.Disk.stats disks;
+    disks;
   }

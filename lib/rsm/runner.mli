@@ -33,10 +33,29 @@ type faults = {
     unit;
       (** replace the per-message adversary policy (drop / duplicate /
           delay verdicts at send time) *)
+  set_store_policy : Store.Policy.t -> unit;
+      (** replace the storage fault policy consulted by every replica's
+          disk (no effect when the run has no [store] configured) *)
 }
 (** Live controller over one run's fault surface, handed to [inject]
     after the cluster is wired and before the simulation starts.  All
     functions may also be called later from scheduled engine events. *)
+
+type store_config = {
+  policy : Store.Policy.t;  (** initial storage fault policy *)
+  snapshot_every : int;
+      (** take a snapshot + compact every this many non-empty slots per
+          replica (0 = never snapshot) *)
+  ack_before_fsync : bool;
+      (** deliberately broken mode: ack a command as soon as it is
+          delivered, without waiting for its WAL records to be durable.
+          Exists so the durability audit has a bug to catch; keep
+          [false] for honest runs. *)
+}
+
+val default_store_config : store_config
+(** Honest disks ({!Store.Policy.none}), snapshot every 4 non-empty
+    slots, ack after fsync. *)
 
 type config = {
   backend : Backend.t;
@@ -57,11 +76,20 @@ type config = {
   ops : App.kv_cmd list array;  (** one command list per client *)
   ack_timeout : int;  (** virtual time before a client re-submits *)
   max_events : int;  (** engine event budget (runaway guard) *)
+  store : store_config option;
+      (** [Some _] gives every replica a simulated disk: slots are
+          written to a per-replica WAL (entries + commit marker, then
+          fsync), clients are acked only once durable, snapshots
+          compact the WAL, and crash–restart goes through real recovery
+          — a restarted replica resumes from exactly what its disk
+          reproduces, catching up (or installing a peer snapshot) for
+          the rest.  [None] keeps the legacy recoverable model where
+          memory survives crashes. *)
 }
 
 val default_config : n:int -> ops:App.kv_cmd list array -> config
 (** Ben-Or backend, batch 8, seed 1, uniform 1-10 latency, no faults,
-    unbounded trace, ack timeout 2000, 5M event budget. *)
+    unbounded trace, ack timeout 2000, 5M event budget, no store. *)
 
 type report = {
   engine_outcome : Dsim.Engine.outcome;
@@ -79,6 +107,10 @@ type report = {
       (** order, integrity and duplication violations — the safety gate *)
   completeness : Checker.violation list;
       (** submitted commands missing at live replicas — the liveness gate *)
+  durability : Checker.violation list;
+      (** acked commands surviving at no live replica — the durability
+          audit (empty for honest stores; non-empty flags acking
+          non-durable commands, e.g. [ack_before_fsync]) *)
   digests_agree : bool;
       (** all live replicas' final KV states are identical *)
   digests : string array;  (** per-replica final KV digest *)
@@ -87,6 +119,11 @@ type report = {
   trace : Dsim.Trace.t;
       (** the run's structured trace (slot decisions, crashes, ...);
           read with {!Dsim.Trace.events} / {!Dsim.Trace.last} *)
+  store_stats : Store.Disk.stats array;
+      (** per-replica disk counters ([[||]] when no store) *)
+  disks : Store.Disk.t array;
+      (** the replicas' disks, for post-run inspection — WAL records and
+          snapshot chains ([[||]] when no store) *)
 }
 
 val run : config -> report

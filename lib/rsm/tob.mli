@@ -21,6 +21,13 @@
 type 'cmd entry = { cid : int; op : 'cmd }
 (** A uniquely identified command ([cid] de-duplicates re-submissions). *)
 
+type recovery = {
+  next_slot : int;  (** first slot not covered by the durable state *)
+  delivered_cids : int list;  (** commands the durable state contains *)
+}
+(** What a replica's stable storage reproduced after a crash; see
+    {!restart}. *)
+
 type 'cmd t
 
 val create :
@@ -29,12 +36,23 @@ val create :
   log:'cmd entry Log.t ->
   batch:int ->
   deliver:(pid:int -> slot:int -> 'cmd entry -> unit) ->
+  ?on_slot_applied:(pid:int -> slot:int -> fresh:'cmd entry list -> unit) ->
+  ?on_install:
+    (pid:int -> owner:int -> upto:int -> state:string -> cids:int list -> unit) ->
   unit ->
   'cmd t
 (** Install delivery handlers and spawn one replica process per network
     node.  [batch] caps entries per proposal (>= 1).  [deliver] runs in
     simulation context each time a replica to-delivers an entry — in
-    identical order across replicas, which {!Checker} verifies. *)
+    identical order across replicas, which {!Checker} verifies.
+
+    [on_slot_applied] fires after a replica finishes a slot (even an
+    empty one), with the entries it freshly applied there — the hook the
+    durable runner uses to write and fsync WAL records at slot
+    granularity.  [on_install] fires when a replica adopts a snapshot
+    from the log's state-transfer floor (see {!Log.set_floor}) instead
+    of replaying slots; the receiver must restore the app state from
+    [state]. *)
 
 val submit : 'cmd t -> replica:int -> 'cmd entry -> bool
 (** Inject a command at [replica] (the client RPC): [false] if that
@@ -45,13 +63,27 @@ val submit : 'cmd t -> replica:int -> 'cmd entry -> bool
 val process : 'cmd t -> int -> Dsim.Engine.pid
 (** The engine process driving the given replica (kill it on crash). *)
 
-val restart : 'cmd t -> int -> unit
-(** Respawn the replica loop after its process was killed (crash–recovery
-    with intact state, the recoverable model): the replica resumes at its
-    pre-crash slot counter and catches up by replaying the decisions the
-    log cached while it was down.  No-op while the process is alive. *)
+val crash : 'cmd t -> int -> unit
+(** Drop the replica's pending (undelivered) command set — what a real
+    crash loses at the TOB layer.  The durable runner calls this when it
+    crashes a replica; the legacy in-memory model does not. *)
+
+val restart : 'cmd t -> ?recovery:recovery -> int -> unit
+(** Respawn the replica loop after its process was killed.  Without
+    [recovery] this is the recoverable (intact-memory) model: the
+    replica resumes at its pre-crash slot counter and catches up from
+    the log's cached decisions.  With [recovery] the replica's delivered
+    set, count and slot counter are reset to exactly what stable storage
+    reproduced — the honest model — before the loop resumes and catches
+    up.  No-op while the process is alive. *)
 
 val delivered_count : 'cmd t -> pid:int -> int
+
+val delivered_cids : 'cmd t -> pid:int -> int list
+(** Sorted command ids the replica has applied — the delivered-set part
+    of a snapshot payload. *)
+
+val next_slot : 'cmd t -> pid:int -> int
 val is_delivered : 'cmd t -> cid:int -> bool
 (** Has {e some} replica to-delivered this command? (the client's ack) *)
 

@@ -1,0 +1,32 @@
+type rule = { pids : int list option; from_ : int; until_ : int }
+
+type t = {
+  torn : rule list;
+  sync_loss : rule list;
+  io_error : rule list;
+  stall : (rule * int) list;
+}
+
+let none = { torn = []; sync_loss = []; io_error = []; stall = [] }
+
+let rule ?pids ~from_ ~until_ () =
+  if until_ < from_ then invalid_arg "Store.Policy.rule: until_ < from_";
+  { pids; from_; until_ }
+
+let applies r ~pid ~now =
+  now >= r.from_ && now < r.until_
+  && (match r.pids with None -> true | Some ids -> List.mem pid ids)
+
+let any_applies rs ~pid ~now = List.exists (fun r -> applies r ~pid ~now) rs
+
+let torn_write t = any_applies t.torn
+let sync_lost t = any_applies t.sync_loss
+let io_erroring t = any_applies t.io_error
+
+let stall_of t ~pid ~now =
+  List.fold_left
+    (fun acc (r, extra) -> if applies r ~pid ~now then acc + extra else acc)
+    0 t.stall
+
+let is_none t =
+  t.torn = [] && t.sync_loss = [] && t.io_error = [] && t.stall = []

@@ -1,0 +1,56 @@
+(** Storage fault policies: a pure, virtual-time-keyed description of
+    what a replica's disk does wrong, and when.
+
+    A policy is data, in the same spirit as the nemesis message windows:
+    each fault class is a list of [(pids, from, until)] windows, and the
+    disk consults the policy with its own id and the current virtual
+    time at every operation.  Because verdicts depend only on
+    [(pid, now)], a replayed run sees identical storage behaviour —
+    which is what makes storage-fault campaigns shrinkable.
+
+    Fault classes:
+    - {b torn}: a record appended inside the window is torn — the write
+      "succeeds", but {!Disk.read_back} stops at the corrupt record, so
+      it and everything after it are lost to recovery (silent
+      corruption, detected only at read time).
+    - {b sync_loss}: an fsync inside the window {e lies} — it reports
+      success but the records it was asked to harden are dropped.  The
+      firmware-lies model; only detectable after a crash.
+    - {b io_error}: appends and fsyncs inside the window fail visibly
+      (the disk returns [Error `Io_error]); callers are expected to
+      retry after the window.
+    - {b stall}: fsyncs inside the window take [extra] additional
+      virtual time before the data is actually durable; a crash inside
+      the stall loses the batch even though fsync was called. *)
+
+type rule = {
+  pids : int list option;  (** disks the rule applies to; [None] = all *)
+  from_ : int;  (** window start (inclusive), virtual time *)
+  until_ : int;  (** window end (exclusive) *)
+}
+
+type t = {
+  torn : rule list;
+  sync_loss : rule list;
+  io_error : rule list;
+  stall : (rule * int) list;  (** window, extra virtual time per fsync *)
+}
+
+val none : t
+(** The honest disk: no faults (unsynced data is still lost on crash —
+    that is the storage model, not a fault). *)
+
+val rule : ?pids:int list -> from_:int -> until_:int -> unit -> rule
+(** @raise Invalid_argument if [until_ < from_]. *)
+
+val applies : rule -> pid:int -> now:int -> bool
+
+val torn_write : t -> pid:int -> now:int -> bool
+val sync_lost : t -> pid:int -> now:int -> bool
+val io_erroring : t -> pid:int -> now:int -> bool
+
+val stall_of : t -> pid:int -> now:int -> int
+(** Total extra virtual time an fsync started now must wait (0 when no
+    stall window is open). *)
+
+val is_none : t -> bool

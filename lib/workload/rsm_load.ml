@@ -57,7 +57,10 @@ type summary = {
 }
 
 let summarize (cfg : Rsm.Runner.config) (r : Rsm.Runner.report) =
-  let violations = List.length r.violations + List.length r.completeness in
+  let violations =
+    List.length r.violations + List.length r.completeness
+    + List.length r.durability
+  in
   {
     backend_name = Rsm.Backend.name cfg.backend;
     batch = cfg.batch;
@@ -82,7 +85,7 @@ let summarize (cfg : Rsm.Runner.config) (r : Rsm.Runner.report) =
 
 let run_one ?(n = 5) ?(clients = 4) ?(commands = 8) ?(batch = 8) ?(crashes = 0)
     ?restart_after ?(seed = 1) ?trace_capacity ?ack_timeout ?max_events ?inject
-    ~backend () =
+    ?store ~backend () =
   let ops = gen_ops ~seed:(Int64.of_int seed) ~clients ~commands () in
   let crash_schedule, restart_schedule =
     match restart_after with
@@ -102,6 +105,7 @@ let run_one ?(n = 5) ?(clients = 4) ?(commands = 8) ?(batch = 8) ?(crashes = 0)
       inject;
       ack_timeout = Option.value ack_timeout ~default:base.Rsm.Runner.ack_timeout;
       max_events = Option.value max_events ~default:base.Rsm.Runner.max_events;
+      store;
     }
   in
   let r = Rsm.Runner.run cfg in

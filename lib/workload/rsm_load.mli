@@ -55,7 +55,8 @@ type summary = {
   messages : int;
   throughput : float;  (** acked commands per 1000 virtual time units *)
   latency : Stats.summary option;  (** submit-to-ack virtual times *)
-  violations : int;  (** order + completeness violations (want 0) *)
+  violations : int;
+      (** order + completeness + durability violations (want 0) *)
   ok : bool;  (** zero violations and identical live-replica digests *)
 }
 
@@ -73,6 +74,7 @@ val run_one :
   ?ack_timeout:int ->
   ?max_events:int ->
   ?inject:(Rsm.Runner.faults -> unit) ->
+  ?store:Rsm.Runner.store_config ->
   backend:Rsm.Backend.t ->
   unit ->
   Rsm.Runner.report * summary
@@ -80,7 +82,10 @@ val run_one :
     seed 1.  [restart_after] turns the crash schedule into the
     crash–restart plan (each victim recovers that long after its crash).
     [trace_capacity] bounds retained trace events, [inject] hands the
-    run's fault controller to an external injector (see {!Rsm.Runner}). *)
+    run's fault controller to an external injector (see {!Rsm.Runner}),
+    [store] gives every replica a simulated WAL-backed disk (durable
+    crash–recovery model; durability-audit violations count into
+    [summary.violations]). *)
 
 val sweep_batches :
   ?n:int ->

@@ -26,6 +26,7 @@ let () =
       ("decentralized", Test_decentralized.suite);
       ("sharedmem", Test_sharedmem.suite);
       ("explore", Test_explore.suite);
+      ("store", Test_store.suite);
       ("rsm", Test_rsm.suite);
       ("workload", Test_workload.suite);
       ("nemesis", Test_nemesis.suite);

@@ -31,9 +31,19 @@ let sample_plan : Plan.t =
     { Plan.at = 75; action = Plan.Restart 1 };
   ]
 
+let storage_plan : Plan.t =
+  [
+    { Plan.at = 5; action = Plan.Torn_write (Some [ 0; 2 ], 30) };
+    { Plan.at = 12; action = Plan.Sync_loss (None, 25) };
+    { Plan.at = 20; action = Plan.Io_error (Some [ 1 ], 40) };
+    { Plan.at = 33; action = Plan.Disk_stall (None, 50, 60) };
+  ]
+
 let validate_accepts_well_formed () =
   check (Alcotest.list Alcotest.string) "no problems" []
-    (Plan.validate ~n:4 sample_plan)
+    (Plan.validate ~n:4 sample_plan);
+  check (Alcotest.list Alcotest.string) "storage plan ok" []
+    (Plan.validate ~n:4 storage_plan)
 
 let validate_rejects_ill_formed () =
   let bad (plan : Plan.t) what =
@@ -61,7 +71,19 @@ let validate_rejects_ill_formed () =
     "zero-length window";
   bad
     [ { Plan.at = 0; action = Plan.Duplicate_matching (Plan.any, 0, 10) } ]
-    "zero copies"
+    "zero copies";
+  bad
+    [ { Plan.at = 0; action = Plan.Torn_write (Some [ 9 ], 10) } ]
+    "disk pid out of range";
+  bad
+    [ { Plan.at = 0; action = Plan.Sync_loss (Some [], 10) } ]
+    "empty disk pid set";
+  bad
+    [ { Plan.at = 0; action = Plan.Io_error (None, 0) } ]
+    "zero-length storage window";
+  bad
+    [ { Plan.at = 0; action = Plan.Disk_stall (None, 0, 10) } ]
+    "zero stall extra"
 
 (* --- plan: serialization ------------------------------------------------ *)
 
@@ -69,7 +91,9 @@ let roundtrip_preserves_plan () =
   let text = Plan.to_string sample_plan in
   check Alcotest.bool "text is non-trivial" true (String.length text > 40);
   let back = Plan.of_string text in
-  check Alcotest.bool "roundtrip identical" true (back = sample_plan)
+  check Alcotest.bool "roundtrip identical" true (back = sample_plan);
+  check Alcotest.bool "storage actions roundtrip" true
+    (Plan.of_string (Plan.to_string storage_plan) = storage_plan)
 
 let of_string_tolerates_comments () =
   let plan =
@@ -217,6 +241,54 @@ let campaign_replay_is_deterministic () =
   check Alcotest.int "same messages" r1.Rsm.Runner.messages_sent
     r2.Rsm.Runner.messages_sent
 
+(* Storage windows compile to a time-keyed Store.Policy. *)
+let store_policy_compiles_windows () =
+  let p = Interp.store_policy storage_plan in
+  check Alcotest.bool "torn applies to pid 0 inside window" true
+    (Store.Policy.torn_write p ~pid:0 ~now:10);
+  check Alcotest.bool "torn skips pid 1" false
+    (Store.Policy.torn_write p ~pid:1 ~now:10);
+  check Alcotest.bool "torn window end exclusive" false
+    (Store.Policy.torn_write p ~pid:0 ~now:35);
+  check Alcotest.bool "sync loss hits everyone" true
+    (Store.Policy.sync_lost p ~pid:3 ~now:12);
+  check Alcotest.bool "io error windowed to pid 1" true
+    (Store.Policy.io_erroring p ~pid:1 ~now:30);
+  check Alcotest.int "stall sums matching extras" 50
+    (Store.Policy.stall_of p ~pid:0 ~now:40);
+  check Alcotest.int "no stall outside window" 0
+    (Store.Policy.stall_of p ~pid:0 ~now:100);
+  check Alcotest.bool "network-only plan compiles to none" true
+    (Store.Policy.is_none (Interp.store_policy sample_plan))
+
+(* Storage-fault campaign: minority crashes + disk faults across all
+   three backends must never cost durability — every acked command is
+   recoverable (the PR's acceptance property, scaled down for CI; the
+   oocon binary runs the 100-plan version). *)
+let storage_campaign_durability () =
+  let cfg =
+    {
+      (Campaign.default_config ~n:4 ()) with
+      Campaign.backends = Rsm.Backend.all;
+      plans = 7;
+      first_seed = 3;
+      storage = true;
+    }
+  in
+  let r = Campaign.run cfg in
+  check Alcotest.int "all runs executed" 21 r.Campaign.runs;
+  check Alcotest.int "no durability failures" 0
+    (List.length r.Campaign.durability_failures);
+  check Alcotest.int "no safety failures" 0 (List.length r.Campaign.safety_failures);
+  let storage_faults =
+    List.fold_left
+      (fun a k -> a + List.assoc k r.Campaign.coverage)
+      0
+      [ "torn"; "sync-loss"; "io-err"; "stall" ]
+  in
+  check Alcotest.bool "storage faults were actually injected" true
+    (storage_faults > 0)
+
 (* --- liveness: quiet-horizon plans drain -------------------------------- *)
 
 (* Under any generated plan whose faults all end (heal + restarts) before
@@ -298,6 +370,56 @@ let shrinker_minimizes_failing_plan () =
         (failing (Campaign.run_plan cfg ~backend ~seed weaker)))
     s.Shrink.plan
 
+(* Shrinking a storage-fault counterexample: a torn-write window across
+   every disk plus a full-cluster crash–restart makes acked commands
+   unrecoverable (torn writes are silent at fsync time, so the honest
+   ack gate is fooled) — a real durability violation, not a checker bug.
+   The shrinker must keep the plan failing while discarding what the
+   failure does not need. *)
+let shrinker_minimizes_torn_write_plan () =
+  let n = 3 in
+  let store =
+    { Rsm.Runner.default_store_config with Rsm.Runner.snapshot_every = 0 }
+  in
+  let run plan =
+    fst
+      (Workload.Rsm_load.run_one ~n ~clients:2 ~commands:3 ~batch:4 ~seed:5
+         ~trace_capacity:2_000 ~ack_timeout:300 ~max_events:300_000
+         ~inject:(Interp.install_rsm plan)
+         ~store ~backend:Rsm.Backend.ben_or ())
+  in
+  let failing (r : Rsm.Runner.report) = r.Rsm.Runner.durability <> [] in
+  let plan : Plan.t =
+    [
+      { Plan.at = 0; action = Plan.Torn_write (None, 300) };
+      { Plan.at = 10; action = Plan.Sync_loss (Some [ 1 ], 20) };
+      { Plan.at = 40; action = Plan.Disk_stall (None, 15, 30) };
+      { Plan.at = 150; action = Plan.Crash 0 };
+      { Plan.at = 150; action = Plan.Crash 1 };
+      { Plan.at = 150; action = Plan.Crash 2 };
+      { Plan.at = 400; action = Plan.Restart 0 };
+      { Plan.at = 400; action = Plan.Restart 1 };
+      { Plan.at = 400; action = Plan.Restart 2 };
+    ]
+  in
+  check (Alcotest.list Alcotest.string) "plan well-formed" []
+    (Plan.validate ~n plan);
+  check Alcotest.bool "the torn-write plan fails durability" true
+    (failing (run plan));
+  let oracle = { Shrink.run; failing } in
+  let s = Shrink.shrink oracle plan in
+  check Alcotest.bool
+    (Printf.sprintf "shrunk (got %d from %d)" (Plan.length s.Shrink.plan)
+       s.Shrink.reduced_from)
+    true
+    (Plan.length s.Shrink.plan < Plan.length plan);
+  check Alcotest.bool "minimized plan still fails" true (failing (run s.Shrink.plan));
+  check Alcotest.bool "the torn window is load-bearing" true
+    (List.exists
+       (fun { Plan.action; _ } ->
+         match action with Plan.Torn_write _ -> true | _ -> false)
+       s.Shrink.plan)
+
 let shrink_rejects_passing_plan () =
   let oracle = { Shrink.run = (fun _ -> ()); failing = (fun () -> false) } in
   match Shrink.shrink oracle sample_plan with
@@ -329,6 +451,12 @@ let suite =
     qtest prop_liveness_under_benign_plans;
     Alcotest.test_case "shrinker minimizes a failing plan" `Quick
       shrinker_minimizes_failing_plan;
+    Alcotest.test_case "shrinker minimizes a torn-write plan" `Quick
+      shrinker_minimizes_torn_write_plan;
     Alcotest.test_case "shrink rejects a passing plan" `Quick
       shrink_rejects_passing_plan;
+    Alcotest.test_case "store policy compiles windows" `Quick
+      store_policy_compiles_windows;
+    Alcotest.test_case "storage campaign durability" `Quick
+      storage_campaign_durability;
   ]

@@ -265,6 +265,135 @@ let term_monotonicity () =
         (non_decreasing history))
     term_history
 
+(* --- disk-backed persistence ------------------------------------------- *)
+
+(* A 3-node cluster where every replica persists through a simulated WAL.
+   After committing entries and crash-restarting a follower, recovery
+   must reproduce exactly the fsynced term and log — and the commit
+   index must NOT survive: it restarts at 0 and is re-derived from the
+   protocol. *)
+let disk_run_until eng ?(timeout = 100_000) pred =
+  let module E = Dsim.Engine in
+  let deadline = E.now eng + timeout in
+  let rec go () =
+    if pred () then true
+    else if E.now eng >= deadline then false
+    else
+      match E.run ~until:(min deadline (E.now eng + 50)) eng with
+      | E.Time_limit -> go ()
+      | E.Quiescent | E.Deadlock _ | E.Event_limit -> pred ()
+  in
+  go ()
+
+let make_disk_cluster ~seed ~n ~policy =
+  let eng = Dsim.Engine.create ~seed () in
+  let net = Netsim.Async_net.create eng ~n ~latency:(Netsim.Latency.Uniform (5, 20)) () in
+  let disks =
+    Array.init n (fun pid ->
+        Store.Disk.create ~engine:eng ~pid ~policy:(fun () -> !policy) ())
+  in
+  let replicas =
+    Array.init n (fun i ->
+        Replica.create ~net ~id:i ~disk:disks.(i)
+          ~apply:(fun _ _ -> ())
+          ~rng:(Dsim.Rng.split (Dsim.Engine.rng eng))
+          ())
+  in
+  Array.iter Replica.start replicas;
+  (eng, replicas, disks)
+
+let disk_recovery_reproduces_fsynced_state () =
+  let policy = ref Store.Policy.none in
+  let eng, replicas, _disks = make_disk_cluster ~seed:31L ~n:3 ~policy in
+  check Alcotest.bool "leader elected" true
+    (disk_run_until eng (fun () ->
+         Array.exists (fun r -> Replica.role r = Replica.Leader) replicas));
+  let leader = ref replicas.(0) in
+  Array.iter
+    (fun r -> if Replica.role r = Replica.Leader then leader := r)
+    replicas;
+  List.iter
+    (fun cmd ->
+      check Alcotest.bool "accepted" true (Replica.propose !leader cmd);
+      check Alcotest.bool "committed" true
+        (disk_run_until eng (fun () ->
+             Array.for_all (fun r -> Replica.commit_index r >= 1) replicas)))
+    [ "a"; "b" ];
+  check Alcotest.bool "all committed" true
+    (disk_run_until eng (fun () ->
+         Array.for_all (fun r -> Replica.commit_index r >= 2) replicas));
+  let victim =
+    Option.get
+      (Array.find_opt (fun r -> Replica.role r <> Replica.Leader) replicas)
+  in
+  let term_before = Replica.current_term victim in
+  let log_before = Replica.log_length victim in
+  let recovered = ref None in
+  Replica.subscribe victim (fun ev ->
+      match ev with
+      | Replica.Event.Recovered { term; log } -> recovered := Some (term, log)
+      | _ -> ());
+  Replica.stop victim;
+  Replica.restart victim;
+  (match !recovered with
+  | Some (term, log) ->
+      check Alcotest.int "recovered term is the fsynced term" term_before term;
+      check Alcotest.int "recovered log is the fsynced log" log_before log
+  | None -> Alcotest.fail "no Recovered event on disk-backed restart");
+  check Alcotest.int "commit index is volatile: restarts at 0" 0
+    (Replica.commit_index victim);
+  check Alcotest.bool "commit index re-derived from the protocol" true
+    (disk_run_until eng (fun () -> Replica.commit_index victim >= 2))
+
+(* A follower whose fsyncs stall indefinitely accepts nothing durably:
+   its in-memory log grows, but recovery only reproduces what made it to
+   disk — the stalled entries are gone after crash-restart, and repair
+   re-sends them. *)
+let disk_recovery_drops_unsynced_entries () =
+  let policy = ref Store.Policy.none in
+  let eng, replicas, _disks = make_disk_cluster ~seed:37L ~n:3 ~policy in
+  check Alcotest.bool "leader elected" true
+    (disk_run_until eng (fun () ->
+         Array.exists (fun r -> Replica.role r = Replica.Leader) replicas));
+  let leader = ref replicas.(0) in
+  Array.iter
+    (fun r -> if Replica.role r = Replica.Leader then leader := r)
+    replicas;
+  check Alcotest.bool "first entry accepted" true (Replica.propose !leader "pre");
+  check Alcotest.bool "first entry committed everywhere" true
+    (disk_run_until eng (fun () ->
+         Array.for_all (fun r -> Replica.commit_index r >= 1) replicas));
+  let victim =
+    Option.get
+      (Array.find_opt (fun r -> Replica.role r <> Replica.Leader) replicas)
+  in
+  let vid = Replica.id victim in
+  (* From now on the victim's fsyncs stall (effectively) forever. *)
+  policy :=
+    {
+      Store.Policy.none with
+      Store.Policy.stall =
+        [
+          ( Store.Policy.rule ~pids:[ vid ] ~from_:0 ~until_:max_int (),
+            10_000_000 );
+        ];
+    };
+  check Alcotest.bool "second entry accepted" true (Replica.propose !leader "post");
+  check Alcotest.bool "second entry reaches the victim's memory" true
+    (disk_run_until eng (fun () -> Replica.log_length victim >= 2));
+  let recovered_log = ref (-1) in
+  Replica.subscribe victim (fun ev ->
+      match ev with
+      | Replica.Event.Recovered { log; _ } -> recovered_log := log
+      | _ -> ());
+  Replica.stop victim;
+  policy := Store.Policy.none;
+  Replica.restart victim;
+  check Alcotest.int "only the fsynced prefix recovered" 1 !recovered_log;
+  check Alcotest.bool "repair re-sends the lost entry" true
+    (disk_run_until eng (fun () ->
+         Replica.log_length victim >= 2 && Replica.commit_index victim >= 2))
+
 let suite =
   [
     Alcotest.test_case "election basic" `Quick election_basic;
@@ -280,4 +409,8 @@ let suite =
     Alcotest.test_case "message loss tolerated" `Quick message_loss_tolerated;
     Alcotest.test_case "full cluster restart" `Quick full_cluster_restart_recovers;
     Alcotest.test_case "term monotonicity" `Quick term_monotonicity;
+    Alcotest.test_case "disk recovery reproduces fsynced state" `Quick
+      disk_recovery_reproduces_fsynced_state;
+    Alcotest.test_case "disk recovery drops unsynced entries" `Quick
+      disk_recovery_drops_unsynced_entries;
   ]
