@@ -128,8 +128,65 @@ let rsm_durable_run ~snapshot_every backend seed =
    snapshots), WAL + snapshot-every-4.  Virtual time measures protocol
    cost (fsync stalls, floor round-trips); appends/fsyncs/compacted come
    straight from the disks' counters. *)
-let store_overhead_table ~scale ppf =
+type store_row = {
+  so_backend : string;
+  so_store : string;
+  so_vt : int;
+  so_thr : float;
+  so_appends : int;
+  so_fsyncs : int;
+  so_snapshots : int;
+  so_compacted : int;
+  so_ok : bool;
+}
+
+let store_overhead_rows ~scale =
   let clients, commands = if scale = Workload.Experiments.Full then (6, 6) else (4, 3) in
+  let rows =
+    List.concat_map
+      (fun backend ->
+        List.map
+          (fun (label, store) ->
+            let runs =
+              List.map
+                (fun seed ->
+                  Workload.Rsm_load.run_one ~n:5 ~clients ~commands ~batch:4
+                    ~seed ~quiet:true ?store ~backend ())
+                [ 1; 2; 3 ]
+            in
+            let avg f =
+              List.fold_left (fun a r -> a + f r) 0 runs / List.length runs
+            in
+            let sum_stats f =
+              avg (fun (r, _) ->
+                  Array.fold_left (fun a st -> a + f st) 0 r.Rsm.Runner.store_stats)
+            in
+            {
+              so_backend = Rsm.Backend.name backend;
+              so_store = label;
+              so_vt = avg (fun (r, _) -> r.Rsm.Runner.virtual_time);
+              so_thr =
+                List.fold_left
+                  (fun a (_, s) -> a +. s.Workload.Rsm_load.throughput)
+                  0. runs
+                /. float_of_int (List.length runs);
+              so_appends = sum_stats (fun st -> st.Store.Disk.appends);
+              so_fsyncs = sum_stats (fun st -> st.Store.Disk.fsyncs);
+              so_snapshots = sum_stats (fun st -> st.Store.Disk.snapshots_taken);
+              so_compacted = sum_stats (fun st -> st.Store.Disk.compacted_records);
+              so_ok = List.for_all (fun (_, s) -> s.Workload.Rsm_load.ok) runs;
+            })
+          [
+            ("none", None);
+            ("wal", Some { Rsm.Runner.default_store_config with snapshot_every = 0 });
+            ("wal+snap4", Some Rsm.Runner.default_store_config);
+          ])
+      Rsm.Backend.all
+  in
+  (clients, commands, rows)
+
+let store_overhead_table ~scale ppf =
+  let clients, commands, rows = store_overhead_rows ~scale in
   Format.fprintf ppf
     "@.Durable-store overhead (n=5, %d clients x %d cmds, seed-averaged x3)@."
     clients commands;
@@ -137,45 +194,14 @@ let store_overhead_table ~scale ppf =
     "%-12s %-14s %8s %10s %8s %8s %6s %10s@." "backend" "store" "vt"
     "thr/kvt" "appends" "fsyncs" "snaps" "compacted";
   List.iter
-    (fun backend ->
-      List.iter
-        (fun (label, store) ->
-          let runs =
-            List.map
-              (fun seed ->
-                Workload.Rsm_load.run_one ~n:5 ~clients ~commands ~batch:4
-                  ~seed ?store ~backend ())
-              [ 1; 2; 3 ]
-          in
-          let avg f =
-            List.fold_left (fun a r -> a + f r) 0 runs / List.length runs
-          in
-          let vt = avg (fun (r, _) -> r.Rsm.Runner.virtual_time) in
-          let thr =
-            List.fold_left
-              (fun a (_, s) -> a +. s.Workload.Rsm_load.throughput)
-              0. runs
-            /. float_of_int (List.length runs)
-          in
-          let sum_stats f =
-            avg (fun (r, _) ->
-                Array.fold_left (fun a st -> a + f st) 0 r.Rsm.Runner.store_stats)
-          in
-          Format.fprintf ppf "%-12s %-14s %8d %10.2f %8d %8d %6d %10d@."
-            (Rsm.Backend.name backend) label vt thr
-            (sum_stats (fun st -> st.Store.Disk.appends))
-            (sum_stats (fun st -> st.Store.Disk.fsyncs))
-            (sum_stats (fun st -> st.Store.Disk.snapshots_taken))
-            (sum_stats (fun st -> st.Store.Disk.compacted_records));
-          if List.exists (fun (_, s) -> not s.Workload.Rsm_load.ok) runs then
-            Format.fprintf ppf "  WARNING: %s/%s reported violations@."
-              (Rsm.Backend.name backend) label)
-        [
-          ("none", None);
-          ("wal", Some { Rsm.Runner.default_store_config with snapshot_every = 0 });
-          ("wal+snap4", Some Rsm.Runner.default_store_config);
-        ])
-    Rsm.Backend.all
+    (fun r ->
+      Format.fprintf ppf "%-12s %-14s %8d %10.2f %8d %8d %6d %10d@."
+        r.so_backend r.so_store r.so_vt r.so_thr r.so_appends r.so_fsyncs
+        r.so_snapshots r.so_compacted;
+      if not r.so_ok then
+        Format.fprintf ppf "  WARNING: %s/%s reported violations@." r.so_backend
+          r.so_store)
+    rows
 
 (* One fault-injected RSM run: generate a seeded plan, install it, audit. *)
 let nemesis_run backend seed =
@@ -204,6 +230,212 @@ let nemesis_campaign_table ~scale ppf =
     r.Nemesis.Campaign.runs_per_sec
     (List.length r.Nemesis.Campaign.safety_failures)
     (List.length r.Nemesis.Campaign.incomplete)
+
+(* --- machine-readable baseline (BENCH_core.json) ----------------------- *)
+
+(* The engine hot loop under both profiles: four processes stepping the
+   virtual clock [iters] times each, every step emitting a thunked trace
+   line.  Traced forces each thunk (sprintf + trace record); quiet drops
+   it before allocation, so the alloc-per-event delta is exactly the
+   cost lazy emission removes from campaign runs. *)
+let engine_profile ~tracing ~iters =
+  let eng = Dsim.Engine.create ~seed:42L ~trace_capacity:1_024 () in
+  for p = 0 to 3 do
+    ignore
+      (Dsim.Engine.spawn eng (fun ctx ->
+           for i = 1 to iters do
+             Dsim.Engine.emitk eng ~tag:"bench" (fun () ->
+                 Printf.sprintf "process %d step %d" p i);
+             Dsim.Engine.sleep ctx 1
+           done)
+        : Dsim.Engine.pid)
+  done;
+  (* Both profiles start from the same (traced) engine; the quiet one
+     goes through [run_quiet], the campaign/bench entry point. *)
+  let run = if tracing then Dsim.Engine.run else Dsim.Engine.run_quiet in
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  ignore (run eng : Dsim.Engine.outcome);
+  let wall = Unix.gettimeofday () -. t0 in
+  let alloc = Gc.allocated_bytes () -. a0 in
+  let events = float_of_int (4 * iters) in
+  (events /. Float.max wall 1e-9, alloc /. events)
+
+let campaign_scaling ~plans jobs_list =
+  let cfg =
+    {
+      (Nemesis.Campaign.default_config ~n:5 ()) with
+      Nemesis.Campaign.backends = [ Rsm.Backend.ben_or ];
+      plans;
+      storage = true;
+    }
+  in
+  List.map (fun jobs -> (jobs, Nemesis.Campaign.run ~jobs cfg)) jobs_list
+
+let null_ppf =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let bench_core_json () =
+  let cores = Exec.Pool.cores () in
+  let profile tracing =
+    let events_per_sec, alloc_per_event = engine_profile ~tracing ~iters:50_000 in
+    Json.Obj
+      [
+        ("events_per_sec", Json.Float events_per_sec);
+        ("alloc_bytes_per_event", Json.Float alloc_per_event);
+      ]
+  in
+  (* Traced first so its trace buffers don't sit in quiet's Gc delta. *)
+  let traced = profile true in
+  let quiet = profile false in
+  let campaign =
+    let jobs_list = List.sort_uniq compare [ 1; 2; 4; cores ] in
+    List.map
+      (fun (jobs, (r : Nemesis.Campaign.report)) ->
+        Json.Obj
+          [
+            ("jobs", Json.Int jobs);
+            ("runs", Json.Int r.Nemesis.Campaign.runs);
+            ("wall_seconds", Json.Float r.Nemesis.Campaign.wall_seconds);
+            ("runs_per_sec", Json.Float r.Nemesis.Campaign.runs_per_sec);
+            ( "safety_failures",
+              Json.Int (List.length r.Nemesis.Campaign.safety_failures) );
+            ( "durability_failures",
+              Json.Int (List.length r.Nemesis.Campaign.durability_failures) );
+          ])
+      (campaign_scaling ~plans:300 jobs_list)
+  in
+  let rsm =
+    List.map
+      (fun (s : Workload.Rsm_load.summary) ->
+        Json.Obj
+          [
+            ("backend", Json.String s.Workload.Rsm_load.backend_name);
+            ("batch", Json.Int s.Workload.Rsm_load.batch);
+            ("throughput_per_kvt", Json.Float s.Workload.Rsm_load.throughput);
+            ("ok", Json.Bool s.Workload.Rsm_load.ok);
+          ])
+      (Workload.Rsm_load.sweep_batches ~clients:12 ~commands:3 ~seeds:1 null_ppf)
+  in
+  let wal =
+    let _, _, rows = store_overhead_rows ~scale:Workload.Experiments.Quick in
+    List.map
+      (fun r ->
+        Json.Obj
+          [
+            ("backend", Json.String r.so_backend);
+            ("store", Json.String r.so_store);
+            ("virtual_time", Json.Int r.so_vt);
+            ("throughput_per_kvt", Json.Float r.so_thr);
+            ("appends", Json.Int r.so_appends);
+            ("fsyncs", Json.Int r.so_fsyncs);
+            ("snapshots", Json.Int r.so_snapshots);
+            ("compacted", Json.Int r.so_compacted);
+            ("ok", Json.Bool r.so_ok);
+          ])
+      rows
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "oocon-bench-core/1");
+      ("cores", Json.Int cores);
+      ("engine", Json.Obj [ ("traced", traced); ("quiet", quiet) ]);
+      ("campaign", Json.List campaign);
+      ("rsm", Json.List rsm);
+      ("wal_overhead", Json.List wal);
+    ]
+
+let write_bench_json file =
+  let json = bench_core_json () in
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (Json.to_string json));
+  Format.printf "bench baseline written to %s@." file
+
+(* Schema check for CI: parse errors, missing keys, wrong types, and
+   figures that make no sense (zero rates, quiet allocating more than
+   traced) all fail the build. *)
+let validate_bench_json file =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (match
+     Json.parse (In_channel.with_open_text file In_channel.input_all)
+   with
+  | exception Json.Parse_error msg -> err "parse error: %s" msg
+  | exception Sys_error msg -> err "cannot read: %s" msg
+  | v ->
+      let open Json in
+      (match Option.bind (member "schema" v) to_string_opt with
+      | Some "oocon-bench-core/1" -> ()
+      | Some other -> err "unexpected schema %S" other
+      | None -> err "missing schema");
+      (match Option.bind (member "cores" v) to_int with
+      | Some c when c >= 1 -> ()
+      | Some c -> err "cores must be >= 1, got %d" c
+      | None -> err "missing cores");
+      let engine_field profile key =
+        Option.bind (member "engine" v) (fun e ->
+            Option.bind (member profile e) (fun p ->
+                Option.bind (member key p) to_float))
+      in
+      let check_profile profile =
+        (match engine_field profile "events_per_sec" with
+        | Some r when r > 0. -> ()
+        | Some _ -> err "engine.%s.events_per_sec must be > 0" profile
+        | None -> err "missing engine.%s.events_per_sec" profile);
+        match engine_field profile "alloc_bytes_per_event" with
+        | Some a when a >= 0. -> ()
+        | Some _ -> err "engine.%s.alloc_bytes_per_event must be >= 0" profile
+        | None -> err "missing engine.%s.alloc_bytes_per_event" profile
+      in
+      check_profile "traced";
+      check_profile "quiet";
+      (match
+         ( engine_field "quiet" "alloc_bytes_per_event",
+           engine_field "traced" "alloc_bytes_per_event" )
+       with
+      | Some q, Some t when q >= t ->
+          err "quiet profile allocates %.1f B/event, traced only %.1f" q t
+      | _ -> ());
+      (match Option.bind (member "campaign" v) to_list with
+      | Some (_ :: _ as cells) ->
+          List.iteri
+            (fun i cell ->
+              let num key = Option.bind (member key cell) to_float in
+              (match Option.bind (member "jobs" cell) to_int with
+              | Some j when j >= 1 -> ()
+              | _ -> err "campaign[%d]: bad jobs" i);
+              (match num "runs" with
+              | Some r when r > 0. -> ()
+              | _ -> err "campaign[%d]: bad runs" i);
+              match num "runs_per_sec" with
+              | Some r when r > 0. -> ()
+              | _ -> err "campaign[%d]: bad runs_per_sec" i)
+            cells
+      | Some [] -> err "campaign is empty"
+      | None -> err "missing campaign");
+      let check_rows key fields =
+        match Option.bind (member key v) to_list with
+        | Some (_ :: _ as rows) ->
+            List.iteri
+              (fun i row ->
+                List.iter
+                  (fun f ->
+                    if member f row = None then err "%s[%d]: missing %s" key i f)
+                  fields)
+              rows
+        | Some [] -> err "%s is empty" key
+        | None -> err "missing %s" key
+      in
+      check_rows "rsm" [ "backend"; "batch"; "throughput_per_kvt"; "ok" ];
+      check_rows "wal_overhead"
+        [ "backend"; "store"; "virtual_time"; "appends"; "fsyncs"; "ok" ]);
+  match List.rev !errors with
+  | [] ->
+      Format.printf "%s: valid oocon-bench-core/1 baseline@." file;
+      0
+  | errs ->
+      List.iter (Format.eprintf "%s: %s@." file) errs;
+      1
 
 (* Rotate seeds so the benchmark averages over schedules instead of
    re-simulating one fixed run. *)
@@ -295,9 +527,22 @@ let run_benchmarks () =
     (List.sort compare rows);
   Format.printf "@."
 
+let rec arg_value key = function
+  | [] -> None
+  | flag :: value :: _ when flag = key -> Some value
+  | _ :: rest -> arg_value key rest
+
 let () =
   let args = Array.to_list Sys.argv in
   let has flag = List.mem flag args in
+  (match arg_value "--validate-json" args with
+  | Some file -> exit (validate_bench_json file)
+  | None -> ());
+  if has "--json" then begin
+    write_bench_json
+      (Option.value (arg_value "--json-out" args) ~default:"BENCH_core.json");
+    exit 0
+  end;
   let scale =
     if has "full" then Workload.Experiments.Full else Workload.Experiments.Quick
   in

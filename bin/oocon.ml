@@ -25,6 +25,15 @@ let n_arg default =
   let doc = "Number of processors." in
   Arg.(value & opt int default & info [ "n"; "nodes" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains to fan independent runs over (1 = sequential; 0 = one \
+     per core).  Results are identical at every job count."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
+
+let resolve_jobs jobs = if jobs = 0 then Exec.Pool.cores () else jobs
+
 let split_inputs n = Array.init n (fun i -> i mod 2 = 0)
 
 (* ------------------------------------------------------------- ben-or -- *)
@@ -579,8 +588,16 @@ let nemesis_cmd =
     in
     Arg.(value & flag & info [ "storage-faults" ] ~doc)
   in
+  let report_out_arg =
+    let doc =
+      "Write the campaign report, minus timing figures, to this file — \
+       byte-identical across job counts, so two runs can be diffed."
+    in
+    Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
+  in
   let run n seed backends plans clients commands batch max_actions max_down
-      horizon benign storage plan_file dump shrink quiet show_trace =
+      horizon benign storage plan_file dump shrink quiet jobs report_out
+      show_trace =
     let base = Nemesis.Campaign.default_config ~n () in
     let profile =
       {
@@ -660,9 +677,19 @@ let nemesis_cmd =
             flush stdout
           end
         in
-        let report = Nemesis.Campaign.run ~on_outcome cfg in
+        let report =
+          Nemesis.Campaign.run ~jobs:(resolve_jobs jobs) ~on_outcome cfg
+        in
         if not quiet then print_newline ();
         Format.printf "%a" Nemesis.Campaign.pp_report report;
+        Option.iter
+          (fun file ->
+            Out_channel.with_open_text file (fun oc ->
+                let ppf = Format.formatter_of_out_channel oc in
+                Nemesis.Campaign.pp_report_stable ppf report;
+                Format.pp_print_flush ppf ());
+            Format.printf "stable report written to %s@." file)
+          report_out;
         let failing, predicate =
           match
             (report.safety_failures, report.durability_failures,
@@ -713,7 +740,7 @@ let nemesis_cmd =
       const run $ n_arg 5 $ seed_arg $ backends_arg $ plans_arg $ clients_arg
       $ commands_arg $ batch_arg $ max_actions_arg $ max_down_arg $ horizon_arg
       $ benign_arg $ storage_arg $ plan_file_arg $ dump_arg $ shrink_arg
-      $ quiet_arg $ show_trace_arg)
+      $ quiet_arg $ jobs_arg $ report_out_arg $ show_trace_arg)
   in
   Cmd.v
     (Cmd.info "nemesis"
@@ -742,14 +769,15 @@ let experiments_cmd =
     let doc = "Also write machine-readable eN.csv files into this directory (created if missing)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
   in
-  let run scale ids csv_dir =
+  let run scale ids csv_dir jobs =
     let only = match ids with [] -> None | ids -> Some ids in
     Option.iter
       (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
       csv_dir;
-    Workload.Experiments.run_all ~scale ?only ?csv_dir Format.std_formatter
+    Workload.Experiments.run_all ~scale ?only ?csv_dir
+      ~jobs:(resolve_jobs jobs) Format.std_formatter
   in
-  let term = Term.(const run $ scale_arg $ ids_arg $ csv_arg) in
+  let term = Term.(const run $ scale_arg $ ids_arg $ csv_arg $ jobs_arg) in
   Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the experiment tables (E1..E8).") term
 
 let main_cmd =

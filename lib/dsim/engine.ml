@@ -24,6 +24,7 @@ type t = {
   mutable now : int;
   events : (unit -> unit) Heap.t;
   tr : Trace.t;
+  mutable tracing : bool;
   engine_rng : Rng.t;
   procs : (pid, proc) Hashtbl.t;
   mutable blocked : blocked list;
@@ -39,11 +40,12 @@ type _ Effect.t +=
   | Sleep : int -> unit Effect.t
   | Yield : unit Effect.t
 
-let create ?(seed = 1L) ?trace_capacity () =
+let create ?(seed = 1L) ?trace_capacity ?(tracing = true) () =
   {
     now = 0;
     events = Heap.create ();
     tr = Trace.create ?capacity:trace_capacity ();
+    tracing;
     engine_rng = Rng.create seed;
     procs = Hashtbl.create 64;
     blocked = [];
@@ -53,7 +55,14 @@ let create ?(seed = 1L) ?trace_capacity () =
 let now t = t.now
 let rng t = t.engine_rng
 let trace t = t.tr
-let emit t ?pid ~tag detail = Trace.emit t.tr ~time:t.now ?pid ~tag detail
+let tracing t = t.tracing
+let set_tracing t on = t.tracing <- on
+
+let emit t ?pid ~tag detail =
+  if t.tracing then Trace.emit t.tr ~time:t.now ?pid ~tag detail
+
+let emitk t ?pid ~tag detail =
+  if t.tracing then Trace.emit t.tr ~time:t.now ?pid ~tag (detail ())
 
 let schedule t ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
@@ -128,8 +137,8 @@ let run_fiber t (p : proc) body =
           | exn ->
               p.p_state <- Dead;
               p.p_failure <- Some exn;
-              emit t ~pid:p.p_pid ~tag:"crash"
-                (Printf.sprintf "uncaught exception: %s" (Printexc.to_string exn)));
+              emitk t ~pid:p.p_pid ~tag:"crash" (fun () ->
+                  Printf.sprintf "uncaught exception: %s" (Printexc.to_string exn)));
       effc = handler;
     }
 
@@ -220,3 +229,10 @@ let run ?until ?max_events t =
             | Some _ | None -> ()))
   done;
   match !outcome with Some o -> o | None -> assert false
+
+let run_quiet ?until ?max_events t =
+  let prev = t.tracing in
+  t.tracing <- false;
+  Fun.protect
+    ~finally:(fun () -> t.tracing <- prev)
+    (fun () -> run ?until ?max_events t)

@@ -34,8 +34,12 @@ type outcome =
   | Time_limit  (** virtual [until] reached *)
   | Event_limit  (** [max_events] executed *)
 
-val create : ?seed:int64 -> ?trace_capacity:int -> unit -> t
-(** A fresh engine at time 0.  Default seed is 1. *)
+val create : ?seed:int64 -> ?trace_capacity:int -> ?tracing:bool -> unit -> t
+(** A fresh engine at time 0.  Default seed is 1.  [tracing:false]
+    creates a {e quiet} engine: every {!emit}/{!emitk} is a no-op, so
+    the message hot path allocates no trace strings at all.  Tracing
+    only affects what the trace retains — never scheduling, RNG streams
+    or outcomes — so a quiet run is bit-identical to a traced one. *)
 
 val now : t -> int
 (** Current virtual time. *)
@@ -47,7 +51,20 @@ val trace : t -> Trace.t
 (** The engine's trace; emit protocol events through {!emit}. *)
 
 val emit : t -> ?pid:pid -> tag:string -> string -> unit
-(** Append a trace event stamped with the current virtual time. *)
+(** Append a trace event stamped with the current virtual time.  Dropped
+    without retaining anything when tracing is disabled; prefer {!emitk}
+    whenever building the detail string allocates. *)
+
+val emitk : t -> ?pid:pid -> tag:string -> (unit -> string) -> unit
+(** Lazy {!emit}: the detail thunk is forced only when tracing is
+    enabled, so disabled traces cost zero allocations on hot paths.
+    The thunk must be pure — it is never forced on quiet engines. *)
+
+val tracing : t -> bool
+(** Whether {!emit}/{!emitk} currently append to the trace. *)
+
+val set_tracing : t -> bool -> unit
+(** Flip trace emission; already-retained events are kept either way. *)
 
 val schedule : t -> delay:int -> (unit -> unit) -> unit
 (** Run a callback [delay] time units from now (same tick if [delay = 0]).
@@ -75,6 +92,11 @@ val run : ?until:int -> ?max_events:int -> t -> outcome
 (** Drive the simulation until quiescence, deadlock, the virtual-time limit
     or the event budget.  Can be called repeatedly (e.g. after scheduling
     more events). *)
+
+val run_quiet : ?until:int -> ?max_events:int -> t -> outcome
+(** {!run} with tracing disabled for the duration of the call (the
+    previous flag is restored afterwards) — the profile campaigns and
+    benches use when nobody will read the trace. *)
 
 (** {1 Suspension primitives — call only inside a process body} *)
 

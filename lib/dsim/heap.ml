@@ -71,6 +71,10 @@ let pop t =
 
 let peek_key t = if t.size = 0 then None else Some t.data.(0).key
 
+(* Keep the backing array: a cleared-and-reused heap (campaign runs,
+   engine pools) skips the regrowth ramp.  Resetting [next_seq] restores
+   the insertion-order tiebreak from zero, so a reused heap behaves
+   exactly like a fresh one. *)
 let clear t =
   t.size <- 0;
-  t.data <- [||]
+  t.next_seq <- 0

@@ -26,4 +26,6 @@ val peek_key : 'a t -> int option
 (** The smallest key currently queued, without removing it. *)
 
 val clear : 'a t -> unit
-(** Drop all elements. *)
+(** Drop all elements and reset the tiebreak sequence, keeping the
+    backing storage for reuse — a cleared heap is observationally a
+    fresh one, without the regrowth ramp. *)

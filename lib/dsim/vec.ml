@@ -32,6 +32,8 @@ let truncate t len =
   if len < 0 || len > t.size then invalid_arg "Vec.truncate: bad length";
   t.size <- len
 
+let clear t = t.size <- 0
+
 let to_list t = Array.to_list (Array.sub t.data 0 t.size)
 
 let of_list l =

@@ -20,7 +20,12 @@ val last : 'a t -> 'a option
 
 val truncate : 'a t -> int -> unit
 (** [truncate t len] drops elements so that exactly [len] remain.
+    Capacity is kept, so pushes after a truncate reuse the storage.
     @raise Invalid_argument if [len] is negative or exceeds the length. *)
+
+val clear : 'a t -> unit
+(** [truncate t 0]: drop everything, keep the backing storage for
+    reuse across growth cycles. *)
 
 val to_list : 'a t -> 'a list
 val of_list : 'a list -> 'a t

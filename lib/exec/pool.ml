@@ -1,0 +1,60 @@
+exception Worker_error of { seed : int; exn : exn; backtrace : string }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_error { seed; exn; _ } ->
+        Some
+          (Printf.sprintf "Exec.Pool.Worker_error(seed %d: %s)" seed
+             (Printexc.to_string exn))
+    | _ -> None)
+
+let cores () = Domain.recommended_domain_count ()
+
+let map ~jobs ?(seed_of = Fun.id) f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let compute i =
+      results.(i) <-
+        Some
+          (try Ok (f items.(i))
+           with exn -> Error (exn, Printexc.get_backtrace ()))
+    in
+    let workers = min jobs n in
+    if workers <= 1 then
+      for i = 0 to n - 1 do
+        compute i
+      done
+    else begin
+      (* One atomic cursor hands out item indices; each slot of [results]
+         is written by exactly one domain and read only after the joins,
+         so the only synchronization needed is spawn/join itself. *)
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            compute i;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains
+    end;
+    Array.mapi
+      (fun i r ->
+        match r with
+        | Some (Ok v) -> v
+        | Some (Error (exn, backtrace)) ->
+            raise (Worker_error { seed = seed_of i; exn; backtrace })
+        | None -> assert false)
+      results
+  end
+
+let map_seeded ~jobs ~seeds f = map ~jobs ~seed_of:(fun i -> seeds.(i)) f seeds
+
+let map_list ~jobs f l = Array.to_list (map ~jobs f (Array.of_list l))

@@ -60,14 +60,15 @@ type report = {
   faults_injected : int;
   coverage : (string * int) list;
   cpu_seconds : float;
+  wall_seconds : float;
   runs_per_sec : float;
 }
 
-let run_plan cfg ~backend ~seed plan =
+let run_plan ?(quiet = false) cfg ~backend ~seed plan =
   fst
     (Workload.Rsm_load.run_one ~n:cfg.n ~clients:cfg.clients
        ~commands:cfg.commands ~batch:cfg.batch ~seed
-       ~trace_capacity:cfg.trace_capacity ~ack_timeout:cfg.ack_timeout
+       ~trace_capacity:cfg.trace_capacity ~quiet ~ack_timeout:cfg.ack_timeout
        ~max_events:cfg.max_events
        ~inject:(Interp.install_rsm plan)
        ?store:
@@ -79,65 +80,111 @@ let plan_for cfg ~seed =
     { cfg.profile with n = cfg.n; storage = cfg.profile.storage || cfg.storage }
     ~seed
 
-let run ?on_outcome cfg =
-  let t0 = Sys.time () in
-  let outcomes = ref [] in
-  List.iter
-    (fun backend ->
-      for k = 0 to cfg.plans - 1 do
-        let seed = cfg.first_seed + k in
-        let plan = plan_for cfg ~seed in
-        let r = run_plan cfg ~backend ~seed plan in
-        let o =
-          {
-            backend_name = Rsm.Backend.name backend;
-            plan_seed = seed;
-            plan;
-            safety = safety_ok r;
-            live = complete r;
-            durable = durable_ok r;
-            acked = r.Rsm.Runner.acked;
-            submitted = r.Rsm.Runner.submitted;
-            virtual_time = r.Rsm.Runner.virtual_time;
-            engine_outcome = r.Rsm.Runner.engine_outcome;
-          }
-        in
-        Option.iter (fun f -> f o) on_outcome;
-        outcomes := o :: !outcomes
-      done)
-    cfg.backends;
-  let cpu_seconds = Sys.time () -. t0 in
-  let outcomes = List.rev !outcomes in
-  let runs = List.length outcomes in
-  let faults_injected =
-    List.fold_left (fun a o -> a + Plan.length o.plan) 0 outcomes
-  in
-  let coverage =
-    List.map
-      (fun k ->
-        ( k,
-          List.fold_left
-            (fun a o -> a + (List.assoc k (Plan.count_kinds o.plan)))
-            0 outcomes ))
-      Plan.kinds
-  in
+let empty_report =
   {
-    runs;
-    outcomes;
-    safety_failures = List.filter (fun o -> not o.safety) outcomes;
-    incomplete = List.filter (fun o -> not o.live) outcomes;
-    durability_failures = List.filter (fun o -> not o.durable) outcomes;
-    faults_injected;
-    coverage;
-    cpu_seconds;
-    runs_per_sec =
-      (if cpu_seconds <= 0. then 0. else float_of_int runs /. cpu_seconds);
+    runs = 0;
+    outcomes = [];
+    safety_failures = [];
+    incomplete = [];
+    durability_failures = [];
+    faults_injected = 0;
+    coverage = List.map (fun k -> (k, 0)) Plan.kinds;
+    cpu_seconds = 0.;
+    wall_seconds = 0.;
+    runs_per_sec = 0.;
   }
 
-let pp_report ppf r =
-  Format.fprintf ppf
-    "nemesis campaign: %d runs, %d faults injected, %.1f runs/sec (%.2fs cpu)@."
-    r.runs r.faults_injected r.runs_per_sec r.cpu_seconds;
+let report_of_outcome o =
+  {
+    empty_report with
+    runs = 1;
+    outcomes = [ o ];
+    safety_failures = (if o.safety then [] else [ o ]);
+    incomplete = (if o.live then [] else [ o ]);
+    durability_failures = (if o.durable then [] else [ o ]);
+    faults_injected = Plan.length o.plan;
+    coverage = Plan.count_kinds o.plan;
+  }
+
+(* Associative, order-preserving: counts add, outcome lists
+   concatenate, timing takes the envelope (max wall / summed cpu).
+   Folding singleton reports in work order rebuilds exactly the report
+   a sequential sweep produces, which is what lets parallel chunks be
+   aggregated without caring when they finished. *)
+let merge a b =
+  let wall = Float.max a.wall_seconds b.wall_seconds in
+  let runs = a.runs + b.runs in
+  {
+    runs;
+    outcomes = a.outcomes @ b.outcomes;
+    safety_failures = a.safety_failures @ b.safety_failures;
+    incomplete = a.incomplete @ b.incomplete;
+    durability_failures = a.durability_failures @ b.durability_failures;
+    faults_injected = a.faults_injected + b.faults_injected;
+    coverage =
+      List.map2 (fun (k, x) (k', y) -> assert (k = k'); (k, x + y))
+        a.coverage b.coverage;
+    cpu_seconds = a.cpu_seconds +. b.cpu_seconds;
+    wall_seconds = wall;
+    runs_per_sec = (if wall <= 0. then 0. else float_of_int runs /. wall);
+  }
+
+let run ?(jobs = 1) ?on_outcome cfg =
+  let t0_cpu = Sys.time () in
+  let t0 = Unix.gettimeofday () in
+  let work =
+    Array.of_list
+      (List.concat_map
+         (fun backend ->
+           List.init cfg.plans (fun k -> (backend, cfg.first_seed + k)))
+         cfg.backends)
+  in
+  let progress = Mutex.create () in
+  let one (backend, seed) =
+    let plan = plan_for cfg ~seed in
+    (* Sweep runs are quiet: nothing reads their traces, and skipping
+       trace-string construction is most of the campaign's allocation.
+       Replaying a single plan through [run_plan] still traces. *)
+    let r = run_plan ~quiet:true cfg ~backend ~seed plan in
+    let o =
+      {
+        backend_name = Rsm.Backend.name backend;
+        plan_seed = seed;
+        plan;
+        safety = safety_ok r;
+        live = complete r;
+        durable = durable_ok r;
+        acked = r.Rsm.Runner.acked;
+        submitted = r.Rsm.Runner.submitted;
+        virtual_time = r.Rsm.Runner.virtual_time;
+        engine_outcome = r.Rsm.Runner.engine_outcome;
+      }
+    in
+    (* Completion order under jobs > 1 is nondeterministic; the mutex
+       only keeps concurrent observers from interleaving output. *)
+    Option.iter (fun f -> Mutex.protect progress (fun () -> f o)) on_outcome;
+    o
+  in
+  let outcomes =
+    Exec.Pool.map ~jobs ~seed_of:(fun i -> snd work.(i)) one work
+  in
+  let r =
+    Array.fold_left
+      (fun acc o -> merge acc (report_of_outcome o))
+      empty_report outcomes
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    r with
+    cpu_seconds = Sys.time () -. t0_cpu;
+    wall_seconds = wall;
+    runs_per_sec = (if wall <= 0. then 0. else float_of_int r.runs /. wall);
+  }
+
+(* Everything below the first line is deterministic for a given
+   campaign; only that header line carries timing.  [pp_report_stable]
+   drops it so reports can be byte-compared across job counts. *)
+let pp_report_body ppf r =
   Format.fprintf ppf "  coverage: %s@."
     (String.concat ", "
        (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) r.coverage));
@@ -156,3 +203,15 @@ let pp_report ppf r =
       Format.fprintf ppf "  DURABILITY %s seed=%d (%d actions, %d/%d acked)@."
         o.backend_name o.plan_seed (Plan.length o.plan) o.acked o.submitted)
     r.durability_failures
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "nemesis campaign: %d runs, %d faults injected, %.1f runs/sec (%.2fs wall, \
+     %.2fs cpu)@."
+    r.runs r.faults_injected r.runs_per_sec r.wall_seconds r.cpu_seconds;
+  pp_report_body ppf r
+
+let pp_report_stable ppf r =
+  Format.fprintf ppf "nemesis campaign: %d runs, %d faults injected@." r.runs
+    r.faults_injected;
+  pp_report_body ppf r

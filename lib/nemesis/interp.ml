@@ -96,7 +96,8 @@ let schedule ~engine handle plan =
       Option.iter
         (fun run ->
           Dsim.Engine.schedule engine ~delay (fun () ->
-              Dsim.Engine.emit engine ~tag:"nemesis" (Plan.string_of_action action);
+              Dsim.Engine.emitk engine ~tag:"nemesis" (fun () ->
+                  Plan.string_of_action action);
               run ()))
         eff)
     plan

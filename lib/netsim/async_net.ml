@@ -66,9 +66,10 @@ let deliver t env ~delay =
         if t.retain_inbox then begin
           node.delivered <- env :: node.delivered;
           (* Per-message tracing is only affordable at inbox-retention
-             scale; counter-based protocols run millions of messages. *)
-          Dsim.Engine.emit t.eng ~pid:env.dst ~tag:"recv"
-            (Printf.sprintf "#%d from %d" env.env_id env.src)
+             scale; counter-based protocols run millions of messages.
+             The thunk keeps quiet engines allocation-free here. *)
+          Dsim.Engine.emitk t.eng ~pid:env.dst ~tag:"recv" (fun () ->
+              Printf.sprintf "#%d from %d" env.env_id env.src)
         end;
         t.deliveries <- t.deliveries + 1;
         match node.handler with Some f -> f env | None -> ()
@@ -80,8 +81,8 @@ let send t ~src ~dst msg =
   t.sent <- t.sent + 1;
   if t.nodes.(src).crashed then ()
   else if not (same_side t ~src ~dst) then
-    Dsim.Engine.emit t.eng ~pid:src ~tag:"drop-partition"
-      (Printf.sprintf "to %d" dst)
+    Dsim.Engine.emitk t.eng ~pid:src ~tag:"drop-partition" (fun () ->
+        Printf.sprintf "to %d" dst)
   else begin
     let env =
       {
@@ -97,7 +98,9 @@ let send t ~src ~dst msg =
       extra + Latency.draw t.latency ~src ~dst ~rng:t.rng
     in
     match t.policy env with
-    | Drop -> Dsim.Engine.emit t.eng ~pid:src ~tag:"drop-policy" (Printf.sprintf "to %d" dst)
+    | Drop ->
+        Dsim.Engine.emitk t.eng ~pid:src ~tag:"drop-policy" (fun () ->
+            Printf.sprintf "to %d" dst)
     | Deliver -> deliver t env ~delay:(delay_once ())
     | Delay_extra extra -> deliver t env ~delay:(delay_once ~extra ())
     | Duplicate copies ->
@@ -176,9 +179,9 @@ let set_partition t groups =
         members)
     groups;
   t.partition <- Some map;
-  Dsim.Engine.emit t.eng ~tag:"partition"
-    (String.concat " | "
-       (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups))
+  Dsim.Engine.emitk t.eng ~tag:"partition" (fun () ->
+      String.concat " | "
+        (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups))
 
 let heal t =
   t.partition <- None;

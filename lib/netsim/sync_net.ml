@@ -89,7 +89,8 @@ let try_complete t =
     Array.fill t.pending 0 t.size None;
     Array.fill t.submitted 0 t.size false;
     t.round <- round + 1;
-    Dsim.Engine.emit t.eng ~tag:"sync-round" (Printf.sprintf "round %d complete" round)
+    Dsim.Engine.emitk t.eng ~tag:"sync-round" (fun () ->
+        Printf.sprintf "round %d complete" round)
   end
 
 let exchange t ~me msg =

@@ -88,11 +88,13 @@ let set_on_leadership t f = t.on_leadership <- Some f
 
 let emit_event t ev = List.iter (fun f -> f ev) t.listeners
 
+(* Thunked so a quiet engine never pays for the sprintf: per-message
+   tracing is the Raft hot path. *)
 let emit_trace t detail =
-  Dsim.Engine.emit (Net.engine t.net) ~pid:t.me ~tag:"raft" detail
+  Dsim.Engine.emitk (Net.engine t.net) ~pid:t.me ~tag:"raft" detail
 
 let send t ~dst msg =
-  emit_trace t (Printf.sprintf "-> %d %s" dst (Types.msg_kind msg));
+  emit_trace t (fun () -> Printf.sprintf "-> %d %s" dst (Types.msg_kind msg));
   Net.send t.net ~src:t.me ~dst msg
 
 let quorum t votes = 2 * votes > t.n
@@ -226,7 +228,7 @@ let become_leader t =
     t.match_index.(j) <- 0
   done;
   t.match_index.(t.me) <- last;
-  emit_trace t (Printf.sprintf "leader of term %d" t.current_term);
+  emit_trace t (fun () -> Printf.sprintf "leader of term %d" t.current_term);
   emit_event t (Event.Became_leader { term = t.current_term });
   (match t.on_leadership with Some f -> f t | None -> ());
   (* First replication wave (doubles as the leadership announcement). *)

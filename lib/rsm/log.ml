@@ -87,11 +87,11 @@ let publish t slot_no s d =
   s.decision <- Some d;
   t.decided_count <- t.decided_count + 1;
   t.instances_total <- t.instances_total + d.instances;
-  Dsim.Engine.emit t.engine ~tag:"rsm"
-    (Printf.sprintf "slot %d <- proposer %d (%d cmds, %d %s instances, %d vt)"
-       slot_no d.winner
-       (List.length d.batch)
-       d.instances B.name d.duration)
+  Dsim.Engine.emitk t.engine ~tag:"rsm" (fun () ->
+      Printf.sprintf "slot %d <- proposer %d (%d cmds, %d %s instances, %d vt)"
+        slot_no d.winner
+        (List.length d.batch)
+        d.instances B.name d.duration)
 
 let propose t ~slot ~pid ~batch =
   let s =
@@ -143,9 +143,9 @@ let reseed t ~slot ~winner ~batch =
         proposals = [ (winner, batch) ];
         decision = Some { winner; batch; instances = 0; duration = 0 };
       };
-    Dsim.Engine.emit t.engine ~tag:"rsm"
-      (Printf.sprintf "slot %d reseeded from replica %d's WAL (%d cmds)" slot
-         winner (List.length batch))
+    Dsim.Engine.emitk t.engine ~tag:"rsm" (fun () ->
+        Printf.sprintf "slot %d reseeded from replica %d's WAL (%d cmds)" slot
+          winner (List.length batch))
   end
 
 let set_floor t ~owner ~upto ~state ~cids =

@@ -30,6 +30,7 @@ type config = {
   restart_schedule : (int * int) list;
   inject : (faults -> unit) option;
   trace_capacity : int option;
+  quiet : bool;
   ops : App.kv_cmd list array;
   ack_timeout : int;
   max_events : int;
@@ -47,6 +48,7 @@ let default_config ~n ~ops =
     restart_schedule = [];
     inject = None;
     trace_capacity = None;
+    quiet = false;
     ops;
     ack_timeout = 2_000;
     max_events = 5_000_000;
@@ -193,7 +195,8 @@ let recover_disk disk =
 let run cfg =
   if cfg.n < 1 then invalid_arg "Runner.run: need at least one replica";
   let eng =
-    Dsim.Engine.create ~seed:cfg.seed ?trace_capacity:cfg.trace_capacity ()
+    Dsim.Engine.create ~seed:cfg.seed ?trace_capacity:cfg.trace_capacity
+      ~tracing:(not cfg.quiet) ()
   in
   let policy_ref = ref (fun _ -> Netsim.Async_net.Deliver) in
   let net =
@@ -317,9 +320,9 @@ let run cfg =
     apps.(pid) <- App.Kv.restore state;
     Checker.record_installed checker ~replica:pid ~from_replica:owner
       ~upto_slot:upto;
-    Dsim.Engine.emit eng ~tag:"rsm"
-      (Printf.sprintf "replica %d installed snapshot upto slot %d from %d" pid
-         upto owner);
+    Dsim.Engine.emitk eng ~tag:"rsm" (fun () ->
+        Printf.sprintf "replica %d installed snapshot upto slot %d from %d" pid
+          upto owner);
     if store_on then begin
       (* persist the received snapshot so this replica's own next
          recovery starts from it, and drop the WAL it supersedes *)
@@ -415,7 +418,8 @@ let run cfg =
         if live () = [] then Log.forget_volatile log
       end;
       crashed := victim :: !crashed;
-      Dsim.Engine.emit eng ~tag:"rsm" (Printf.sprintf "crashed replica %d" victim)
+      Dsim.Engine.emitk eng ~tag:"rsm" (fun () ->
+          Printf.sprintf "crashed replica %d" victim)
     end
   in
   let restart_replica victim =
@@ -445,14 +449,14 @@ let run cfg =
         Tob.restart tob
           ~recovery:{ Tob.next_slot = rd.r_next_slot; delivered_cids = rd.r_cids }
           victim;
-        Dsim.Engine.emit eng ~tag:"rsm"
-          (Printf.sprintf "replica %d recovered %d commands, next slot %d" victim
-             (List.length rd.r_cids) rd.r_next_slot)
+        Dsim.Engine.emitk eng ~tag:"rsm" (fun () ->
+            Printf.sprintf "replica %d recovered %d commands, next slot %d"
+              victim (List.length rd.r_cids) rd.r_next_slot)
       end
       else Tob.restart tob victim;
       restarted := victim :: !restarted;
-      Dsim.Engine.emit eng ~tag:"rsm"
-        (Printf.sprintf "restarted replica %d" victim)
+      Dsim.Engine.emitk eng ~tag:"rsm" (fun () ->
+          Printf.sprintf "restarted replica %d" victim)
     end
   in
   let faults =

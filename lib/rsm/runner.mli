@@ -73,6 +73,11 @@ type config = {
   trace_capacity : int option;
       (** bound retained trace events (None = unbounded); long campaigns
           should bound this so traces don't retain the whole run *)
+  quiet : bool;
+      (** run the engine with tracing disabled: no trace strings are
+          built or retained.  Scheduling, RNG draws and outcomes are
+          unaffected — the checker never reads the trace — so quiet
+          runs produce the same results as traced runs. *)
   ops : App.kv_cmd list array;  (** one command list per client *)
   ack_timeout : int;  (** virtual time before a client re-submits *)
   max_events : int;  (** engine event budget (runaway guard) *)

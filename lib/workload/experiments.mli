@@ -141,7 +141,15 @@ val all_ids : string list
 (** ["e1"; ...; "e8"]. *)
 
 val run_all :
-  ?scale:scale -> ?only:string list -> ?csv_dir:string -> Format.formatter -> unit
+  ?scale:scale ->
+  ?only:string list ->
+  ?csv_dir:string ->
+  ?jobs:int ->
+  Format.formatter ->
+  unit
 (** Run the listed experiments (default: all) and print their tables.
     With [csv_dir], also write one machine-readable [eN.csv] per table
-    into that (existing) directory. *)
+    into that (existing) directory.  [jobs] (default 1) fans whole
+    experiments over that many domains ({!Exec.Pool}); tables and CSVs
+    come out in experiment order either way, and every figure except
+    E8's wall-clock timings is deterministic. *)

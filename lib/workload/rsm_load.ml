@@ -84,8 +84,8 @@ let summarize (cfg : Rsm.Runner.config) (r : Rsm.Runner.report) =
   }
 
 let run_one ?(n = 5) ?(clients = 4) ?(commands = 8) ?(batch = 8) ?(crashes = 0)
-    ?restart_after ?(seed = 1) ?trace_capacity ?ack_timeout ?max_events ?inject
-    ?store ~backend () =
+    ?restart_after ?(seed = 1) ?trace_capacity ?(quiet = false) ?ack_timeout
+    ?max_events ?inject ?store ~backend () =
   let ops = gen_ops ~seed:(Int64.of_int seed) ~clients ~commands () in
   let crash_schedule, restart_schedule =
     match restart_after with
@@ -102,6 +102,7 @@ let run_one ?(n = 5) ?(clients = 4) ?(commands = 8) ?(batch = 8) ?(crashes = 0)
       crash_schedule;
       restart_schedule;
       trace_capacity;
+      quiet;
       inject;
       ack_timeout = Option.value ack_timeout ~default:base.Rsm.Runner.ack_timeout;
       max_events = Option.value max_events ~default:base.Rsm.Runner.max_events;
@@ -112,34 +113,38 @@ let run_one ?(n = 5) ?(clients = 4) ?(commands = 8) ?(batch = 8) ?(crashes = 0)
   (r, summarize cfg r)
 
 let sweep_batches ?(n = 5) ?(clients = 24) ?(commands = 4) ?(seeds = 3)
-    ?(batches = [ 1; 8; 32 ]) ?(backends = Rsm.Backend.all) ppf =
+    ?(batches = [ 1; 8; 32 ]) ?(backends = Rsm.Backend.all) ?(jobs = 1) ppf =
+  (* One pool item per (backend, batch) cell; each cell still runs its
+     seeds sequentially.  Cells are independent simulations, and the
+     result list keeps cell order, so jobs > 1 changes wall time only. *)
+  let cell (backend, batch) =
+    let runs =
+      List.init seeds (fun s ->
+          snd
+            (run_one ~n ~clients ~commands ~batch ~seed:(s + 1) ~quiet:true
+               ~backend ()))
+    in
+    let fmean f = Stats.mean (List.map f runs) in
+    let imean f = int_of_float (Float.round (fmean (fun r -> float_of_int (f r)))) in
+    {
+      (List.hd runs) with
+      commands = imean (fun r -> r.commands);
+      acked = imean (fun r -> r.acked);
+      virtual_time = imean (fun r -> r.virtual_time);
+      slots = imean (fun r -> r.slots);
+      instances = imean (fun r -> r.instances);
+      messages = imean (fun r -> r.messages);
+      throughput = fmean (fun r -> r.throughput);
+      latency = None;
+      violations = List.fold_left (fun a r -> a + r.violations) 0 runs;
+      ok = List.for_all (fun r -> r.ok) runs;
+    }
+  in
   let cells =
-    List.concat_map
-      (fun backend ->
-        List.map
-          (fun batch ->
-            let runs =
-              List.init seeds (fun s ->
-                  snd (run_one ~n ~clients ~commands ~batch ~seed:(s + 1) ~backend ()))
-            in
-            let fmean f = Stats.mean (List.map f runs) in
-            let imean f = int_of_float (Float.round (fmean (fun r -> float_of_int (f r)))) in
-            {
-              (List.hd runs) with
-              commands = imean (fun r -> r.commands);
-              acked = imean (fun r -> r.acked);
-              virtual_time = imean (fun r -> r.virtual_time);
-              slots = imean (fun r -> r.slots);
-              instances = imean (fun r -> r.instances);
-              messages = imean (fun r -> r.messages);
-              throughput = fmean (fun r -> r.throughput);
-              latency = None;
-              violations =
-                List.fold_left (fun a r -> a + r.violations) 0 runs;
-              ok = List.for_all (fun r -> r.ok) runs;
-            })
-          batches)
-      backends
+    Exec.Pool.map_list ~jobs cell
+      (List.concat_map
+         (fun backend -> List.map (fun batch -> (backend, batch)) batches)
+         backends)
   in
   Table.print ~ppf
     ~title:

@@ -71,6 +71,7 @@ val run_one :
   ?restart_after:int ->
   ?seed:int ->
   ?trace_capacity:int ->
+  ?quiet:bool ->
   ?ack_timeout:int ->
   ?max_events:int ->
   ?inject:(Rsm.Runner.faults -> unit) ->
@@ -81,8 +82,11 @@ val run_one :
 (** Defaults: 5 replicas, 4 clients x 8 commands, batch 8, no crashes,
     seed 1.  [restart_after] turns the crash schedule into the
     crash–restart plan (each victim recovers that long after its crash).
-    [trace_capacity] bounds retained trace events, [inject] hands the
-    run's fault controller to an external injector (see {!Rsm.Runner}),
+    [trace_capacity] bounds retained trace events, [quiet] (default
+    false) disables tracing entirely — no trace strings are built, and
+    outcomes are unchanged ({!Rsm.Runner.config.quiet}) —, [inject]
+    hands the run's fault controller to an external injector (see
+    {!Rsm.Runner}),
     [store] gives every replica a simulated WAL-backed disk (durable
     crash–recovery model; durability-audit violations count into
     [summary.violations]). *)
@@ -94,9 +98,13 @@ val sweep_batches :
   ?seeds:int ->
   ?batches:int list ->
   ?backends:Rsm.Backend.t list ->
+  ?jobs:int ->
   Format.formatter ->
   summary list
 (** The batching-throughput table: every backend at every batch size
     (defaults {1, 8, 32}), averaged over [seeds] (default 3) seeds —
     the experimental check that batching amortizes consensus latency.
-    Returns one (mean-throughput) summary per backend x batch cell. *)
+    Returns one (mean-throughput) summary per backend x batch cell.
+    [jobs] (default 1) fans the backend x batch cells over that many
+    domains ({!Exec.Pool}); cell results and the printed table are
+    identical at every job count. *)

@@ -30,4 +30,5 @@ let () =
       ("rsm", Test_rsm.suite);
       ("workload", Test_workload.suite);
       ("nemesis", Test_nemesis.suite);
+      ("exec", Test_exec.suite);
     ]

@@ -201,6 +201,64 @@ let emit_goes_to_trace () =
   ignore (Engine.run e : Engine.outcome);
   check Alcotest.int "one custom event" 1 (Dsim.Trace.count (Engine.trace e) "custom")
 
+let quiet_engine_never_forces_thunks () =
+  (* The lazy-emit contract: with tracing off, emitk must not build the
+     trace string — the thunk is never called, nothing is retained. *)
+  let forced = ref 0 in
+  let e = Engine.create ~tracing:false () in
+  Engine.schedule e ~delay:1 (fun () ->
+      Engine.emitk e ~tag:"quiet" (fun () ->
+          incr forced;
+          "expensive detail");
+      Engine.emit e ~tag:"quiet" "eager detail");
+  ignore (Engine.run e : Engine.outcome);
+  check Alcotest.int "thunk never forced" 0 !forced;
+  check Alcotest.int "trace stays empty" 0 (Dsim.Trace.length (Engine.trace e))
+
+let tracing_toggle () =
+  let e = Engine.create () in
+  check Alcotest.bool "tracing defaults on" true (Engine.tracing e);
+  Engine.set_tracing e false;
+  Engine.emit e ~tag:"t" "dropped";
+  Engine.set_tracing e true;
+  Engine.emit e ~tag:"t" "kept";
+  check Alcotest.int "only the traced emit retained" 1
+    (Dsim.Trace.length (Engine.trace e))
+
+let run_quiet_restores_tracing () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:1 (fun () -> Engine.emit e ~tag:"t" "inside");
+  ignore (Engine.run_quiet e : Engine.outcome);
+  check Alcotest.bool "tracing restored after run_quiet" true (Engine.tracing e);
+  check Alcotest.int "nothing traced during quiet run" 0
+    (Dsim.Trace.length (Engine.trace e));
+  Engine.emit e ~tag:"t" "after";
+  check Alcotest.int "emit works again afterwards" 1
+    (Dsim.Trace.length (Engine.trace e))
+
+let quiet_matches_traced_schedule () =
+  (* Tracing must affect trace retention only: the same seeded workload
+     run quiet and traced takes identical scheduling decisions. *)
+  let run_once ~tracing =
+    let e = Engine.create ~seed:99L ~tracing () in
+    let log = ref [] in
+    for p = 0 to 3 do
+      ignore
+        (Engine.spawn e (fun ctx ->
+             for _ = 1 to 5 do
+               Engine.sleep ctx (1 + Dsim.Rng.int ctx.Engine.rng 7);
+               Engine.emitk e ~tag:"step" (fun () -> "step");
+               log := (p, Engine.now e) :: !log
+             done)
+          : Engine.pid)
+    done;
+    ignore (Engine.run e : Engine.outcome);
+    List.rev !log
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "identical schedules" (run_once ~tracing:true) (run_once ~tracing:false)
+
 let nested_spawn () =
   (* A process spawning another process mid-flight. *)
   let e = Engine.create () in
@@ -312,4 +370,11 @@ let suite =
     Alcotest.test_case "names and ids" `Quick names_and_ids;
     Alcotest.test_case "suspension outside process" `Quick suspension_outside_process;
     Alcotest.test_case "emit goes to trace" `Quick emit_goes_to_trace;
+    Alcotest.test_case "quiet never forces thunks" `Quick
+      quiet_engine_never_forces_thunks;
+    Alcotest.test_case "tracing toggle" `Quick tracing_toggle;
+    Alcotest.test_case "run_quiet restores tracing" `Quick
+      run_quiet_restores_tracing;
+    Alcotest.test_case "quiet matches traced schedule" `Quick
+      quiet_matches_traced_schedule;
   ]

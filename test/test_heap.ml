@@ -74,6 +74,40 @@ let prop_heap_sorts =
       let drained = List.map fst (pop_all h) in
       drained = List.sort compare keys)
 
+let prop_heap_stable_sort =
+  (* Stronger than sortedness: payloads record insertion order, so this
+     checks the insertion-order tie-break (the engine's FIFO guarantee
+     for same-time events), not just nondecreasing keys. *)
+  QCheck.Test.make ~name:"pop is a stable sort of (key, insertion index)"
+    ~count:300
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Dsim.Heap.create () in
+      List.iteri (fun i k -> Dsim.Heap.add h ~key:k i) keys;
+      let expected =
+        List.stable_sort
+          (fun (k1, _) (k2, _) -> compare k1 k2)
+          (List.mapi (fun i k -> (k, i)) keys)
+      in
+      pop_all h = expected)
+
+let clear_then_reuse () =
+  (* clear retains the backing array for reuse but must reset the
+     tie-break sequence, so a reused heap pops exactly like a fresh
+     one — including insertion order on equal keys. *)
+  let inserts = [ (3, "a"); (1, "b"); (3, "c"); (0, "d"); (1, "e") ] in
+  let fresh = Dsim.Heap.create () in
+  List.iter (fun (k, v) -> Dsim.Heap.add fresh ~key:k v) inserts;
+  let reused = Dsim.Heap.create () in
+  for i = 1 to 64 do
+    Dsim.Heap.add reused ~key:i (string_of_int i)
+  done;
+  Dsim.Heap.clear reused;
+  List.iter (fun (k, v) -> Dsim.Heap.add reused ~key:k v) inserts;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "reused heap pops like a fresh one" (pop_all fresh) (pop_all reused)
+
 let prop_heap_length =
   QCheck.Test.make ~name:"length tracks adds and pops" ~count:300
     QCheck.(list small_int)
@@ -96,6 +130,8 @@ let suite =
     Alcotest.test_case "peek does not remove" `Quick peek_does_not_remove;
     Alcotest.test_case "interleaved add/pop" `Quick interleaved;
     Alcotest.test_case "clear" `Quick clear;
+    Alcotest.test_case "clear then reuse" `Quick clear_then_reuse;
     qtest prop_heap_sorts;
+    qtest prop_heap_stable_sort;
     qtest prop_heap_length;
   ]

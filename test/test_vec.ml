@@ -72,9 +72,17 @@ let prop_truncate_prefix =
       Dsim.Vec.truncate v k;
       Dsim.Vec.to_list v = List.filteri (fun i _ -> i < k) l)
 
+let clear () =
+  let v = Dsim.Vec.of_list [ 1; 2; 3 ] in
+  Dsim.Vec.clear v;
+  Alcotest.(check int) "length 0" 0 (Dsim.Vec.length v);
+  Dsim.Vec.push v 9;
+  Alcotest.(check (list int)) "usable after clear" [ 9 ] (Dsim.Vec.to_list v)
+
 let suite =
   [
     Alcotest.test_case "push/get/last" `Quick push_get;
+    Alcotest.test_case "clear" `Quick clear;
     Alcotest.test_case "bounds checking" `Quick bounds;
     Alcotest.test_case "set" `Quick set;
     Alcotest.test_case "truncate" `Quick truncate;
