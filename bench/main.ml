@@ -272,6 +272,25 @@ let campaign_scaling ~plans jobs_list =
   in
   List.map (fun jobs -> (jobs, Nemesis.Campaign.run ~jobs cfg)) jobs_list
 
+(* One bounded exploration, reported as schedules/sec.  Kept small: the
+   json baseline runs on every CI build. *)
+let mcheck_cell ~model ~depth make_model =
+  let config = { Mcheck.Explorer.default_config with depth } in
+  let r = Mcheck.Explorer.explore ~jobs:1 ~config (make_model ()) in
+  let rate =
+    if r.Mcheck.Explorer.r_wall > 0. then
+      float_of_int r.Mcheck.Explorer.r_executions /. r.Mcheck.Explorer.r_wall
+    else 0.
+  in
+  Json.Obj
+    [
+      ("model", Json.String model);
+      ("depth", Json.Int depth);
+      ("executions", Json.Int r.Mcheck.Explorer.r_executions);
+      ("violating", Json.Int r.Mcheck.Explorer.r_violating);
+      ("schedules_per_sec", Json.Float rate);
+    ]
+
 let null_ppf =
   Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
@@ -335,6 +354,14 @@ let bench_core_json () =
           ])
       rows
   in
+  let mcheck =
+    [
+      mcheck_cell ~model:"toy-ac" ~depth:8 (fun () ->
+          Mcheck.Models.toy_ac ~check_termination:true ());
+      mcheck_cell ~model:"ben-or" ~depth:5 (fun () ->
+          Mcheck.Models.benor ~check_termination:false ());
+    ]
+  in
   Json.Obj
     [
       ("schema", Json.String "oocon-bench-core/1");
@@ -343,6 +370,7 @@ let bench_core_json () =
       ("campaign", Json.List campaign);
       ("rsm", Json.List rsm);
       ("wal_overhead", Json.List wal);
+      ("mcheck", Json.List mcheck);
     ]
 
 let write_bench_json file =
@@ -428,7 +456,21 @@ let validate_bench_json file =
       in
       check_rows "rsm" [ "backend"; "batch"; "throughput_per_kvt"; "ok" ];
       check_rows "wal_overhead"
-        [ "backend"; "store"; "virtual_time"; "appends"; "fsyncs"; "ok" ]);
+        [ "backend"; "store"; "virtual_time"; "appends"; "fsyncs"; "ok" ];
+      check_rows "mcheck"
+        [ "model"; "depth"; "executions"; "violating"; "schedules_per_sec" ];
+      (match Option.bind (member "mcheck" v) to_list with
+      | Some rows ->
+          List.iteri
+            (fun i row ->
+              (match Option.bind (member "executions" row) to_int with
+              | Some e when e >= 1 -> ()
+              | _ -> err "mcheck[%d]: bad executions" i);
+              match Option.bind (member "schedules_per_sec" row) to_float with
+              | Some r when r > 0. -> ()
+              | _ -> err "mcheck[%d]: bad schedules_per_sec" i)
+            rows
+      | None -> ()));
   match List.rev !errors with
   | [] ->
       Format.printf "%s: valid oocon-bench-core/1 baseline@." file;
@@ -497,6 +539,27 @@ let tests =
                ~name:(Printf.sprintf "faulted-run.%s.n5" (Rsm.Backend.name b))
                (rotating (nemesis_run b)))
            Rsm.Backend.all);
+      Test.make_grouped ~name:"mcheck"
+        [
+          (* Whole bounded explorations per iteration, so ns/run here is
+             wall per frontier; the json baseline reports schedules/sec. *)
+          Test.make ~name:"explore.toy-ac.d6"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Mcheck.Explorer.explore ~jobs:1
+                      ~config:
+                        { Mcheck.Explorer.default_config with depth = 6 }
+                      (Mcheck.Models.toy_ac ~check_termination:true ())
+                     : Mcheck.Explorer.report)));
+          Test.make ~name:"explore.ben-or.d4"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Mcheck.Explorer.explore ~jobs:1
+                      ~config:
+                        { Mcheck.Explorer.default_config with depth = 4 }
+                      (Mcheck.Models.benor ~check_termination:false ())
+                     : Mcheck.Explorer.report)));
+        ];
       (* E8 is the decomposed/monolithic pairs above read side by side. *)
     ]
 

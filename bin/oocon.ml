@@ -750,6 +750,198 @@ let nemesis_cmd =
           failing plans to minimal counterexamples.")
     term
 
+(* ------------------------------------------------------------- mcheck -- *)
+
+let mcheck_cmd =
+  let model_arg =
+    let doc =
+      Printf.sprintf "Model to explore: %s."
+        (String.concat ", " (List.map (Printf.sprintf "$(b,%s)") Mcheck.Models.names))
+    in
+    Arg.(value & opt string "ben-or" & info [ "model" ] ~docv:"MODEL" ~doc)
+  in
+  let n_opt_arg =
+    let doc = "Number of processors (default: per-model)." in
+    Arg.(value & opt (some int) None & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+  in
+  let depth_arg =
+    let doc =
+      "Branch-point budget per execution: beyond it, runs continue under \
+       default choices and count as truncated."
+    in
+    Arg.(value & opt int 12 & info [ "depth" ] ~docv:"D" ~doc)
+  in
+  let fault_budget_arg =
+    let doc = "Maximum oracle-injected message drops per execution." in
+    Arg.(value & opt int 0 & info [ "fault-budget" ] ~docv:"K" ~doc)
+  in
+  let no_reduce_arg =
+    let doc =
+      "Disable the commutative-delivery reduction (explore every same-tick \
+       ordering, including ones that only permute deliveries to distinct \
+       recipients)."
+    in
+    Arg.(value & flag & info [ "no-reduce" ] ~doc)
+  in
+  let prune_arg =
+    let doc =
+      "Enable fingerprint pruning (models without a fingerprint ignore it; \
+       only sound when the fingerprint captures the complete state — see \
+       DESIGN.md §11)."
+    in
+    Arg.(value & flag & info [ "prune" ] ~doc)
+  in
+  let max_schedules_arg =
+    let doc = "Cap executions per root partition (0 = unlimited)." in
+    Arg.(value & opt int 0 & info [ "max-schedules" ] ~docv:"M" ~doc)
+  in
+  let stop_at_first_arg =
+    let doc = "Stop each partition at its first violating execution." in
+    Arg.(value & flag & info [ "stop-at-first" ] ~doc)
+  in
+  let report_out_arg =
+    let doc =
+      "Write the exploration report, minus timing figures, to this file — \
+       byte-identical across job counts, so two runs can be diffed."
+    in
+    Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
+  in
+  let dump_ce_arg =
+    let doc =
+      "Minimize the first counterexample and write it as a replay file."
+    in
+    Arg.(value & opt (some string) None & info [ "dump-ce" ] ~docv:"FILE" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay a previously dumped counterexample file instead of exploring \
+       (the model and bounds come from the file)."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let expect_violation_arg =
+    let doc =
+      "Invert the exit code: succeed only when a violation IS found (mutant \
+       checks in CI)."
+    in
+    Arg.(value & flag & info [ "expect-violation" ] ~doc)
+  in
+  let list_models_arg =
+    let doc = "List the explorable models and exit." in
+    Arg.(value & flag & info [ "list-models" ] ~doc)
+  in
+  let run model n depth fault_budget no_reduce prune max_schedules
+      stop_at_first jobs report_out dump_ce replay_file expect_violation
+      list_models =
+    let finish ~violations_found =
+      if expect_violation then
+        if violations_found then begin
+          Format.printf "expected violation found@.";
+          exit 0
+        end
+        else begin
+          Format.eprintf "no violation found but one was expected@.";
+          exit 1
+        end
+      else if violations_found then exit 1
+    in
+    if list_models then
+      List.iter
+        (fun name ->
+          let m = Mcheck.Models.of_name name ~fault_budget:0 in
+          Format.printf "%-14s %s@." name m.Mcheck.Models.describe)
+        Mcheck.Models.names
+    else
+      match replay_file with
+      | Some file ->
+          let r = Mcheck.Replay.load file in
+          let config =
+            {
+              Mcheck.Explorer.default_config with
+              depth = r.Mcheck.Replay.depth;
+              fault_budget = r.Mcheck.Replay.fault_budget;
+            }
+          in
+          let m = Mcheck.Models.of_name ?n r.Mcheck.Replay.model ~fault_budget in
+          let x = Mcheck.Explorer.replay ~config m (Mcheck.Replay.entries r) in
+          Format.printf "replayed %s: model=%s choices=%d@." file
+            r.Mcheck.Replay.model
+            (List.length r.Mcheck.Replay.choices);
+          Format.printf "  digest: %s@." x.Mcheck.Explorer.x_digest;
+          if x.Mcheck.Explorer.x_violations = [] then
+            Format.printf "  no violations@."
+          else begin
+            Format.printf "  violations:@.";
+            List.iter (Format.printf "    - %s@.") x.Mcheck.Explorer.x_violations
+          end;
+          finish ~violations_found:(x.Mcheck.Explorer.x_violations <> [])
+      | None ->
+          let config =
+            {
+              Mcheck.Explorer.depth;
+              fault_budget;
+              reduce = not no_reduce;
+              prune;
+              max_schedules =
+                (if max_schedules <= 0 then max_int else max_schedules);
+              stop_at_first;
+            }
+          in
+          let m = Mcheck.Models.of_name ?n model ~fault_budget in
+          let report =
+            Mcheck.Explorer.explore ~jobs:(resolve_jobs jobs) ~config m
+          in
+          Format.printf "%a" Mcheck.Explorer.pp_report report;
+          Option.iter
+            (fun file ->
+              Out_channel.with_open_text file (fun oc ->
+                  let ppf = Format.formatter_of_out_channel oc in
+                  Mcheck.Explorer.pp_report_stable ppf report;
+                  Format.pp_print_flush ppf ());
+              Format.printf "stable report written to %s@." file)
+            report_out;
+          Option.iter
+            (fun file ->
+              match report.Mcheck.Explorer.r_counterexample with
+              | None -> Format.printf "no counterexample to dump@."
+              | Some x -> (
+                  match
+                    Mcheck.Explorer.minimize ~config m
+                      x.Mcheck.Explorer.x_trail
+                  with
+                  | None ->
+                      Format.eprintf
+                        "counterexample did not reproduce under replay@."
+                  | Some entries ->
+                      Mcheck.Replay.save file
+                        (Mcheck.Replay.of_entries
+                           ~model:m.Mcheck.Models.name ~config entries);
+                      Format.printf
+                        "minimized counterexample (%d choices, %d \
+                         non-default) written to %s@."
+                        (List.length entries)
+                        (Mcheck.Explorer.nondefault_count entries)
+                        file))
+            dump_ce;
+          finish
+            ~violations_found:(report.Mcheck.Explorer.r_violating > 0)
+  in
+  let term =
+    Term.(
+      const run $ model_arg $ n_opt_arg $ depth_arg $ fault_budget_arg
+      $ no_reduce_arg $ prune_arg $ max_schedules_arg $ stop_at_first_arg
+      $ jobs_arg $ report_out_arg $ dump_ce_arg $ replay_arg
+      $ expect_violation_arg $ list_models_arg)
+  in
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:
+         "Systematic schedule exploration: enumerate message-delivery orders \
+          and drop decisions up to a depth bound, check every execution with \
+          the property monitors, and minimize counterexamples into replay \
+          files.")
+    term
+
 (* -------------------------------------------------------- experiments -- *)
 
 let experiments_cmd =
@@ -792,6 +984,7 @@ let main_cmd =
       rsm_cmd;
       store_cmd;
       nemesis_cmd;
+      mcheck_cmd;
       experiments_cmd;
     ]
 

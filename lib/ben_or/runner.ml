@@ -15,6 +15,7 @@ type config = {
   mode : mode;
   max_rounds : int;
   common_coin : float option;
+  oracle : Dsim.Engine.oracle option;
 }
 
 let default_config ~n ~inputs =
@@ -29,6 +30,7 @@ let default_config ~n ~inputs =
     mode = Decomposed;
     max_rounds = 500;
     common_coin = None;
+    oracle = None;
   }
 
 type report = {
@@ -51,6 +53,7 @@ let run config =
   if 2 * config.faults >= config.n then
     invalid_arg "Ben_or.Runner.run: requires 2t < n";
   let eng = Engine.create ~seed:config.seed ~trace_capacity:10_000 () in
+  Engine.set_oracle eng config.oracle;
   let net =
     Async_net.create eng ~n:config.n ~latency:config.latency ~policy:config.policy
       ~retain_inbox:false ()

@@ -22,6 +22,11 @@ type config = {
   common_coin : float option;
       (** [Some agreement] swaps the private-coin reconciliator for a weak
           common coin with that per-round agreement probability *)
+  oracle : Dsim.Engine.oracle option;
+      (** installed on the engine before any process spawns; [Some _]
+          hands delivery order, message delays and drop decisions to a
+          schedule explorer (see [lib/mcheck]).  [None] (the default)
+          keeps the seeded-RNG behaviour. *)
 }
 
 val default_config : n:int -> inputs:bool array -> config

@@ -20,15 +20,30 @@ type blocked =
     }
       -> blocked
 
+(* An owner labels the event for schedule-exploration purposes: [Some pid]
+   marks "this event only mutates state local to [pid]" (a network
+   delivery, a spawn body); [None] means "no commutativity claim" (timers,
+   sleep/yield wake-ups — which may run arbitrary shared-state code). *)
+type ev = { ev_owner : int option; ev_fn : unit -> unit }
+
+type choice = {
+  c_domain : string;
+  c_arity : int;
+  c_owners : int option array;
+}
+
+type oracle = { choose : choice -> int }
+
 type t = {
   mutable now : int;
-  events : (unit -> unit) Heap.t;
+  events : ev Heap.t;
   tr : Trace.t;
   mutable tracing : bool;
   engine_rng : Rng.t;
   procs : (pid, proc) Hashtbl.t;
   mutable blocked : blocked list;
   mutable next_pid : int;
+  mutable oracle : oracle option;
 }
 
 type ctx = { engine : t; pid : pid; rng : Rng.t }
@@ -50,6 +65,7 @@ let create ?(seed = 1L) ?trace_capacity ?(tracing = true) () =
     procs = Hashtbl.create 64;
     blocked = [];
     next_pid = 0;
+    oracle = None;
   }
 
 let now t = t.now
@@ -64,9 +80,12 @@ let emit t ?pid ~tag detail =
 let emitk t ?pid ~tag detail =
   if t.tracing then Trace.emit t.tr ~time:t.now ?pid ~tag (detail ())
 
-let schedule t ~delay f =
+let schedule t ?owner ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  Heap.add t.events ~key:(t.now + delay) f
+  Heap.add t.events ~key:(t.now + delay) { ev_owner = owner; ev_fn = f }
+
+let set_oracle t o = t.oracle <- o
+let oracle t = t.oracle
 
 let proc t pid =
   match Hashtbl.find_opt t.procs pid with
@@ -150,7 +169,7 @@ let spawn t ?name body =
   Hashtbl.replace t.procs pid p;
   let proc_rng = Rng.split t.engine_rng in
   let ctx = { engine = t; pid; rng = proc_rng } in
-  schedule t ~delay:0 (fun () ->
+  schedule t ~owner:pid ~delay:0 (fun () ->
       if p.p_state = Running then run_fiber t p (fun () -> body ctx));
   pid
 
@@ -198,12 +217,33 @@ let drain_ready t =
     try scan [] t.blocked with Exit -> ()
   done
 
+(* Pop the next event.  Without an oracle this is plain FIFO-within-tick
+   [Heap.pop].  With one installed, every tick where more than one event is
+   enabled becomes an explicit choice point: the oracle sees the tied
+   events' owners and picks which fires first. *)
+let pop_next t =
+  match t.oracle with
+  | None -> Heap.pop t.events
+  | Some o -> (
+      match Heap.min_key_count t.events with
+      | 0 -> None
+      | 1 -> Heap.pop t.events
+      | k ->
+          let owners =
+            Array.of_list
+              (List.map (fun e -> e.ev_owner) (Heap.min_key_values t.events))
+          in
+          let idx =
+            o.choose { c_domain = "sched"; c_arity = k; c_owners = owners }
+          in
+          Heap.pop_min_nth t.events idx)
+
 let run ?until ?max_events t =
   let executed = ref 0 in
   let outcome = ref None in
   drain_ready t;
   while !outcome = None do
-    match Heap.pop t.events with
+    match pop_next t with
     | None ->
         outcome :=
           Some
@@ -212,16 +252,16 @@ let run ?until ?max_events t =
                Deadlock
                  (List.sort_uniq compare
                     (List.map (fun (Blocked b) -> b.b_pid) t.blocked)))
-    | Some (time, f) -> (
+    | Some (time, ev) -> (
         match until with
         | Some limit when time > limit ->
             (* Put the event back: a later [run] may still want it. *)
-            Heap.add t.events ~key:time f;
+            Heap.add t.events ~key:time ev;
             t.now <- limit;
             outcome := Some Time_limit
         | Some _ | None ->
             t.now <- time;
-            f ();
+            ev.ev_fn ();
             drain_ready t;
             incr executed;
             (match max_events with

@@ -66,9 +66,51 @@ val tracing : t -> bool
 val set_tracing : t -> bool -> unit
 (** Flip trace emission; already-retained events are kept either way. *)
 
-val schedule : t -> delay:int -> (unit -> unit) -> unit
+val schedule : t -> ?owner:pid -> delay:int -> (unit -> unit) -> unit
 (** Run a callback [delay] time units from now (same tick if [delay = 0]).
+    [owner] is a commutativity label for schedule exploration: pass
+    [Some pid] only when the callback mutates state local to [pid] alone
+    (a message delivery into [pid]'s inbox/handler).  Events without an
+    owner are never treated as commutative.  It has no effect on normal
+    (oracle-free) runs.
     @raise Invalid_argument if [delay < 0]. *)
+
+(** {1 Choice oracle — systematic schedule exploration}
+
+    By default every nondeterministic-looking decision in the engine is
+    resolved deterministically (FIFO within a tick, seeded RNG).  A choice
+    oracle takes those decisions over: each time more than one event is
+    enabled at the current tick, the engine asks the oracle which fires
+    first.  Layers above (e.g. {!Netsim}'s network) route their own
+    decisions — per-message delay, drop-or-deliver — through the same
+    oracle under different domains.  [lib/mcheck] drives this to enumerate
+    executions instead of sampling them. *)
+
+type choice = {
+  c_domain : string;
+      (** what is being decided: ["sched"] = which tied event fires first;
+          other layers add their own (["net.delay"], ["net.fault"]) *)
+  c_arity : int;
+      (** number of alternatives; 0 means open-ended (any [int >= 0]) *)
+  c_owners : int option array;
+      (** for ["sched"]: the tied events' owner labels, in the order
+          {!pop_min_nth} indexes them; empty for other domains *)
+}
+
+type oracle = { choose : choice -> int }
+(** [choose c] returns the selected alternative: for ["sched"] an index
+    into the tied group ([0 <= i < c_arity]); for other domains whatever
+    the consulting layer documents.  [choose] for ["sched"] runs {e
+    outside} any process fiber, so it may raise to abort the run; other
+    domains are consulted from inside fibers, where an exception is
+    recorded as that process's failure instead of propagating. *)
+
+val set_oracle : t -> oracle option -> unit
+(** Install (or remove) the choice oracle.  [None] — the default —
+    restores the engine's native FIFO-within-tick behaviour exactly. *)
+
+val oracle : t -> oracle option
+(** The installed oracle, for layers that route their own choices. *)
 
 val spawn : t -> ?name:string -> (ctx -> unit) -> pid
 (** Register a new process; its body starts at the current time (the spawn

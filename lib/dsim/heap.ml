@@ -71,6 +71,57 @@ let pop t =
 
 let peek_key t = if t.size = 0 then None else Some t.data.(0).key
 
+(* Every entry tied with the minimum key sits in a subtree hanging off the
+   root: a node's ancestors have keys <= its own, so an entry equal to the
+   minimum has only minimum-key ancestors.  Walking that subtree (pruning
+   at the first strictly larger key) visits exactly the tied entries, in
+   O(ties) rather than O(size). *)
+let fold_min_indices t init f =
+  if t.size = 0 then init
+  else begin
+    let min_key = t.data.(0).key in
+    let rec go acc i =
+      if i >= t.size || t.data.(i).key <> min_key then acc
+      else
+        let acc = f acc i in
+        let acc = go acc ((2 * i) + 1) in
+        go acc ((2 * i) + 2)
+    in
+    go init 0
+  end
+
+let min_key_count t = fold_min_indices t 0 (fun n _ -> n + 1)
+
+let min_entries_by_seq t =
+  let idxs = fold_min_indices t [] (fun acc i -> i :: acc) in
+  List.sort
+    (fun a b -> compare t.data.(a).seq t.data.(b).seq)
+    (List.rev idxs)
+
+let min_key_values t =
+  List.map (fun i -> t.data.(i).value) (min_entries_by_seq t)
+
+let remove_at t i =
+  let entry = t.data.(i) in
+  t.size <- t.size - 1;
+  if i < t.size then begin
+    t.data.(i) <- t.data.(t.size);
+    sift_down t i;
+    sift_up t i
+  end;
+  entry
+
+let pop_min_nth t n =
+  if t.size = 0 then None
+  else begin
+    let by_seq = min_entries_by_seq t in
+    match List.nth_opt by_seq n with
+    | None -> invalid_arg "Heap.pop_min_nth: index out of tied range"
+    | Some i ->
+        let e = remove_at t i in
+        Some (e.key, e.value)
+  end
+
 (* Keep the backing array: a cleared-and-reused heap (campaign runs,
    engine pools) skips the regrowth ramp.  Resetting [next_seq] restores
    the insertion-order tiebreak from zero, so a reused heap behaves

@@ -25,6 +25,20 @@ val pop : 'a t -> (int * 'a) option
 val peek_key : 'a t -> int option
 (** The smallest key currently queued, without removing it. *)
 
+val min_key_count : 'a t -> int
+(** How many queued elements are tied for the smallest key (0 when
+    empty).  O(ties), not O(size). *)
+
+val min_key_values : 'a t -> 'a list
+(** The elements tied for the smallest key, in insertion (seq) order —
+    the order {!pop} would surface them.  Does not remove anything. *)
+
+val pop_min_nth : 'a t -> int -> (int * 'a) option
+(** [pop_min_nth t i] removes and returns the [i]-th element (insertion
+    order, 0-based) among those tied for the smallest key.
+    [pop_min_nth t 0] is {!pop}.  [None] when the heap is empty.
+    @raise Invalid_argument when [i] is outside the tied range. *)
+
 val clear : 'a t -> unit
 (** Drop all elements and reset the tiebreak sequence, keeping the
     backing storage for reuse — a cleared heap is observationally a

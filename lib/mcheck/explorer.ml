@@ -1,0 +1,414 @@
+module Engine = Dsim.Engine
+
+exception Pruned
+
+type entry = { e_domain : string; e_cands : int array; e_pos : int }
+
+let entry_value e = e.e_cands.(e.e_pos)
+
+let entries_of_choices choices =
+  List.map
+    (fun (domain, v) -> { e_domain = domain; e_cands = [| v |]; e_pos = 0 })
+    choices
+
+let choices_of_entries entries =
+  List.map (fun e -> (e.e_domain, entry_value e)) entries
+
+type config = {
+  depth : int;
+  fault_budget : int;
+  reduce : bool;
+  prune : bool;
+  max_schedules : int;
+  stop_at_first : bool;
+}
+
+let default_config =
+  {
+    depth = 12;
+    fault_budget = 0;
+    reduce = true;
+    prune = false;
+    max_schedules = max_int;
+    stop_at_first = false;
+  }
+
+type exec = {
+  x_trail : entry list;
+  x_branches : int;
+  x_truncated : bool;
+  x_pruned : bool;
+  x_violations : string list;
+  x_digest : string;
+}
+
+(* ------------------------------------------------------------ one run ---
+
+   Stateless exploration: every execution re-runs the model from scratch.
+   The oracle serves the [prefix] verbatim (the choices that pin this
+   execution into its subtree), then makes fresh default choices, logging
+   every consultation into the trail.  Backtracking picks the deepest
+   fresh entry with an untried candidate and re-runs with a longer
+   prefix. *)
+
+let run_once ~config ~memo ~prefix (model : Models.t) =
+  let inst = model.Models.make () in
+  let trail = ref [] in
+  let len = ref 0 in
+  let branches = ref 0 in
+  let drops = ref 0 in
+  let truncated = ref false in
+  let prefix = Array.of_list prefix in
+  (* Candidate answers for a fresh consultation, default first. *)
+  let fresh_cands (c : Engine.choice) =
+    match c.Engine.c_domain with
+    | "sched" ->
+        let k = c.Engine.c_arity in
+        let all = Array.init k Fun.id in
+        if not config.reduce then all
+        else begin
+          (* Sleep-set-style reduction: same-tick events owned by
+             distinct processes commute (deliveries land strictly later
+             than the tick that sends them), so only the orderings
+             within the first event's owner class need exploring.  Any
+             unowned event disables the reduction for this tick. *)
+          let owners = c.Engine.c_owners in
+          if Array.exists Option.is_none owners then all
+          else
+            let o0 = owners.(0) in
+            Array.of_list
+              (List.filter
+                 (fun i -> owners.(i) = o0)
+                 (Array.to_list all))
+        end
+    | "net.fault" -> if !drops < config.fault_budget then [| 0; 1 |] else [| 0 |]
+    | _ -> [| 0 |] (* open-ended domains always take the default *)
+  in
+  let note e =
+    if e.e_domain = "net.fault" && entry_value e = 1 then incr drops;
+    if Array.length e.e_cands > 1 then incr branches;
+    trail := e :: !trail;
+    incr len
+  in
+  let choose (c : Engine.choice) =
+    let i = !len in
+    if i < Array.length prefix then begin
+      let e = prefix.(i) in
+      (* Replays of minimized trails can drift (an earlier changed choice
+         shrinks a later tied group): clamp rather than crash. *)
+      let v = entry_value e in
+      let v =
+        if c.Engine.c_domain = "sched" && v >= c.Engine.c_arity then
+          c.Engine.c_arity - 1
+        else v
+      in
+      let e =
+        if v = entry_value e then e
+        else { e with e_cands = [| v |]; e_pos = 0 }
+      in
+      note e;
+      v
+    end
+    else begin
+      (if config.prune && c.Engine.c_domain = "sched" then
+         match (memo, inst.Models.fingerprint) with
+         | Some tbl, Some fp ->
+             let h = fp () in
+             let remaining = config.depth - !branches in
+             (match Hashtbl.find_opt tbl h with
+             | Some r when r >= remaining -> raise_notrace Pruned
+             | _ -> Hashtbl.replace tbl h remaining)
+         | _ -> ());
+      let cands = fresh_cands c in
+      let cands =
+        if Array.length cands > 1 && !branches >= config.depth then begin
+          truncated := true;
+          [| cands.(0) |]
+        end
+        else cands
+      in
+      let e = { e_domain = c.Engine.c_domain; e_cands = cands; e_pos = 0 } in
+      note e;
+      entry_value e
+    end
+  in
+  let pruned =
+    try
+      inst.Models.run { Engine.choose };
+      false
+    with Pruned -> true
+  in
+  {
+    x_trail = List.rev !trail;
+    x_branches = !branches;
+    x_truncated = !truncated;
+    x_pruned = pruned;
+    x_violations = (if pruned then [] else inst.Models.violations ());
+    x_digest = (if pruned then "pruned" else inst.Models.digest ());
+  }
+
+(* Deepest entry at index >= [pin] with an untried candidate; the next
+   prefix replays everything before it and takes that candidate. *)
+let next_prefix ~pin trail =
+  let arr = Array.of_list trail in
+  let rec find i =
+    if i < pin then None
+    else
+      let e = arr.(i) in
+      if e.e_pos + 1 < Array.length e.e_cands then
+        Some
+          (Array.to_list (Array.sub arr 0 i)
+          @ [ { e with e_pos = e.e_pos + 1 } ])
+      else find (i - 1)
+  in
+  find (Array.length arr - 1)
+
+(* ------------------------------------------------------------- report -- *)
+
+type report = {
+  r_model : string;
+  r_config : config;
+  r_partitions : int;
+  r_executions : int;
+  r_truncated : int;
+  r_pruned : int;
+  r_capped : bool;
+  r_max_branches : int;
+  r_violating : int;
+  r_violations : string list;
+  r_counterexample : exec option;
+  r_wall : float;
+}
+
+type part = {
+  p_execs : int;
+  p_trunc : int;
+  p_pruned : int;
+  p_capped : bool;
+  p_max_branches : int;
+  p_violating : int;
+  p_violations : string list;
+  p_ce : exec option;
+}
+
+let explore_partition ~config (model : Models.t) prefix0 =
+  let memo = if config.prune then Some (Hashtbl.create 1024) else None in
+  let execs = ref 0 in
+  let trunc = ref 0 in
+  let pruned = ref 0 in
+  let capped = ref false in
+  let max_branches = ref 0 in
+  let violating = ref 0 in
+  let violations = ref [] in
+  let ce = ref None in
+  (* Root choices below [pin] belong to other partitions: never backtrack
+     into them. *)
+  let pin = List.length prefix0 in
+  let next = ref (Some prefix0) in
+  let continue = ref true in
+  while !continue do
+    match !next with
+    | None -> continue := false
+    | Some prefix ->
+        if !execs >= config.max_schedules then begin
+          capped := true;
+          continue := false
+        end
+        else begin
+          let x = run_once ~config ~memo ~prefix model in
+          incr execs;
+          if x.x_truncated then incr trunc;
+          if x.x_pruned then incr pruned;
+          if x.x_branches > !max_branches then max_branches := x.x_branches;
+          if x.x_violations <> [] then begin
+            incr violating;
+            violations := List.rev_append x.x_violations !violations;
+            if !ce = None then ce := Some x
+          end;
+          if config.stop_at_first && !ce <> None then continue := false
+          else next := next_prefix ~pin x.x_trail
+        end
+  done;
+  {
+    p_execs = !execs;
+    p_trunc = !trunc;
+    p_pruned = !pruned;
+    p_capped = !capped;
+    p_max_branches = !max_branches;
+    p_violating = !violating;
+    p_violations = !violations;
+    p_ce = !ce;
+  }
+
+let merge_parts ~model ~config ~started parts =
+  let sum f = Array.fold_left (fun acc p -> acc + f p) 0 parts in
+  let violations =
+    List.sort_uniq compare
+      (Array.fold_left (fun acc p -> List.rev_append p.p_violations acc) [] parts)
+  in
+  let ce =
+    Array.fold_left
+      (fun acc p -> match acc with Some _ -> acc | None -> p.p_ce)
+      None parts
+  in
+  {
+    r_model = model;
+    r_config = config;
+    r_partitions = Array.length parts;
+    r_executions = sum (fun p -> p.p_execs);
+    r_truncated = sum (fun p -> p.p_trunc);
+    r_pruned = sum (fun p -> p.p_pruned);
+    r_capped = Array.exists (fun p -> p.p_capped) parts;
+    r_max_branches =
+      Array.fold_left (fun acc p -> max acc p.p_max_branches) 0 parts;
+    r_violating = sum (fun p -> p.p_violating);
+    r_violations = violations;
+    r_counterexample = ce;
+    r_wall = Unix.gettimeofday () -. started;
+  }
+
+let explore ?(jobs = 1) ~config (model : Models.t) =
+  let started = Unix.gettimeofday () in
+  (* Discovery: one default execution finds the root branch point.  Its
+     results are not counted — partition 0 re-runs the same execution. *)
+  let disco =
+    run_once ~config:{ config with prune = false } ~memo:None ~prefix:[] model
+  in
+  let root_index =
+    let rec find i = function
+      | [] -> None
+      | e :: rest ->
+          if Array.length e.e_cands > 1 then Some i else find (i + 1) rest
+    in
+    find 0 disco.x_trail
+  in
+  match root_index with
+  | None ->
+      (* Branch-free space: the discovery run is the whole exploration. *)
+      let part =
+        {
+          p_execs = 1;
+          p_trunc = (if disco.x_truncated then 1 else 0);
+          p_pruned = 0;
+          p_capped = false;
+          p_max_branches = disco.x_branches;
+          p_violating = (if disco.x_violations <> [] then 1 else 0);
+          p_violations = disco.x_violations;
+          p_ce = (if disco.x_violations <> [] then Some disco else None);
+        }
+      in
+      merge_parts ~model:model.Models.name ~config ~started [| part |]
+  | Some root_index ->
+      let head = Array.of_list disco.x_trail in
+      let root = head.(root_index) in
+      let prefixes =
+        Array.init
+          (Array.length root.e_cands)
+          (fun j ->
+            Array.to_list (Array.sub head 0 root_index)
+            @ [ { root with e_pos = j } ])
+      in
+      let parts =
+        Exec.Pool.map ~jobs
+          (fun prefix -> explore_partition ~config model prefix)
+          prefixes
+      in
+      merge_parts ~model:model.Models.name ~config ~started parts
+
+(* ------------------------------------------------------------- replay -- *)
+
+let replay ~config (model : Models.t) entries =
+  run_once
+    ~config:{ config with prune = false; stop_at_first = false }
+    ~memo:None ~prefix:entries model
+
+(* --------------------------------------------------------- minimization --
+
+   Nemesis.Shrink-style greedy reduction of a violating trail:
+   1. truncation — the shortest prefix that still violates when everything
+      after it takes default choices;
+   2. zeroing — reset each non-default choice to its default, keeping the
+      reset whenever the violation survives;
+   then truncate once more (zeroing can make a tail redundant).  Each
+   candidate costs one full re-execution, so the total is capped. *)
+
+let minimize ~config ?(max_replays = 2000) (model : Models.t) entries =
+  let replays = ref 0 in
+  let violates prefix =
+    if !replays >= max_replays then false
+    else begin
+      incr replays;
+      let x = replay ~config model prefix in
+      (not x.x_pruned) && x.x_violations <> []
+    end
+  in
+  let truncate entries =
+    let arr = Array.of_list entries in
+    let n = Array.length arr in
+    let rec shortest i =
+      if i > n then entries
+      else
+        let prefix = Array.to_list (Array.sub arr 0 i) in
+        if violates prefix then prefix else shortest (i + 1)
+    in
+    shortest 0
+  in
+  let zero entries =
+    let arr = Array.of_list (List.map (fun e -> ref e) entries) in
+    Array.iter
+      (fun cell ->
+        let e = !cell in
+        if entry_value e <> e.e_cands.(0) then begin
+          let saved = e in
+          cell := { e with e_pos = 0 };
+          let candidate = List.map (fun c -> !c) (Array.to_list arr) in
+          if not (violates candidate) then cell := saved
+        end)
+      arr;
+    List.map (fun c -> !c) (Array.to_list arr)
+  in
+  if not (violates entries) then None
+  else
+    let reduced = truncate (zero (truncate entries)) in
+    Some reduced
+
+let nondefault_count entries =
+  List.length (List.filter (fun e -> entry_value e <> e.e_cands.(0)) entries)
+
+(* ------------------------------------------------------------ printing -- *)
+
+let pp_config ppf c =
+  Format.fprintf ppf
+    "depth=%d fault-budget=%d reduce=%b prune=%b%s%s" c.depth c.fault_budget
+    c.reduce c.prune
+    (if c.max_schedules = max_int then ""
+     else Printf.sprintf " max-schedules=%d" c.max_schedules)
+    (if c.stop_at_first then " stop-at-first" else "")
+
+let pp_report_stable ppf r =
+  Format.fprintf ppf "mcheck report: model=%s@." r.r_model;
+  Format.fprintf ppf "  config: %a@." pp_config r.r_config;
+  Format.fprintf ppf "  root partitions: %d@." r.r_partitions;
+  Format.fprintf ppf "  executions: %d (truncated %d, pruned %d%s)@."
+    r.r_executions r.r_truncated r.r_pruned
+    (if r.r_capped then ", CAPPED" else "");
+  Format.fprintf ppf "  exhaustive within bounds: %b@."
+    ((not r.r_capped) && (not r.r_config.stop_at_first) && r.r_truncated = 0);
+  Format.fprintf ppf "  max branch points in one execution: %d@."
+    r.r_max_branches;
+  Format.fprintf ppf "  violating executions: %d@." r.r_violating;
+  if r.r_violations <> [] then begin
+    Format.fprintf ppf "  distinct violations:@.";
+    List.iter (fun v -> Format.fprintf ppf "    - %s@." v) r.r_violations
+  end;
+  match r.r_counterexample with
+  | None -> ()
+  | Some x ->
+      Format.fprintf ppf
+        "  first counterexample: %d choices (%d non-default), digest %s@."
+        (List.length x.x_trail) (nondefault_count x.x_trail) x.x_digest
+
+let pp_report ppf r =
+  pp_report_stable ppf r;
+  Format.fprintf ppf "  wall: %.3fs (%.0f schedules/sec)@." r.r_wall
+    (if r.r_wall > 0. then float_of_int r.r_executions /. r.r_wall else 0.)

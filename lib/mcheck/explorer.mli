@@ -1,0 +1,114 @@
+(** Bounded, stateless schedule exploration over {!Dsim.Engine}.
+
+    The explorer enumerates executions of a {!Models.t} instead of
+    sampling them: it installs a {!Dsim.Engine.oracle}, records every
+    consultation (same-tick event order, per-message delay slack,
+    drop-or-deliver) into a {e trail}, and performs a depth-first sweep
+    by re-running the model from scratch with ever-longer pinned
+    prefixes — the standard stateless-model-checking loop.
+
+    Bounds and reductions (all per execution):
+    - [depth] caps the number of {e branchable} choice points; once
+      exhausted the run continues under default (FIFO, no-drop) choices
+      and is counted as truncated, so "0 violations" claims read "on
+      every schedule that differs from the default in at most [depth]
+      choice points".
+    - [fault_budget] caps oracle-injected message drops.
+    - [reduce] collapses same-tick events owned by distinct processes
+      (network deliveries to distinct recipients) to a single ordering —
+      sleep-set-style partial-order reduction, sound under the
+      recipient-locality of deliveries; any unowned tied event disables
+      it for that tick.
+    - [prune] memoizes model fingerprints with their remaining depth and
+      abandons executions whose state was already explored at least as
+      deeply.  Opt-in: it needs a model fingerprint that captures the
+      {e complete} state (see {!Models.instance.fingerprint}).
+
+    Parallelism splits the frontier at the root branch point: each root
+    candidate becomes a partition explored independently (own memo
+    table), and partitions run through {!Exec.Pool} — results merge in
+    partition order, so reports are byte-identical at every job count. *)
+
+exception Pruned
+(** Raised by the oracle (outside any process fiber) to abandon a
+    fingerprint-pruned execution. *)
+
+type entry = {
+  e_domain : string;  (** which choice domain was consulted *)
+  e_cands : int array;  (** candidate answers, default first *)
+  e_pos : int;  (** index into [e_cands] this execution took *)
+}
+(** One oracle consultation, as recorded in a trail. *)
+
+val entry_value : entry -> int
+(** The answer actually given: [e_cands.(e_pos)]. *)
+
+val entries_of_choices : (string * int) list -> entry list
+(** Pin verbatim (domain, answer) pairs — single-candidate entries, as a
+    replay file provides. *)
+
+val choices_of_entries : entry list -> (string * int) list
+
+type config = {
+  depth : int;  (** max branchable choice points per execution *)
+  fault_budget : int;  (** max oracle-injected drops per execution *)
+  reduce : bool;  (** commutative-delivery reduction *)
+  prune : bool;  (** fingerprint pruning (needs a model fingerprint) *)
+  max_schedules : int;  (** cap per root partition; [max_int] = none *)
+  stop_at_first : bool;  (** stop each partition at its first violation *)
+}
+
+val default_config : config
+(** depth 12, no faults, reduction on, pruning off, no caps. *)
+
+type exec = {
+  x_trail : entry list;  (** every consultation, in order *)
+  x_branches : int;  (** how many had more than one candidate *)
+  x_truncated : bool;  (** hit the depth bound *)
+  x_pruned : bool;  (** abandoned by fingerprint pruning *)
+  x_violations : string list;
+  x_digest : string;  (** the model's outcome summary *)
+}
+
+type report = {
+  r_model : string;
+  r_config : config;
+  r_partitions : int;
+  r_executions : int;  (** executions run (discovery probe excluded) *)
+  r_truncated : int;
+  r_pruned : int;
+  r_capped : bool;  (** some partition hit [max_schedules] *)
+  r_max_branches : int;
+  r_violating : int;  (** executions with at least one violation *)
+  r_violations : string list;  (** distinct violation lines, sorted *)
+  r_counterexample : exec option;
+      (** first violating execution, in deterministic partition order *)
+  r_wall : float;
+}
+
+val explore : ?jobs:int -> config:config -> Models.t -> report
+(** Sweep the bounded schedule space.  [jobs <= 1] explores partitions
+    sequentially; higher job counts run them on a {!Exec.Pool} — the
+    report differs only in [r_wall]. *)
+
+val replay : config:config -> Models.t -> entry list -> exec
+(** Re-execute one trail: the entries answer the oracle verbatim (sched
+    answers are clamped into the tied range if the trail drifted), every
+    later consultation takes the default.  Pruning is disabled. *)
+
+val minimize :
+  config:config -> ?max_replays:int -> Models.t -> entry list -> entry list option
+(** Greedy counterexample reduction (truncate, zero defaults, truncate),
+    each probe a full {!replay}, capped at [max_replays] (default 2000).
+    [None] when the input trail does not violate to begin with. *)
+
+val nondefault_count : entry list -> int
+(** How many entries differ from the default choice — the minimized
+    counterexample's size. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Full report including wall time and schedules/sec. *)
+
+val pp_report_stable : Format.formatter -> report -> unit
+(** The same report without timing — byte-identical across job counts
+    and machines; what [--report-out] writes and CI diffs. *)

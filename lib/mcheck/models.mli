@@ -1,0 +1,72 @@
+(** Checkable systems for the schedule explorer.
+
+    A model packages "one bounded execution of a protocol plus its
+    property monitors" behind a uniform interface: the explorer creates a
+    fresh {!instance} per execution, runs it under a
+    {!Dsim.Engine.oracle} and reads back the violations.  Instances are
+    single-use and must be deterministic given the oracle's answers —
+    that is what makes executions replayable from a choice trail alone. *)
+
+type instance = {
+  run : Dsim.Engine.oracle -> unit;
+      (** one full execution; must build its own engine, install the
+          oracle before spawning anything and run to completion *)
+  violations : unit -> string list;
+      (** property violations of the completed run, formatted; empty
+          means the execution satisfied every checked property *)
+  digest : unit -> string;
+      (** one-line summary of the observable outcome (decisions, final
+          outputs, engine outcome) — what the determinism regression
+          compares across replays *)
+  fingerprint : (unit -> int) option;
+      (** state hash usable {e mid-run} for pruning: equal fingerprints
+          must imply equal reachable futures.  [None] when the model
+          cannot capture its full state (pruning is then unavailable). *)
+}
+
+type t = {
+  name : string;
+  describe : string;
+  make : unit -> instance;  (** a fresh, unrun instance *)
+}
+
+val benor :
+  ?n:int -> ?inputs:bool array -> check_termination:bool -> unit -> t
+(** Ben-Or VAC consensus (default n=3, alternating inputs), checked with
+    the VAC + consensus monitors.  [check_termination] additionally
+    treats non-quiescent outcomes and process failures as violations —
+    enable it only when the explorer injects no message drops. *)
+
+val phase_king : ?n:int -> ?inputs:int array -> unit -> t
+(** Phase-King with [t = (n-1)/3] Byzantine camp-splitters (default n=4,
+    so exactly one Byzantine processor), AC + agreement/validity
+    monitors, termination always required (the network is synchronous). *)
+
+val vac2ac : ?n:int -> ?inputs:bool array -> unit -> t
+(** The Section-5 two-AC ⇒ VAC construction over shared registers, one
+    register operation per process per tick; VAC monitors. *)
+
+val ac_of_vac : ?n:int -> ?inputs:bool array -> unit -> t
+(** The Section-5 VAC ⇒ AC demotion stacked on {!vac2ac}'s object; AC
+    monitors. *)
+
+val toy_ac :
+  ?broken:bool ->
+  ?n:int ->
+  ?inputs:bool array ->
+  check_termination:bool ->
+  unit ->
+  t
+(** A two-phase message-passing adopt-commit ([2t < n]) whose [broken]
+    variant commits on a single agreement flag — correct on the default
+    FIFO schedule, incoherent under reordering.  The designated mutant
+    for "the explorer must catch this".  The only model with a
+    {!instance.fingerprint} (sound at fault budget 0). *)
+
+val names : string list
+(** Model names {!of_name} accepts. *)
+
+val of_name : ?n:int -> string -> fault_budget:int -> t
+(** Look a model up by name with per-model defaults; [fault_budget] is
+    the explorer's drop budget, used to decide whether termination can be
+    demanded.  @raise Invalid_argument on unknown names. *)

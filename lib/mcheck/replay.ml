@@ -1,0 +1,111 @@
+let magic = "oocon-mcheck-replay/1"
+
+type t = {
+  model : string;
+  fault_budget : int;
+  depth : int;
+  choices : (string * int) list;
+}
+
+let of_exec ~model ~config (x : Explorer.exec) =
+  {
+    model;
+    fault_budget = config.Explorer.fault_budget;
+    depth = config.Explorer.depth;
+    choices = Explorer.choices_of_entries x.Explorer.x_trail;
+  }
+
+let of_entries ~model ~config entries =
+  {
+    model;
+    fault_budget = config.Explorer.fault_budget;
+    depth = config.Explorer.depth;
+    choices = Explorer.choices_of_entries entries;
+  }
+
+let entries t = Explorer.entries_of_choices t.choices
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "model %s\n" t.model);
+  Buffer.add_string b (Printf.sprintf "fault-budget %d\n" t.fault_budget);
+  Buffer.add_string b (Printf.sprintf "depth %d\n" t.depth);
+  Buffer.add_string b (Printf.sprintf "choices %d\n" (List.length t.choices));
+  List.iter
+    (fun (domain, v) -> Buffer.add_string b (Printf.sprintf "%s %d\n" domain v))
+    t.choices;
+  Buffer.contents b
+
+let parse_error line what =
+  failwith (Printf.sprintf "Mcheck.Replay: %s (at %S)" what line)
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | m :: rest when m = magic ->
+      let model = ref None in
+      let fault_budget = ref 0 in
+      let depth = ref 0 in
+      let expected = ref None in
+      let choices = ref [] in
+      List.iter
+        (fun line ->
+          match String.index_opt line ' ' with
+          | None -> parse_error line "malformed line"
+          | Some i -> (
+              let key = String.sub line 0 i in
+              let v = String.sub line (i + 1) (String.length line - i - 1) in
+              let int_v () =
+                match int_of_string_opt v with
+                | Some n -> n
+                | None -> parse_error line "expected an integer"
+              in
+              match key with
+              | "model" -> model := Some v
+              | "fault-budget" -> fault_budget := int_v ()
+              | "depth" -> depth := int_v ()
+              | "choices" -> expected := Some (int_v ())
+              | "sched" | "net.delay" | "net.fault" ->
+                  choices := (key, int_v ()) :: !choices
+              | _ ->
+                  (* Future domains: keep them — replay answers verbatim. *)
+                  choices := (key, int_v ()) :: !choices))
+        rest;
+      let choices = List.rev !choices in
+      (match !expected with
+      | Some n when n <> List.length choices ->
+          failwith
+            (Printf.sprintf
+               "Mcheck.Replay: header says %d choices but file has %d" n
+               (List.length choices))
+      | _ -> ());
+      let model =
+        match !model with
+        | Some m -> m
+        | None -> failwith "Mcheck.Replay: missing model line"
+      in
+      { model; fault_budget = !fault_budget; depth = !depth; choices }
+  | first :: _ ->
+      failwith
+        (Printf.sprintf "Mcheck.Replay: bad magic %S (expected %S)" first magic)
+  | [] -> failwith "Mcheck.Replay: empty file"
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,29 @@
+(** Replay files: a violating execution serialized as its choice trail.
+
+    The format ([oocon-mcheck-replay/1]) is a plain text header (model,
+    fault budget, depth) followed by one [<domain> <answer>] line per
+    oracle consultation.  Replaying feeds the answers back verbatim and
+    takes defaults once the file runs out — see {!Explorer.replay}. *)
+
+val magic : string
+
+type t = {
+  model : string;
+  fault_budget : int;
+  depth : int;
+  choices : (string * int) list;
+}
+
+val of_exec : model:string -> config:Explorer.config -> Explorer.exec -> t
+val of_entries :
+  model:string -> config:Explorer.config -> Explorer.entry list -> t
+
+val entries : t -> Explorer.entry list
+(** The pinned-prefix form {!Explorer.replay} consumes. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Failure on malformed input. *)
+
+val save : string -> t -> unit
+val load : string -> t

@@ -60,7 +60,10 @@ let same_side t ~src ~dst =
       gs >= 0 && gs = gd
 
 let deliver t env ~delay =
-  Dsim.Engine.schedule t.eng ~delay (fun () ->
+  (* The delivery only touches [env.dst]'s node state (inbox, handler),
+     so label it with the recipient: same-tick deliveries to distinct
+     recipients commute, which mcheck's reduction exploits. *)
+  Dsim.Engine.schedule t.eng ~owner:env.dst ~delay (fun () ->
       let node = t.nodes.(env.dst) in
       if not node.crashed then begin
         if t.retain_inbox then begin
@@ -94,14 +97,41 @@ let send t ~src ~dst msg =
       }
     in
     t.next_env <- t.next_env + 1;
+    let oracle = Dsim.Engine.oracle t.eng in
     let delay_once ?(extra = 0) () =
-      extra + Latency.draw t.latency ~src ~dst ~rng:t.rng
+      match oracle with
+      | Some o ->
+          (* Exploration owns the latency: a base delay of 1 (never 0 —
+             the recipient-commutativity argument needs deliveries to
+             land strictly after the sending tick) plus whatever slack
+             the oracle asks for.  The latency model and its RNG are not
+             consulted at all under an oracle. *)
+          1 + extra
+          + o.Dsim.Engine.choose
+              { Dsim.Engine.c_domain = "net.delay"; c_arity = 0; c_owners = [||] }
+      | None -> extra + Latency.draw t.latency ~src ~dst ~rng:t.rng
     in
     match t.policy env with
     | Drop ->
         Dsim.Engine.emitk t.eng ~pid:src ~tag:"drop-policy" (fun () ->
             Printf.sprintf "to %d" dst)
-    | Deliver -> deliver t env ~delay:(delay_once ())
+    | Deliver -> (
+        (* Under an oracle, every policy-approved message is additionally
+           a drop-or-deliver choice point (0 = deliver, 1 = drop), so the
+           explorer can enumerate message-loss scenarios on top of
+           delivery orders. *)
+        let oracle_drop =
+          match oracle with
+          | Some o ->
+              o.Dsim.Engine.choose
+                { Dsim.Engine.c_domain = "net.fault"; c_arity = 2; c_owners = [||] }
+              = 1
+          | None -> false
+        in
+        if oracle_drop then
+          Dsim.Engine.emitk t.eng ~pid:src ~tag:"drop-explore" (fun () ->
+              Printf.sprintf "to %d" dst)
+        else deliver t env ~delay:(delay_once ()))
     | Delay_extra extra -> deliver t env ~delay:(delay_once ~extra ())
     | Duplicate copies ->
         for _ = 0 to copies do

@@ -12,7 +12,16 @@
     - per-message {!policy}: drop / duplicate / extra-delay decisions made
       by an adversary callback at send time.
     - {!set_partition}: cut the network into groups; messages crossing a
-      cut at send time are dropped until {!heal}. *)
+      cut at send time are dropped until {!heal}.
+
+    When the engine has a {!Dsim.Engine.oracle} installed (schedule
+    exploration), the network routes its own nondeterminism through it
+    instead of the latency model and RNG: each policy-approved send asks
+    the ["net.fault"] domain (0 = deliver, 1 = drop) and, if delivered,
+    the ["net.delay"] domain for extra slack on top of a base latency of
+    1.  Deliveries are scheduled with the recipient as the event owner,
+    so the explorer can treat same-tick deliveries to distinct nodes as
+    commutative.  Oracle-free runs are byte-identical to before. *)
 
 type 'msg envelope = {
   env_id : int;  (** unique per network, in send order *)

@@ -14,6 +14,7 @@ type config = {
   inputs : int array;
   mode : mode;
   algorithm : algorithm;
+  oracle : Dsim.Engine.oracle option;
 }
 
 let default_config ~n ~inputs =
@@ -27,6 +28,7 @@ let default_config ~n ~inputs =
     inputs;
     mode = Decomposed;
     algorithm = King;
+    oracle = None;
   }
 
 let default_queen_config ~n ~inputs =
@@ -63,6 +65,7 @@ let run config =
   if List.length config.byzantine > config.faults then
     invalid_arg "Phase_king.Runner.run: more Byzantine ids than t";
   let eng = Engine.create ~seed:config.seed () in
+  Engine.set_oracle eng config.oracle;
   let net =
     Sync_net.create eng ~n:config.n ~byzantine:config.byzantine
       ~strategy:config.strategy

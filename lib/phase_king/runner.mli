@@ -17,6 +17,11 @@ type config = {
           must be binary *)
   mode : mode;
   algorithm : algorithm;
+  oracle : Dsim.Engine.oracle option;
+      (** installed on the engine before any process spawns; [Some _]
+          hands same-tick event order to a schedule explorer (see
+          [lib/mcheck]).  [None] (the default) keeps the seeded
+          behaviour. *)
 }
 
 val default_config : n:int -> inputs:int array -> config

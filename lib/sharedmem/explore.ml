@@ -87,12 +87,23 @@ let run_schedule ~n ~schedule ~body =
             target - Engine.now eng)
   in
   let world = World.create eng ~steps () in
-  for i = 0 to n - 1 do
-    ignore
-      (Engine.spawn eng (fun ectx -> body { World.world; me = i; ectx })
-        : Engine.pid)
-  done;
-  Engine.run eng
+  let pids =
+    Array.init n (fun i ->
+        Engine.spawn eng (fun ectx -> body { World.world; me = i; ectx }))
+  in
+  let outcome = Engine.run eng in
+  (* An uncaught exception kills only its fiber (the engine records it and
+     keeps draining), so the budget violation raised inside the step
+     policy would otherwise vanish into [process_failed].  Surface it:
+     a schedule that under-allots a process is a caller bug, not a
+     schedule-dependent protocol outcome. *)
+  Array.iter
+    (fun pid ->
+      match Engine.process_failed eng pid with
+      | Some (Invalid_argument _ as exn) -> raise exn
+      | Some _ | None -> ())
+    pids;
+  outcome
 
 type report = {
   schedules_run : int;

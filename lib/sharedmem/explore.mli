@@ -31,10 +31,18 @@ val run_schedule :
   body:(World.proc -> unit) ->
   Dsim.Engine.outcome
 (** Run [n] processes (each executing [body] with its own process handle)
-    under the exact operation order [schedule].  Processes must perform
-    exactly as many register operations as the schedule allots them —
-    a process attempting more raises; performing fewer leaves unused slots
-    (harmless). *)
+    under the exact operation order [schedule].
+
+    Op-count discipline: a process attempting {e more} register
+    operations than the schedule allots it dies inside the engine with
+    [Invalid_argument] (fiber exceptions do not unwind the run); the run
+    first drains, then [run_schedule] re-raises that exception — it never
+    returns normally on an over-budget schedule.  A process performing
+    {e fewer} operations leaves its remaining slots unused: the run still
+    quiesces and the other processes' slots are unaffected, because each
+    slot is realized as an absolute virtual time, not a turn handed to
+    the next process.  The realized order is therefore the schedule
+    restricted to the operations actually performed. *)
 
 type report = {
   schedules_run : int;

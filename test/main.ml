@@ -30,5 +30,6 @@ let () =
       ("rsm", Test_rsm.suite);
       ("workload", Test_workload.suite);
       ("nemesis", Test_nemesis.suite);
+      ("mcheck", Test_mcheck.suite);
       ("exec", Test_exec.suite);
     ]

@@ -68,13 +68,57 @@ let over_budget_process_fails () =
     ignore (Sharedmem.World.Reg.read proc reg : int);
     ignore (Sharedmem.World.Reg.read proc reg : int)
   in
-  let outcome = Sharedmem.Explore.run_schedule ~n:1 ~schedule:[ 0 ] ~body in
-  (* The engine records the Invalid_argument as a process failure and
-     still quiesces. *)
-  check Alcotest.bool "no crash of the harness" true
-    (match outcome with
-    | Dsim.Engine.Quiescent | Dsim.Engine.Deadlock _ -> true
-    | Dsim.Engine.Time_limit | Dsim.Engine.Event_limit -> false)
+  (* The Invalid_argument fires inside the fiber (fiber failures don't
+     unwind the engine), but run_schedule re-raises it after the run
+     drains — the caller must see the budget violation. *)
+  check Alcotest.bool "over-budget raises" true
+    (match Sharedmem.Explore.run_schedule ~n:1 ~schedule:[ 0 ] ~body with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let under_budget_slots_unused () =
+  (* Schedule allots three ops per process; each performs only two.  The
+     run must quiesce, and the realized order must be the schedule
+     restricted to the performed operations (slots are absolute times,
+     so p1's ops don't shift into p0's unused slots). *)
+  let log = ref [] in
+  let reg = Sharedmem.World.Reg.make 0 in
+  let body (proc : Sharedmem.World.proc) =
+    for _ = 1 to 2 do
+      ignore (Sharedmem.World.Reg.read proc reg : int);
+      log := proc.Sharedmem.World.me :: !log
+    done
+  in
+  let schedule = [ 0; 1; 0; 1; 0; 1 ] in
+  let outcome = Sharedmem.Explore.run_schedule ~n:2 ~schedule ~body in
+  check Alcotest.bool "quiescent" true (outcome = Dsim.Engine.Quiescent);
+  check (Alcotest.list Alcotest.int) "prefix of the schedule per process"
+    [ 0; 1; 0; 1 ] (List.rev !log)
+
+let count_agrees_with_enumeration () =
+  (* count_interleavings must equal the length of the full enumeration
+     for a spread of shapes, including empty and zero-count entries. *)
+  List.iter
+    (fun counts ->
+      let counted = Sharedmem.Explore.count_interleavings ~counts in
+      let listed =
+        List.length (Sharedmem.Explore.interleavings ~counts ~limit:max_int)
+      in
+      check Alcotest.int
+        (Printf.sprintf "counts [%s]"
+           (String.concat ";" (Array.to_list (Array.map string_of_int counts))))
+        counted listed)
+    [
+      [||];
+      [| 0 |];
+      [| 3 |];
+      [| 0; 4 |];
+      [| 1; 1; 1; 1 |];
+      [| 2; 3 |];
+      [| 2; 2; 2 |];
+      [| 4; 4 |];
+      [| 1; 2; 3 |];
+    ]
 
 let exhaustive_ac_n2_mixed () =
   let r = Sharedmem.Explore.check_ac_exhaustive ~inputs:[| true; false |] () in
@@ -107,6 +151,9 @@ let suite =
     Alcotest.test_case "random schedule valid" `Quick random_schedule_valid;
     Alcotest.test_case "schedule realized exactly" `Quick schedule_realized_exactly;
     Alcotest.test_case "over-budget process fails" `Quick over_budget_process_fails;
+    Alcotest.test_case "under-budget slots unused" `Quick under_budget_slots_unused;
+    Alcotest.test_case "count agrees with enumeration" `Quick
+      count_agrees_with_enumeration;
     Alcotest.test_case "exhaustive AC n=2 mixed" `Quick exhaustive_ac_n2_mixed;
     Alcotest.test_case "exhaustive AC n=2 unanimous" `Quick exhaustive_ac_n2_unanimous;
     Alcotest.test_case "sampled VAC n=2" `Quick sampled_vac_n2;

@@ -151,6 +151,166 @@ let observer_plumbs_into_rounds () =
   check (Alcotest.list Alcotest.string) "clean run" []
     (properties (M.check_vac m @ M.check_consensus m))
 
+(* ----------------------------------------------------- property tests --
+   Each generator synthesizes an observation sequence that violates one
+   property {e by construction}; the monitor must name exactly that
+   property.  A last generator builds clean executions and expects
+   silence — together they pin the checks from both sides. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* A fresh monitor with [n] processors whose initial inputs are drawn
+   from the small value universe 0..3. *)
+let monitor_with_inputs inputs =
+  let m = M.create () in
+  List.iteri (fun pid v -> M.record_initial m ~pid v) inputs;
+  m
+
+let gen_inputs = QCheck.Gen.(list_size (int_range 2 5) (int_range 0 3))
+
+let shuffled_pids n st =
+  let a = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = QCheck.Gen.int_bound i st in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let qc_coherence_ac =
+  (* Someone commits [u]; someone else holds a value other than [u] (or
+     vacillates).  A&C coherence must fire regardless of who/when. *)
+  let gen =
+    QCheck.Gen.(
+      pair gen_inputs (pair (int_range 0 3) (int_range 1 3)) >|= fun (inputs, (u, delta)) ->
+      (inputs, u, (u + delta) mod 4))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"A&C coherence fires on any commit next to a differing value"
+    (QCheck.make gen) (fun (inputs, u, w) ->
+      QCheck.assume (u <> w);
+      let m = monitor_with_inputs inputs in
+      M.record_output m ~round:1 ~pid:0 (Commit u);
+      M.record_output m ~round:1 ~pid:1 (Adopt w);
+      List.mem "coherence(adopt&commit)"
+        (properties (M.check_vac ~validity:false m)))
+
+let qc_coherence_va =
+  (* Commit-free round, two distinct adopted values: V&A coherence. *)
+  let gen = QCheck.Gen.(pair gen_inputs (pair (int_range 0 3) (int_range 1 3))) in
+  QCheck.Test.make ~count:200
+    ~name:"V&A coherence fires on mixed adopts without a commit"
+    (QCheck.make gen) (fun (inputs, (u, delta)) ->
+      let w = (u + delta) mod 4 in
+      QCheck.assume (u <> w);
+      let m = monitor_with_inputs inputs in
+      M.record_output m ~round:1 ~pid:0 (Adopt u);
+      M.record_output m ~round:1 ~pid:1 (Adopt w);
+      M.record_output m ~round:1 ~pid:2 (Vacillate u);
+      List.mem "coherence(vacillate&adopt)"
+        (properties (M.check_vac ~validity:false m)))
+
+let qc_ac_shape =
+  (* Any execution containing a vacillate is not an AC execution. *)
+  QCheck.Test.make ~count:200 ~name:"AC shape rejects any vacillate output"
+    (QCheck.make
+       QCheck.Gen.(pair gen_inputs (pair (int_range 1 4) (int_range 0 3))))
+    (fun (inputs, (round, v)) ->
+      let m = monitor_with_inputs inputs in
+      M.record_output m ~round ~pid:0 (Commit v);
+      M.record_output m ~round ~pid:1 (Vacillate v);
+      List.mem "ac-shape" (properties (M.check_ac ~validity:false m)))
+
+let qc_convergence =
+  (* Unanimous inputs but someone fails to commit the common value. *)
+  QCheck.Test.make ~count:200
+    ~name:"convergence fires when unanimity does not commit"
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 0 3) (pair (int_range 2 5) (int_range 0 2))))
+    (fun (v, (n, bad_kind)) ->
+      let m = monitor_with_inputs (List.init n (fun _ -> v)) in
+      for pid = 0 to n - 2 do
+        M.record_output m ~round:1 ~pid (Commit v)
+      done;
+      let bad =
+        match bad_kind with
+        | 0 -> Adopt v
+        | 1 -> Vacillate v
+        | _ -> Commit ((v + 1) mod 4)
+      in
+      M.record_output m ~round:1 ~pid:(n - 1) bad;
+      List.mem "convergence" (properties (M.check_vac ~validity:false m)))
+
+let qc_validity =
+  (* An output value nobody proposed. *)
+  QCheck.Test.make ~count:200 ~name:"validity fires on invented values"
+    (QCheck.make QCheck.Gen.(pair gen_inputs (int_range 0 2)))
+    (fun (inputs, kind) ->
+      let invented = 1 + List.fold_left max 0 inputs in
+      let m = monitor_with_inputs inputs in
+      let out =
+        match kind with
+        | 0 -> Adopt invented
+        | 1 -> Vacillate invented
+        | _ -> Commit invented
+      in
+      M.record_output m ~round:1 ~pid:0 out;
+      List.mem "validity" (properties (M.check_vac m)))
+
+let qc_agreement =
+  (* Two decisions with different values, any rounds, any pids. *)
+  QCheck.Test.make ~count:200 ~name:"agreement fires on split decisions"
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 0 3) (pair (int_range 1 3) (pair (int_range 1 5) (int_range 1 5)))))
+    (fun (u, (delta, (r1, r2))) ->
+      let w = (u + delta) mod 4 in
+      QCheck.assume (u <> w);
+      let m = monitor_with_inputs [ u; w ] in
+      M.record_decision m ~round:r1 ~pid:0 u;
+      M.record_decision m ~round:r2 ~pid:1 w;
+      List.mem "agreement" (properties (M.check_consensus m)))
+
+let qc_consensus_validity =
+  (* A unanimous decision on a value outside the initial inputs. *)
+  QCheck.Test.make ~count:200
+    ~name:"consensus validity fires on uninput decisions"
+    (QCheck.make QCheck.Gen.(pair gen_inputs (int_range 1 5)))
+    (fun (inputs, round) ->
+      let invented = 1 + List.fold_left max 0 inputs in
+      let m = monitor_with_inputs inputs in
+      M.record_decision m ~round ~pid:0 invented;
+      List.mem "consensus-validity" (properties (M.check_consensus m)))
+
+let qc_clean_runs_stay_clean =
+  (* Well-formed VAC rounds — a committed value with matching adopts, or
+     a commit-free round of one adopted value amid vacillates — recorded
+     in any processor order must produce no violations. *)
+  let gen =
+    QCheck.Gen.(
+      pair (int_range 2 5) (pair (int_range 0 3) (pair bool (int_range 0 1000)))
+      >|= fun (n, (u, (committed, salt))) -> (n, u, committed, salt))
+  in
+  QCheck.Test.make ~count:300 ~name:"clean VAC rounds produce no violations"
+    (QCheck.make gen) (fun (n, u, committed, salt) ->
+      let m = monitor_with_inputs (List.init n (fun i -> if i = 0 then u else (u + (i mod 2)) mod 4)) in
+      let st = Random.State.make [| salt |] in
+      let order = shuffled_pids n st in
+      List.iteri
+        (fun k pid ->
+          let out =
+            if committed then if k = 0 then Commit u else Adopt u
+            else if k = 0 then Adopt u
+            else Vacillate ((u + k) mod 4)
+          in
+          M.record_output m ~round:1 ~pid out)
+        order;
+      (* Mixed inputs by construction when n > 1, so convergence does not
+         apply; validity is off because vacillate values are arbitrary. *)
+      properties (M.check_vac ~validity:false m) = [])
+
 let suite =
   [
     Alcotest.test_case "clean round passes" `Quick clean_round_passes;
@@ -171,4 +331,12 @@ let suite =
     Alcotest.test_case "consensus validity" `Quick consensus_validity;
     Alcotest.test_case "consensus clean" `Quick consensus_clean;
     Alcotest.test_case "observer plumbing" `Quick observer_plumbs_into_rounds;
+    qtest qc_coherence_ac;
+    qtest qc_coherence_va;
+    qtest qc_ac_shape;
+    qtest qc_convergence;
+    qtest qc_validity;
+    qtest qc_agreement;
+    qtest qc_consensus_validity;
+    qtest qc_clean_runs_stay_clean;
   ]
