@@ -226,3 +226,5 @@ let to_float = function
   | Float f -> Some f
   | Int i -> Some (float_of_int i)
   | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None

@@ -203,6 +203,38 @@ let store_overhead_table ~scale ppf =
           r.so_store)
     rows
 
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+(* The sharded scaling load: the same client traffic at every shard
+   count, so single-shard ops/kvt should grow with shards while the
+   cross-shard 2PC mix pays for coordination. *)
+let shard_bench_load =
+  {
+    Workload.Load.default with
+    Workload.Load.clients = 192;
+    ops_per_client = 3;
+    keys = 512;
+    tx_pct = 10;
+    tx_span = 2;
+  }
+
+let shard_scaling_rows ~scale =
+  let seeds = if scale = Workload.Experiments.Full then 3 else 1 in
+  Workload.Shard_load.sweep_shards ~shard_counts:[ 1; 2; 4 ]
+    ~load:shard_bench_load ~seeds ~backends:[ Rsm.Backend.ben_or ] null_ppf
+
+let shard_run ?(shards = 4) backend seed =
+  ignore
+    (Workload.Shard_load.run_one ~shards ~seed
+       ~load:
+         {
+           shard_bench_load with
+           Workload.Load.clients = 32;
+           ops_per_client = 2;
+         }
+       ~backend ()
+      : Shard.Runner.report * Workload.Shard_load.summary)
+
 (* One fault-injected RSM run: generate a seeded plan, install it, audit. *)
 let nemesis_run backend seed =
   let cfg = Nemesis.Campaign.default_config ~n:5 () in
@@ -291,9 +323,6 @@ let mcheck_cell ~model ~depth make_model =
       ("schedules_per_sec", Json.Float rate);
     ]
 
-let null_ppf =
-  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
-
 let bench_core_json () =
   let cores = Exec.Pool.cores () in
   let profile tracing =
@@ -354,6 +383,24 @@ let bench_core_json () =
           ])
       rows
   in
+  let shard =
+    List.map
+      (fun (s : Workload.Shard_load.summary) ->
+        Json.Obj
+          [
+            ("backend", Json.String s.Workload.Shard_load.backend_name);
+            ("shards", Json.Int s.Workload.Shard_load.shards);
+            ("clients", Json.Int s.Workload.Shard_load.clients);
+            ("singles_acked", Json.Int s.Workload.Shard_load.singles_acked);
+            ("txs_committed", Json.Int s.Workload.Shard_load.txs_committed);
+            ("txs_aborted", Json.Int s.Workload.Shard_load.txs_aborted);
+            ("abort_rate", Json.Float s.Workload.Shard_load.abort_rate);
+            ("virtual_time", Json.Int s.Workload.Shard_load.virtual_time);
+            ("throughput_per_kvt", Json.Float s.Workload.Shard_load.throughput);
+            ("ok", Json.Bool s.Workload.Shard_load.ok);
+          ])
+      (shard_scaling_rows ~scale:Workload.Experiments.Quick)
+  in
   let mcheck =
     [
       mcheck_cell ~model:"toy-ac" ~depth:8 (fun () ->
@@ -364,11 +411,12 @@ let bench_core_json () =
   in
   Json.Obj
     [
-      ("schema", Json.String "oocon-bench-core/1");
+      ("schema", Json.String "oocon-bench-core/2");
       ("cores", Json.Int cores);
       ("engine", Json.Obj [ ("traced", traced); ("quiet", quiet) ]);
       ("campaign", Json.List campaign);
       ("rsm", Json.List rsm);
+      ("shard", Json.List shard);
       ("wal_overhead", Json.List wal);
       ("mcheck", Json.List mcheck);
     ]
@@ -393,7 +441,7 @@ let validate_bench_json file =
   | v ->
       let open Json in
       (match Option.bind (member "schema" v) to_string_opt with
-      | Some "oocon-bench-core/1" -> ()
+      | Some "oocon-bench-core/2" -> ()
       | Some other -> err "unexpected schema %S" other
       | None -> err "missing schema");
       (match Option.bind (member "cores" v) to_int with
@@ -455,6 +503,31 @@ let validate_bench_json file =
         | None -> err "missing %s" key
       in
       check_rows "rsm" [ "backend"; "batch"; "throughput_per_kvt"; "ok" ];
+      check_rows "shard"
+        [
+          "backend";
+          "shards";
+          "singles_acked";
+          "txs_committed";
+          "abort_rate";
+          "throughput_per_kvt";
+          "ok";
+        ];
+      (match Option.bind (member "shard" v) to_list with
+      | Some rows ->
+          List.iteri
+            (fun i row ->
+              (match Option.bind (member "shards" row) to_int with
+              | Some s when s >= 1 -> ()
+              | _ -> err "shard[%d]: bad shards" i);
+              (match Option.bind (member "throughput_per_kvt" row) to_float with
+              | Some t when t > 0. -> ()
+              | _ -> err "shard[%d]: bad throughput_per_kvt" i);
+              match Option.bind (member "ok" row) to_bool with
+              | Some true -> ()
+              | _ -> err "shard[%d]: run reported violations" i)
+            rows
+      | None -> ());
       check_rows "wal_overhead"
         [ "backend"; "store"; "virtual_time"; "appends"; "fsyncs"; "ok" ];
       check_rows "mcheck"
@@ -473,7 +546,7 @@ let validate_bench_json file =
       | None -> ()));
   match List.rev !errors with
   | [] ->
-      Format.printf "%s: valid oocon-bench-core/1 baseline@." file;
+      Format.printf "%s: valid oocon-bench-core/2 baseline@." file;
       0
   | errs ->
       List.iter (Format.eprintf "%s: %s@." file) errs;
@@ -523,6 +596,13 @@ let tests =
                ~name:(Printf.sprintf "%s.n5" (Rsm.Backend.name b))
                (rotating (rsm_run b)))
            Rsm.Backend.all);
+      Test.make_grouped ~name:"shard"
+        [
+          Test.make ~name:"ben-or.s4" (rotating (shard_run Rsm.Backend.ben_or));
+          Test.make ~name:"raft.s4" (rotating (shard_run Rsm.Backend.raft));
+          Test.make ~name:"ben-or.s1"
+            (rotating (shard_run ~shards:1 Rsm.Backend.ben_or));
+        ];
       Test.make_grouped ~name:"store"
         [
           Test.make ~name:"rsm.ben-or.wal"
@@ -624,6 +704,16 @@ let () =
     in
     if List.exists (fun s -> not s.Workload.Rsm_load.ok) summaries then
       Format.printf "WARNING: some RSM sweep cells reported violations@.";
+    (* Sharded scaling: the same traffic at 1/2/4 shards — single-shard
+       ops/kvt should grow with the shard count. *)
+    let shard_cells =
+      let seeds = if scale = Workload.Experiments.Full then 3 else 1 in
+      Workload.Shard_load.sweep_shards ~shard_counts:[ 1; 2; 4 ]
+        ~load:shard_bench_load ~seeds ~backends:[ Rsm.Backend.ben_or ]
+        Format.std_formatter
+    in
+    if List.exists (fun s -> not s.Workload.Shard_load.ok) shard_cells then
+      Format.printf "WARNING: some shard sweep cells reported violations@.";
     store_overhead_table ~scale Format.std_formatter;
     nemesis_campaign_table ~scale Format.std_formatter
   end;

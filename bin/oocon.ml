@@ -750,6 +750,299 @@ let nemesis_cmd =
           failing plans to minimal counterexamples.")
     term
 
+(* -------------------------------------------------------------- shard -- *)
+
+let shard_cmd =
+  let backend_arg =
+    let doc = "Consensus backend deciding each shard's log slots: ben-or, phase-king, raft." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ben-or", Rsm.Backend.ben_or);
+               ("phase-king", Rsm.Backend.phase_king);
+               ("raft", Rsm.Backend.raft);
+             ])
+          Rsm.Backend.raft
+      & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let shards_arg =
+    let doc = "Independent consensus groups the keyspace is hash-partitioned over." in
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"S" ~doc)
+  in
+  let replicas_arg =
+    let doc = "Replicas per shard." in
+    Arg.(value & opt int 3 & info [ "replicas" ] ~docv:"R" ~doc)
+  in
+  let clients_arg =
+    let doc = "Simulated clients (closed-loop callback machines)." in
+    Arg.(value & opt int 10_000 & info [ "clients" ] ~docv:"K" ~doc)
+  in
+  let ops_arg =
+    let doc = "Operations per client." in
+    Arg.(value & opt int 2 & info [ "ops"; "commands" ] ~docv:"M" ~doc)
+  in
+  let keys_arg =
+    let doc = "Keyspace size (Zipf-skewed within each shard's pool)." in
+    Arg.(value & opt int 1024 & info [ "keys" ] ~docv:"KEYS" ~doc)
+  in
+  let tx_pct_arg =
+    let doc = "Percentage of operations that are multi-shard transactions." in
+    Arg.(value & opt int 10 & info [ "tx-pct" ] ~docv:"PCT" ~doc)
+  in
+  let tx_span_arg =
+    let doc = "Shards each transaction touches." in
+    Arg.(value & opt int 2 & info [ "tx-span" ] ~docv:"SPAN" ~doc)
+  in
+  let zipf_arg =
+    let doc = "Zipf skew exponent for key popularity (0 = uniform)." in
+    Arg.(value & opt float 1.1 & info [ "zipf" ] ~docv:"S" ~doc)
+  in
+  let batch_arg =
+    let doc = "Max commands batched into one consensus slot." in
+    Arg.(value & opt int 64 & info [ "batch" ] ~docv:"B" ~doc)
+  in
+  let open_loop_arg =
+    let doc =
+      "Open-loop arrivals with this mean inter-arrival gap (virtual time) \
+       instead of closed-loop clients."
+    in
+    Arg.(value & opt (some float) None & info [ "open-loop" ] ~docv:"GAP" ~doc)
+  in
+  let no_nemesis_arg =
+    let doc = "Disable the default shard-local partition nemesis." in
+    Arg.(value & flag & info [ "no-nemesis" ] ~doc)
+  in
+  let storage_arg =
+    let doc =
+      "Give every replica a WAL-backed store and open shard-local storage \
+       fault windows (torn writes, io errors); audits durability."
+    in
+    Arg.(value & flag & info [ "storage-faults" ] ~doc)
+  in
+  let broken_arg =
+    let doc =
+      "Deliberately broken 2PC: the coordinator commits on the first yes \
+       vote.  Exists to demonstrate the cross-shard atomicity checker."
+    in
+    Arg.(value & flag & info [ "broken-2pc" ] ~doc)
+  in
+  let expect_violation_arg =
+    let doc =
+      "Invert the exit code: succeed only when a violation IS found (mutant \
+       checks in CI)."
+    in
+    Arg.(value & flag & info [ "expect-violation" ] ~doc)
+  in
+  let campaign_arg =
+    let doc =
+      "Run a seed-sweep fault campaign (one generated plan per shard per \
+       seed) instead of a single run."
+    in
+    Arg.(value & flag & info [ "campaign" ] ~doc)
+  in
+  let plans_arg =
+    let doc = "Campaign mode: seeded per-shard fault plans per backend." in
+    Arg.(value & opt int 30 & info [ "plans" ] ~docv:"P" ~doc)
+  in
+  let max_events_arg =
+    let doc = "Engine event budget." in
+    Arg.(value & opt int 20_000_000 & info [ "max-events" ] ~docv:"E" ~doc)
+  in
+  let report_out_arg =
+    let doc =
+      "Campaign mode: write the report, minus timing figures, to this file — \
+       byte-identical across job counts, so two runs can be diffed."
+    in
+    Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
+  in
+  (* The default nemesis: a staggered minority partition inside every
+     shard (plus, with --storage-faults, a torn-write and an io-error
+     window per shard), all healed well before the run drains. *)
+  let default_inject ~shards ~replicas ~partitions ~storage
+      (f : Shard.Runner.faults) =
+    for s = 0 to shards - 1 do
+      let t0 = 100 + (40 * s) in
+      if partitions then begin
+        let victim = s mod replicas in
+        let rest =
+          List.filter (fun r -> r <> victim) (List.init replicas Fun.id)
+        in
+        Dsim.Engine.schedule f.Shard.Runner.engine ~delay:t0 (fun () ->
+            f.Shard.Runner.partition ~shard:s [ [ victim ]; rest ]);
+        Dsim.Engine.schedule f.Shard.Runner.engine ~delay:(t0 + 500) (fun () ->
+            f.Shard.Runner.heal ~shard:s)
+      end;
+      if storage then
+        f.Shard.Runner.set_store_policy ~shard:s
+          {
+            Store.Policy.none with
+            Store.Policy.torn =
+              [ Store.Policy.rule ~from_:(t0 + 100) ~until_:(t0 + 160) () ];
+            io_error =
+              [ Store.Policy.rule ~from_:(t0 + 300) ~until_:(t0 + 360) () ];
+          }
+    done
+  in
+  let run seed backend shards replicas clients ops keys tx_pct tx_span zipf
+      batch open_loop no_nemesis storage broken_2pc expect_violation campaign
+      plans max_events jobs report_out show_trace =
+    if shards < 1 || replicas < 1 then begin
+      Format.eprintf "need at least one shard and one replica@.";
+      exit 2
+    end;
+    let finish ~violations_found =
+      if expect_violation then
+        if violations_found then begin
+          Format.printf "expected violation found@.";
+          exit 0
+        end
+        else begin
+          Format.eprintf "no violation found but one was expected@.";
+          exit 1
+        end
+      else if violations_found then exit 1
+    in
+    let load =
+      {
+        Workload.Load.default with
+        Workload.Load.clients;
+        ops_per_client = ops;
+        keys;
+        zipf_s = zipf;
+        tx_pct;
+        tx_span;
+      }
+    in
+    if campaign then begin
+      let cfg =
+        {
+          (Nemesis.Shard_campaign.default_config ~shards ~replicas ()) with
+          Nemesis.Shard_campaign.backends = [ backend ];
+          plans;
+          first_seed = seed;
+          clients;
+          ops_per_client = ops;
+          keys;
+          tx_pct;
+          batch;
+          max_events;
+          storage;
+          broken_2pc;
+        }
+      in
+      let report =
+        Nemesis.Shard_campaign.run ~jobs:(resolve_jobs jobs) cfg
+      in
+      Format.printf "%a" Nemesis.Shard_campaign.pp_report report;
+      Option.iter
+        (fun file ->
+          Out_channel.with_open_text file (fun oc ->
+              let ppf = Format.formatter_of_out_channel oc in
+              Nemesis.Shard_campaign.pp_report_stable ppf report;
+              Format.pp_print_flush ppf ());
+          Format.printf "stable report written to %s@." file)
+        report_out;
+      finish
+        ~violations_found:
+          (report.Nemesis.Shard_campaign.safety_failures <> []
+          || report.Nemesis.Shard_campaign.atomicity_failures <> []
+          || report.Nemesis.Shard_campaign.durability_failures <> [])
+    end
+    else begin
+      let inject =
+        if no_nemesis && not storage then None
+        else
+          Some
+            (default_inject ~shards ~replicas ~partitions:(not no_nemesis)
+               ~storage)
+      in
+      let r, s =
+        Workload.Shard_load.run_one ~shards ~replicas ~batch ~seed ~load
+          ?arrival:
+            (Option.map
+               (fun mean_gap -> Shard.Runner.Open_loop { mean_gap })
+               open_loop)
+          ?store:(if storage then Some Rsm.Runner.default_store_config else None)
+          ?inject ~broken_2pc ~max_events ~backend ()
+      in
+      Format.printf
+        "Sharded RSM over %s: %d shards x %d replicas, %d clients x %d ops \
+         (%d%% tx, span %d, zipf %.2f), seed %d%s@."
+        s.Workload.Shard_load.backend_name shards replicas clients ops tx_pct
+        tx_span zipf seed
+        (if broken_2pc then " (BROKEN 2PC)" else "");
+      Format.printf
+        "  %d/%d singles acked; %d txs: %d committed, %d aborted (abort rate \
+         %.1f%%)@."
+        s.Workload.Shard_load.singles_acked r.Shard.Runner.singles_submitted
+        r.Shard.Runner.txs_started s.Workload.Shard_load.txs_committed
+        s.Workload.Shard_load.txs_aborted
+        (100. *. s.Workload.Shard_load.abort_rate);
+      Array.iter
+        (fun (sr : Shard.Runner.shard_report) ->
+          Format.printf
+            "  shard %d: %d cmds applied, %d slots, %d instances, %d msgs%s@."
+            sr.Shard.Runner.sr_shard sr.Shard.Runner.sr_applied
+            sr.Shard.Runner.sr_slots sr.Shard.Runner.sr_instances
+            sr.Shard.Runner.sr_messages_sent
+            (match sr.Shard.Runner.sr_crashed with
+            | [] -> ""
+            | cs ->
+                Printf.sprintf " (down: %s)"
+                  (String.concat "," (List.map (Printf.sprintf "r%d") cs))))
+        r.Shard.Runner.shard_reports;
+      Format.printf "  aggregate throughput %.1f ops/1000vt over vt %d@."
+        s.Workload.Shard_load.throughput s.Workload.Shard_load.virtual_time;
+      Option.iter
+        (fun l ->
+          Format.printf "  single latency %a@." Workload.Stats.pp_summary l)
+        s.Workload.Shard_load.single_latency;
+      Option.iter
+        (fun l -> Format.printf "  2PC tx latency %a@." Workload.Stats.pp_summary l)
+        s.Workload.Shard_load.tx_latency;
+      let atomicity_problems =
+        r.Shard.Runner.atomicity @ r.Shard.Runner.tx_completeness
+      in
+      List.iter
+        (fun v -> Format.printf "  ATOMICITY %a@." Shard.Checker.pp_violation v)
+        atomicity_problems;
+      Array.iter
+        (fun (sr : Shard.Runner.shard_report) ->
+          List.iter
+            (fun v ->
+              Format.printf "  SHARD %d %a@." sr.Shard.Runner.sr_shard
+                Rsm.Checker.pp_violation v)
+            (sr.Shard.Runner.sr_violations @ sr.Shard.Runner.sr_completeness
+           @ sr.Shard.Runner.sr_durability))
+        r.Shard.Runner.shard_reports;
+      if s.Workload.Shard_load.ok then
+        Format.printf
+          "cross-shard atomicity, per-shard total order and durability all \
+           hold; states agree@.";
+      dump_trace ~limit:show_trace r.Shard.Runner.trace;
+      finish ~violations_found:(not s.Workload.Shard_load.ok)
+    end
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ backend_arg $ shards_arg $ replicas_arg
+      $ clients_arg $ ops_arg $ keys_arg $ tx_pct_arg $ tx_span_arg $ zipf_arg
+      $ batch_arg $ open_loop_arg $ no_nemesis_arg $ storage_arg $ broken_arg
+      $ expect_violation_arg $ campaign_arg $ plans_arg $ max_events_arg
+      $ jobs_arg $ report_out_arg $ show_trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Run the sharded multi-group RSM: the keyspace hash-partitioned \
+          over independent consensus groups, cross-shard transactions \
+          through 2PC over the replicated logs, tens of thousands of \
+          Zipfian clients, shard-local fault injection, and cross-shard \
+          atomicity checking.")
+    term
+
 (* ------------------------------------------------------------- mcheck -- *)
 
 let mcheck_cmd =
@@ -983,6 +1276,7 @@ let main_cmd =
       sharedmem_cmd;
       rsm_cmd;
       store_cmd;
+      shard_cmd;
       nemesis_cmd;
       mcheck_cmd;
       experiments_cmd;

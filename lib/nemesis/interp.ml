@@ -117,3 +117,24 @@ let install_rsm plan (f : Rsm.Runner.faults) =
   f.Rsm.Runner.set_policy (policy plan);
   f.Rsm.Runner.set_store_policy (store_policy plan);
   schedule ~engine:f.Rsm.Runner.engine (handle_of_faults f) plan
+
+(* One sharded run has N independent fault surfaces — a plan per shard,
+   each driven through the same machinery as a single-group run.
+   Replica pids inside a plan are shard-local. *)
+let handle_of_shard_faults (f : Shard.Runner.faults) ~shard =
+  {
+    crash = (fun pid -> f.Shard.Runner.crash ~shard ~replica:pid);
+    restart = (fun pid -> f.Shard.Runner.restart ~shard ~replica:pid);
+    partition = (fun groups -> f.Shard.Runner.partition ~shard groups);
+    heal = (fun () -> f.Shard.Runner.heal ~shard);
+  }
+
+let install_shard plans (f : Shard.Runner.faults) =
+  Array.iteri
+    (fun shard plan ->
+      f.Shard.Runner.set_policy ~shard (policy plan);
+      f.Shard.Runner.set_store_policy ~shard (store_policy plan);
+      schedule ~engine:f.Shard.Runner.engine
+        (handle_of_shard_faults f ~shard)
+        plan)
+    plans

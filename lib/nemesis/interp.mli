@@ -49,3 +49,15 @@ val install_rsm : Plan.t -> Rsm.Runner.faults -> unit
     kills/respawns TOB replica processes alongside the network-level
     crash/restart).  Storage windows only bite when the run has a
     [store] configured. *)
+
+val handle_of_shard_faults : Shard.Runner.faults -> shard:int -> handle
+(** One shard's slice of a sharded run's fault controller: partitions
+    and crashes are {e shard-local} (replica pids in the plan are
+    indices within that shard's group). *)
+
+val install_shard : Plan.t array -> Shard.Runner.faults -> unit
+(** The {!Shard.Runner.config.inject} hook for a plan {e per shard}
+    (index = shard id): each shard gets its own message policy, storage
+    policy and scheduled topology actions, so partitions and disk
+    faults hit shards independently — the cross-shard 2PC layer is what
+    has to cope. *)

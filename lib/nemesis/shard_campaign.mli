@@ -1,0 +1,89 @@
+(** Seed-sweep fault campaigns against the sharded multi-group RSM —
+    the {!Campaign} analogue for {!Shard.Runner}.
+
+    Every campaign seed expands into {e one fault plan per shard}
+    (derived seeds, installed via {!Interp.install_shard}), so
+    partitions, crashes and storage faults hit shards independently
+    while a mixed single/multi-shard workload runs over them.  Each run
+    is scored on four properties: per-shard safety (total order +
+    digest agreement), cross-shard {e atomicity} (the 2PC checker),
+    liveness (every operation completes), and durability. *)
+
+type config = {
+  backends : Rsm.Backend.t list;
+  plans : int;  (** campaign seeds per backend *)
+  first_seed : int;
+  shards : int;
+  replicas : int;  (** per shard *)
+  clients : int;
+  ops_per_client : int;
+  keys : int;
+  tx_pct : int;  (** % multi-shard transactions in the workload *)
+  batch : int;
+  profile : Gen.profile;  (** per-shard plan profile ([n] = replicas) *)
+  ack_timeout : int;
+  max_events : int;
+  storage : bool;  (** give every replica a WAL and draw storage faults *)
+  broken_2pc : bool;  (** run the commit-without-quorum mutant *)
+}
+
+val default_config : ?shards:int -> ?replicas:int -> unit -> config
+(** 4 shards x 3 replicas, 30 plans, 12 clients x 3 ops, 25% txs,
+    benign profile (every disturbance heals before the horizon). *)
+
+type outcome = {
+  backend_name : string;
+  plan_seed : int;
+  plans : Plan.t array;  (** index = shard *)
+  safety : bool;  (** per-shard order violations = 0, digests agree *)
+  atomic : bool;  (** cross-shard atomicity violations = 0 *)
+  live : bool;  (** every op completed; no completeness violations *)
+  durable : bool;
+  total_ops : int;
+  completed : int;
+  txs_committed : int;
+  txs_aborted : int;
+  virtual_time : int;
+  engine_outcome : Dsim.Engine.outcome;
+}
+
+type report = {
+  runs : int;
+  outcomes : outcome list;
+  safety_failures : outcome list;
+  atomicity_failures : outcome list;
+  incomplete : outcome list;
+  durability_failures : outcome list;
+  faults_injected : int;
+  coverage : (string * int) list;  (** action-kind occurrence counts *)
+  cpu_seconds : float;
+  wall_seconds : float;
+  runs_per_sec : float;
+}
+
+val plans_for : config -> seed:int -> Plan.t array
+(** The per-shard plans a campaign seed expands into (deterministic). *)
+
+val run_plans :
+  ?quiet:bool ->
+  config ->
+  backend:Rsm.Backend.t ->
+  seed:int ->
+  Plan.t array ->
+  Shard.Runner.report
+(** Replay one campaign cell — e.g. to re-run a failure with tracing
+    on ([quiet:false]). *)
+
+val merge : report -> report -> report
+(** Associative and order-preserving, like {!Campaign.merge}. *)
+
+val run : ?jobs:int -> ?on_outcome:(outcome -> unit) -> config -> report
+(** The sweep: every backend x seed cell, fanned over [jobs] domains
+    ({!Exec.Pool}); the report is identical at every job count (only
+    the timing fields differ — compare with {!pp_report_stable}). *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val pp_report_stable : Format.formatter -> report -> unit
+(** {!pp_report} minus the timing header line: byte-identical across
+    job counts for the same campaign. *)

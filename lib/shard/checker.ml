@@ -1,0 +1,136 @@
+type violation = {
+  property : string;
+  txid : int;
+  shard : int option;
+  message : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] tx %d%s: %s" v.property v.txid
+    (match v.shard with Some s -> Printf.sprintf " shard %d" s | None -> "")
+    v.message
+
+type tx_rec = {
+  participants : int list;
+  votes : (int, bool list) Hashtbl.t;  (* shard -> recorded votes *)
+  outcomes : (int, bool list) Hashtbl.t;  (* shard -> recorded outcomes *)
+}
+
+type t = { txs : (int, tx_rec) Hashtbl.t }
+
+let create () = { txs = Hashtbl.create 64 }
+
+let record_tx t ~txid ~participants =
+  if not (Hashtbl.mem t.txs txid) then
+    Hashtbl.replace t.txs txid
+      {
+        participants = List.sort_uniq compare participants;
+        votes = Hashtbl.create 4;
+        outcomes = Hashtbl.create 4;
+      }
+
+let get t txid =
+  match Hashtbl.find_opt t.txs txid with
+  | Some r -> r
+  | None ->
+      (* a vote/outcome for an undeclared tx: keep it, flag it in check *)
+      let r =
+        { participants = []; votes = Hashtbl.create 4; outcomes = Hashtbl.create 4 }
+      in
+      Hashtbl.replace t.txs txid r;
+      r
+
+let add tbl shard v =
+  let prev = Option.value (Hashtbl.find_opt tbl shard) ~default:[] in
+  if not (List.mem v prev) then Hashtbl.replace tbl shard (v :: prev)
+
+let record_vote t ~txid ~shard ~vote = add (get t txid).votes shard vote
+let record_outcome t ~txid ~shard ~committed =
+  add (get t txid).outcomes shard committed
+
+let txs_started t = Hashtbl.length t.txs
+
+let sorted_txs t =
+  Hashtbl.fold (fun id r acc -> (id, r) :: acc) t.txs [] |> List.sort compare
+
+let tx_committed r =
+  Hashtbl.fold (fun _ vs acc -> acc || List.mem true vs) r.outcomes false
+
+let committed t =
+  List.length (List.filter (fun (_, r) -> tx_committed r) (sorted_txs t))
+
+let aborted t =
+  List.length
+    (List.filter
+       (fun (_, r) ->
+         (not (tx_committed r))
+         && Hashtbl.fold (fun _ vs acc -> acc || List.mem false vs) r.outcomes false)
+       (sorted_txs t))
+
+let check t =
+  let out = ref [] in
+  let flag property txid shard message =
+    out := { property; txid; shard; message } :: !out
+  in
+  List.iter
+    (fun (txid, r) ->
+      if r.participants = [] then
+        flag "declared" txid None "vote/outcome recorded for undeclared tx";
+      let member s = List.mem s r.participants in
+      Hashtbl.iter
+        (fun s vs ->
+          if r.participants <> [] && not (member s) then
+            flag "participants" txid (Some s) "vote from non-participant shard";
+          if List.length vs > 1 then
+            flag "vote-consistency" txid (Some s)
+              "conflicting votes recorded at one shard")
+        r.votes;
+      Hashtbl.iter
+        (fun s os ->
+          if r.participants <> [] && not (member s) then
+            flag "participants" txid (Some s) "outcome at non-participant shard";
+          if List.length os > 1 then
+            flag "outcome-agreement" txid (Some s)
+              "conflicting outcomes recorded at one shard")
+        r.outcomes;
+      let outcomes =
+        Hashtbl.fold (fun s os acc -> (s, os) :: acc) r.outcomes []
+      in
+      let some_commit = List.exists (fun (_, os) -> List.mem true os) outcomes in
+      let some_abort = List.exists (fun (_, os) -> List.mem false os) outcomes in
+      if some_commit && some_abort then
+        flag "outcome-agreement" txid None
+          "transaction committed at one shard and aborted at another";
+      if some_commit then
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt r.votes s with
+            | Some vs when List.mem true vs && not (List.mem false vs) -> ()
+            | Some _ ->
+                flag "commit-quorum" txid (Some s)
+                  "committed without a yes vote from this participant"
+            | None ->
+                flag "commit-quorum" txid (Some s)
+                  "committed but this participant never voted")
+          r.participants)
+    (sorted_txs t);
+  List.rev !out
+
+let check_complete t =
+  let out = ref [] in
+  List.iter
+    (fun (txid, r) ->
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem r.outcomes s) then
+            out :=
+              {
+                property = "tx-completeness";
+                txid;
+                shard = Some s;
+                message = "no outcome reached this participant";
+              }
+              :: !out)
+        r.participants)
+    (sorted_txs t);
+  List.rev !out

@@ -1,0 +1,57 @@
+(** Cross-shard atomicity monitor — the transaction-level companion to
+    the per-shard {!Rsm.Checker} total-order monitor.
+
+    Record what the shards' logs actually applied (votes as prepares
+    apply, outcomes as decides/outcomes settle) and then ask for
+    violations.  Safety properties, checked by {!check}:
+
+    - {b vote consistency}: a shard never records two different votes
+      for the same transaction (replicas of one shard are covered by
+      slot agreement; this catches cross-recording bugs);
+    - {b outcome agreement}: no transaction commits at one participant
+      and aborts at another — the atomicity clause of 2PC;
+    - {b commit requires unanimous yes}: a transaction with any
+      committed outcome must have a recorded {e yes} vote from every
+      participant — the property the deliberately broken
+      commit-without-quorum coordinator violates;
+    - {b no spurious participants}: votes/outcomes only from declared
+      participant shards.
+
+    {!check_complete} separately demands that every started transaction
+    reached an outcome at every participant — a liveness claim that
+    only holds for drained runs, exactly like
+    {!Rsm.Checker.check_complete}. *)
+
+type violation = {
+  property : string;
+  txid : int;
+  shard : int option;
+  message : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val create : unit -> t
+
+val record_tx : t -> txid:int -> participants:int list -> unit
+(** Declare a transaction and its participant set (idempotent). *)
+
+val record_vote : t -> txid:int -> shard:int -> vote:bool -> unit
+(** A prepare applied at [shard] and voted [vote].  Duplicate
+    recordings with the same polarity are idempotent; a conflicting
+    duplicate is kept and flagged by {!check}. *)
+
+val record_outcome : t -> txid:int -> shard:int -> committed:bool -> unit
+(** A decide/outcome settled the transaction at [shard] with the given
+    canonical status.  Conflicting duplicates are flagged. *)
+
+val txs_started : t -> int
+val committed : t -> int
+(** Transactions with at least one committed outcome and no conflict. *)
+
+val aborted : t -> int
+
+val check : t -> violation list
+val check_complete : t -> violation list

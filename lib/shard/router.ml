@@ -1,0 +1,41 @@
+type t = { shards : int }
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Router.create: need at least one shard";
+  { shards }
+
+let shards t = t.shards
+
+(* FNV-1a 64-bit: stable across OCaml versions, unlike Hashtbl.hash. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
+
+let shard_of_key t key = fnv1a key mod t.shards
+
+let slice t wops =
+  let tbl : (int, Cmd.wop list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      let s = shard_of_key t (Cmd.wop_key w) in
+      match Hashtbl.find_opt tbl s with
+      | Some l -> l := w :: !l
+      | None -> Hashtbl.replace tbl s (ref [ w ]))
+    wops;
+  Hashtbl.fold (fun s l acc -> (s, List.rev !l) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let make_tx t ~txid wops =
+  if wops = [] then invalid_arg "Router.make_tx: empty transaction";
+  let ops = slice t wops in
+  { Cmd.txid; participants = List.map fst ops; ops }
+
+let coordinator (tx : Cmd.tx) =
+  match tx.participants with
+  | p :: _ -> p
+  | [] -> invalid_arg "Router.coordinator: no participants"

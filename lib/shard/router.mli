@@ -1,0 +1,26 @@
+(** Keyspace partitioning: which consensus group owns a key.
+
+    A deterministic string hash (FNV-1a, no [Hashtbl.hash] versioning
+    risk) maps every key to one of [shards] groups.  Single-key
+    commands route to their owner and never coordinate; a multi-key
+    write set is sliced per owner and the sorted owner list becomes the
+    transaction's participant set, its head the coordinator shard. *)
+
+type t
+
+val create : shards:int -> t
+(** @raise Invalid_argument if [shards < 1]. *)
+
+val shards : t -> int
+val shard_of_key : t -> string -> int
+
+val slice : t -> Cmd.wop list -> (int * Cmd.wop list) list
+(** Group write ops by owning shard, shard ids ascending, op order
+    within a slice preserved. *)
+
+val make_tx : t -> txid:int -> Cmd.wop list -> Cmd.tx
+(** Slice the write set and fill in participants (sorted; the head is
+    the coordinator shard).  @raise Invalid_argument on an empty op
+    list. *)
+
+val coordinator : Cmd.tx -> int

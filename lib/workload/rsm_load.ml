@@ -1,30 +1,10 @@
-type op_mix = { set_pct : int; get_pct : int; cas_pct : int }
+type op_mix = Load.mix = { set_pct : int; get_pct : int; cas_pct : int }
 
-let default_mix = { set_pct = 60; get_pct = 25; cas_pct = 15 }
+let default_mix = Load.default_mix
 
-let gen_ops ?(keys = 8) ?(mix = default_mix) ~seed ~clients ~commands () =
-  if mix.set_pct + mix.get_pct + mix.cas_pct <> 100 then
-    invalid_arg "Rsm_load.gen_ops: op mix must sum to 100";
-  let rng = Dsim.Rng.create seed in
-  (* Zipf-ish skew: half the traffic hits the first quarter of the keys. *)
-  let key () =
-    let hot = max 1 (keys / 4) in
-    if Dsim.Rng.bool rng then Printf.sprintf "k%d" (Dsim.Rng.int rng hot)
-    else Printf.sprintf "k%d" (Dsim.Rng.int rng keys)
-  in
-  Array.init clients (fun c ->
-      List.init commands (fun k ->
-          let roll = Dsim.Rng.int rng 100 in
-          if roll < mix.set_pct then
-            Rsm.App.Set (key (), Printf.sprintf "c%d.%d" c k)
-          else if roll < mix.set_pct + mix.get_pct then Rsm.App.Get (key ())
-          else
-            Rsm.App.Cas
-              {
-                key = key ();
-                expect = None;
-                update = Printf.sprintf "cas-c%d.%d" c k;
-              }))
+let gen_ops ?(shards = 1) ?(keys = 8) ?(mix = default_mix) ?(zipf_s = 1.1) ~seed
+    ~clients ~commands () =
+  Load.gen_kv_ops ~shards ~keys ~mix ~zipf_s ~seed ~clients ~commands ()
 
 let crash_plan ~n ~crashes =
   if crashes < 0 || crashes >= n then
@@ -74,11 +54,8 @@ let summarize (cfg : Rsm.Runner.config) (r : Rsm.Runner.report) =
     slots = r.slots;
     instances = r.instances;
     messages = r.messages_sent;
-    throughput =
-      (if r.virtual_time = 0 then 0.
-       else 1000. *. float_of_int r.acked /. float_of_int r.virtual_time);
-    latency =
-      (match r.latencies with [] -> None | ls -> Some (Stats.summarize ls));
+    throughput = Load.throughput ~acked:r.acked ~virtual_time:r.virtual_time;
+    latency = Load.latency_opt r.latencies;
     violations;
     ok = (violations = 0 && r.digests_agree);
   }

@@ -4,10 +4,12 @@
 
     A workload is K closed-loop clients, each issuing M key-value
     commands drawn deterministically from a seed: a configurable mix of
-    [SET] / [GET] / [CAS] over a bounded, skewed key space, so CAS
-    contention and read-your-writes patterns actually occur. *)
+    [SET] / [GET] / [CAS] over a bounded, Zipf-skewed key space, so CAS
+    contention and read-your-writes patterns actually occur.
+    Generation and per-run stats now live in {!Load}, shared with the
+    sharded harness ({!Shard_load}). *)
 
-type op_mix = {
+type op_mix = Load.mix = {
   set_pct : int;
   get_pct : int;
   cas_pct : int;  (** the three must sum to 100 *)
@@ -17,15 +19,21 @@ val default_mix : op_mix
 (** 60% SET, 25% GET, 15% CAS. *)
 
 val gen_ops :
+  ?shards:int ->
   ?keys:int ->
   ?mix:op_mix ->
+  ?zipf_s:float ->
   seed:int64 ->
   clients:int ->
   commands:int ->
   unit ->
   Rsm.App.kv_cmd list array
 (** One command list per client ([commands] each) over [keys] distinct
-    keys (default 8 — small on purpose, to create contention). *)
+    keys (default 8 — small on purpose, to create contention), Zipf
+    skew [zipf_s] (default 1.1).  Delegates to {!Load.gen_kv_ops};
+    [shards > 1] makes the traffic shard-aware: keys are drawn from
+    per-shard pools (the same router hash {!Shard.Runner} uses), skew
+    applied inside each pool. *)
 
 val crash_plan : n:int -> crashes:int -> (int * int) list
 (** A staggered schedule crashing [crashes] distinct replicas early in

@@ -28,6 +28,7 @@ let () =
       ("explore", Test_explore.suite);
       ("store", Test_store.suite);
       ("rsm", Test_rsm.suite);
+      ("shard", Test_shard.suite);
       ("workload", Test_workload.suite);
       ("nemesis", Test_nemesis.suite);
       ("mcheck", Test_mcheck.suite);

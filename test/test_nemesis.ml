@@ -7,6 +7,7 @@ module Plan = Nemesis.Plan
 module Gen = Nemesis.Gen
 module Interp = Nemesis.Interp
 module Campaign = Nemesis.Campaign
+module Shard_campaign = Nemesis.Shard_campaign
 module Shrink = Nemesis.Shrink
 
 let check = Alcotest.check
@@ -426,6 +427,62 @@ let shrink_rejects_passing_plan () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "shrink must refuse a plan that does not fail"
 
+(* --- the sharded campaign ------------------------------------------ *)
+
+let small_shard_cfg ?(plans = 6) ?(storage = false) () =
+  {
+    (Shard_campaign.default_config ~shards:2 ()) with
+    Shard_campaign.plans;
+    first_seed = 5;
+    clients = 8;
+    ops_per_client = 2;
+    storage;
+  }
+
+let shard_campaign_smoke () =
+  let r = Shard_campaign.run (small_shard_cfg ()) in
+  check Alcotest.int "all runs executed" 6 r.Shard_campaign.runs;
+  check Alcotest.int "no safety failures" 0
+    (List.length r.Shard_campaign.safety_failures);
+  check Alcotest.int "no atomicity failures" 0
+    (List.length r.Shard_campaign.atomicity_failures);
+  check Alcotest.int "no incomplete runs" 0
+    (List.length r.Shard_campaign.incomplete);
+  check Alcotest.int "coverage sums to faults injected"
+    r.Shard_campaign.faults_injected
+    (List.fold_left (fun a (_, c) -> a + c) 0 r.Shard_campaign.coverage);
+  check Alcotest.bool "some faults were actually injected" true
+    (r.Shard_campaign.faults_injected > 0)
+
+let shard_campaign_storage_durability () =
+  let r = Shard_campaign.run (small_shard_cfg ~plans:4 ~storage:true ()) in
+  check Alcotest.int "all runs executed" 4 r.Shard_campaign.runs;
+  check Alcotest.int "no durability failures" 0
+    (List.length r.Shard_campaign.durability_failures);
+  check Alcotest.int "no atomicity failures" 0
+    (List.length r.Shard_campaign.atomicity_failures);
+  let storage_faults =
+    List.fold_left
+      (fun a k -> a + List.assoc k r.Shard_campaign.coverage)
+      0
+      [ "torn"; "sync-loss"; "io-err"; "stall" ]
+  in
+  check Alcotest.bool "storage faults were actually injected" true
+    (storage_faults > 0)
+
+let shard_campaign_jobs_independent () =
+  let stable r =
+    let buf = Buffer.create 512 in
+    let ppf = Format.formatter_of_buffer buf in
+    Shard_campaign.pp_report_stable ppf r;
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+  in
+  let cfg = small_shard_cfg ~plans:4 () in
+  check Alcotest.string "stable report identical at jobs=1 and jobs=2"
+    (stable (Shard_campaign.run ~jobs:1 cfg))
+    (stable (Shard_campaign.run ~jobs:2 cfg))
+
 let suite =
   [
     Alcotest.test_case "validate accepts well-formed" `Quick
@@ -459,4 +516,9 @@ let suite =
       store_policy_compiles_windows;
     Alcotest.test_case "storage campaign durability" `Quick
       storage_campaign_durability;
+    Alcotest.test_case "shard campaign smoke" `Quick shard_campaign_smoke;
+    Alcotest.test_case "shard campaign storage durability" `Quick
+      shard_campaign_storage_durability;
+    Alcotest.test_case "shard campaign independent of jobs" `Quick
+      shard_campaign_jobs_independent;
   ]

@@ -130,6 +130,110 @@ let histogram_degenerate () =
   let total = List.fold_left (fun acc (_, c, _) -> acc + c) 0 rows in
   check Alcotest.int "constant input all in one bin" 3 total
 
+(* --- the shared Load generator ------------------------------------- *)
+
+let load_cdf_monotone () =
+  let cdf = Workload.Load.make_cdf ~keys:16 ~s:1.1 in
+  check Alcotest.int "16 entries" 16 (Array.length cdf);
+  Array.iteri
+    (fun i x ->
+      if i > 0 then
+        check Alcotest.bool "monotone" true (x >= cdf.(i - 1)))
+    cdf;
+  fcheck "sums to one" 1.0 cdf.(15);
+  (* skew: the hottest key carries more mass than a uniform share *)
+  check Alcotest.bool "head is hot" true (cdf.(0) > 1.0 /. 16.0)
+
+let load_gen_ops_deterministic () =
+  let gen () =
+    Workload.Load.gen_kv_ops ~shards:4 ~keys:64 ~zipf_s:1.1 ~seed:9L
+      ~clients:6 ~commands:5 ()
+  in
+  check Alcotest.bool "same seed, same ops" true (gen () = gen ());
+  let other =
+    Workload.Load.gen_kv_ops ~shards:4 ~keys:64 ~zipf_s:1.1 ~seed:10L
+      ~clients:6 ~commands:5 ()
+  in
+  check Alcotest.bool "different seed differs" true (gen () <> other)
+
+let rsm_gen_ops_shard_aware () =
+  let shards = 4 in
+  let ops =
+    Workload.Rsm_load.gen_ops ~shards ~keys:64 ~seed:3L ~clients:16
+      ~commands:8 ()
+  in
+  let router = Shard.Router.create ~shards in
+  let hit = Array.make shards false in
+  Array.iter
+    (List.iter (fun cmd ->
+         hit.(Shard.Router.shard_of_key router (Shard.Runner.kv_key cmd)) <-
+           true))
+    ops;
+  Array.iteri
+    (fun s h ->
+      check Alcotest.bool (Printf.sprintf "shard %d gets traffic" s) true h)
+    hit
+
+let load_gen_shard_ops_shape () =
+  let l =
+    {
+      Workload.Load.default with
+      Workload.Load.clients = 8;
+      ops_per_client = 6;
+      keys = 64;
+      tx_pct = 50;
+      tx_span = 2;
+      shards = 4;
+      seed = 7;
+    }
+  in
+  let ops = Workload.Load.gen_shard_ops l in
+  check Alcotest.int "one list per client" 8 (Array.length ops);
+  Array.iter
+    (fun l -> check Alcotest.int "ops per client" 6 (List.length l))
+    ops;
+  let router = Shard.Router.create ~shards:4 in
+  let txs = ref 0 and singles = ref 0 in
+  Array.iter
+    (List.iter (function
+      | Shard.Runner.Single _ -> incr singles
+      | Shard.Runner.Tx wops ->
+          incr txs;
+          let shards_touched =
+            List.sort_uniq compare
+              (List.map
+                 (fun w ->
+                   Shard.Router.shard_of_key router (Shard.Cmd.wop_key w))
+                 wops)
+          in
+          check Alcotest.int "tx spans tx_span distinct shards" 2
+            (List.length shards_touched)))
+    ops;
+  check Alcotest.bool "mix has both kinds" true (!txs > 0 && !singles > 0)
+
+let shard_load_run_one () =
+  let load =
+    {
+      Workload.Load.default with
+      Workload.Load.clients = 8;
+      ops_per_client = 3;
+      keys = 32;
+      tx_pct = 20;
+      shards = 2;
+    }
+  in
+  let _r, s =
+    Workload.Shard_load.run_one ~shards:2 ~seed:5 ~load
+      ~backend:Rsm.Backend.ben_or ()
+  in
+  check Alcotest.bool "clean run" true s.Workload.Shard_load.ok;
+  check Alcotest.int "total ops" 24 s.Workload.Shard_load.total_ops;
+  check Alcotest.int "all ops completed" 24
+    (s.Workload.Shard_load.singles_acked + s.Workload.Shard_load.txs_committed
+   + s.Workload.Shard_load.txs_aborted);
+  check Alcotest.int "one applied count per shard" 2
+    (Array.length s.Workload.Shard_load.per_shard_applied)
+
 let seeds_scale () =
   check Alcotest.bool "full > quick" true
     (Workload.Experiments.seeds_for Workload.Experiments.Full
@@ -150,5 +254,10 @@ let suite =
     Alcotest.test_case "E7 separation" `Slow e7_separation_cases;
     Alcotest.test_case "histogram bins" `Quick histogram_bins;
     Alcotest.test_case "histogram degenerate" `Quick histogram_degenerate;
+    Alcotest.test_case "load cdf monotone" `Quick load_cdf_monotone;
+    Alcotest.test_case "load gen deterministic" `Quick load_gen_ops_deterministic;
+    Alcotest.test_case "rsm gen_ops shard-aware" `Quick rsm_gen_ops_shard_aware;
+    Alcotest.test_case "gen_shard_ops shape" `Quick load_gen_shard_ops_shape;
+    Alcotest.test_case "shard_load run_one" `Quick shard_load_run_one;
     Alcotest.test_case "seed scaling" `Quick seeds_scale;
   ]
