@@ -114,14 +114,14 @@ let decentralized_run seed =
 let rsm_run backend seed =
   ignore
     (Workload.Rsm_load.run_one ~n:5 ~clients:4 ~commands:2 ~batch:8 ~seed ~backend ()
-      : Rsm.Runner.report * Workload.Rsm_load.summary)
+      : Obj.Kv.op Rsm.Runner.report * Workload.Rsm_load.summary)
 
 let rsm_durable_run ~snapshot_every backend seed =
   let store = { Rsm.Runner.default_store_config with snapshot_every } in
   ignore
     (Workload.Rsm_load.run_one ~n:5 ~clients:4 ~commands:2 ~batch:8 ~seed ~store
        ~backend ()
-      : Rsm.Runner.report * Workload.Rsm_load.summary)
+      : Obj.Kv.op Rsm.Runner.report * Workload.Rsm_load.summary)
 
 (* WAL overhead and snapshot/compaction cost vs the in-memory baseline:
    same workload three ways — no store, WAL only (ack gated on fsync, no
@@ -240,7 +240,8 @@ let nemesis_run backend seed =
   let cfg = Nemesis.Campaign.default_config ~n:5 () in
   let plan = Nemesis.Campaign.plan_for cfg ~seed in
   ignore
-    (Nemesis.Campaign.run_plan cfg ~backend ~seed plan : Rsm.Runner.report)
+    (Nemesis.Campaign.run_plan cfg ~backend ~seed plan
+      : Obj.Kv.op Rsm.Runner.report)
 
 (* Campaign throughput: a whole seeded sweep through the safety auditor,
    reported as runs/sec and faults injected (the numbers `oocon nemesis`
@@ -322,6 +323,57 @@ let mcheck_cell ~model ~depth make_model =
       ("violating", Json.Int r.Mcheck.Explorer.r_violating);
       ("schedules_per_sec", Json.Float rate);
     ]
+
+(* Per-object universal-construction rows: the object's own sequential
+   [apply] throughput, and the Wing–Gong checker's price on a real
+   replicated history (states visited, wall seconds, verdict).  One row
+   per registry instance — the checker cost is the part that scales
+   badly (memoized exponential), so it gets its own column. *)
+let obj_row (type a) name (module O : Obj.Spec.S with type op = a) =
+  let rng = Dsim.Rng.create 11L in
+  let stream =
+    Array.init 64 (fun k ->
+        O.gen_op ~rng
+          ~key:(Printf.sprintf "k%d" (k mod 8))
+          ~tag:(Printf.sprintf "b%d" k))
+  in
+  let iters = 50_000 in
+  let st = ref O.init in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to iters - 1 do
+    st := fst (O.apply !st stream.(i mod Array.length stream))
+  done;
+  let apply_wall = Unix.gettimeofday () -. t0 in
+  ignore (O.digest !st : string);
+  let module Rep = Obj.Replicated.Make (O) in
+  let ops =
+    Workload.Load.gen_obj_ops (module O) ~seed:5L ~clients:3 ~commands:6 ()
+  in
+  let r =
+    Rsm.Runner.run (Rep.app ())
+      { (Rsm.Runner.default_config ~n:5 ~ops) with quiet = true }
+  in
+  let t0 = Unix.gettimeofday () in
+  let wg = Rep.check r.Rsm.Runner.history in
+  let wg_wall = Unix.gettimeofday () -. t0 in
+  let linearizable =
+    match wg.Rep.W.verdict with Rep.W.Linearizable _ -> true | _ -> false
+  in
+  Json.Obj
+    [
+      ("object", Json.String name);
+      ( "apply_ops_per_sec",
+        Json.Float (float_of_int iters /. Float.max apply_wall 1e-9) );
+      ("history_events", Json.Int (List.length r.Rsm.Runner.history));
+      ("wg_states", Json.Int wg.Rep.W.states);
+      ("wg_seconds", Json.Float wg_wall);
+      ("linearizable", Json.Bool linearizable);
+    ]
+
+let obj_rows () =
+  List.map
+    (fun (name, (module O : Obj.Spec.S)) -> obj_row name (module O))
+    Obj.Registry.all
 
 let bench_core_json () =
   let cores = Exec.Pool.cores () in
@@ -411,11 +463,12 @@ let bench_core_json () =
   in
   Json.Obj
     [
-      ("schema", Json.String "oocon-bench-core/2");
+      ("schema", Json.String "oocon-bench-core/3");
       ("cores", Json.Int cores);
       ("engine", Json.Obj [ ("traced", traced); ("quiet", quiet) ]);
       ("campaign", Json.List campaign);
       ("rsm", Json.List rsm);
+      ("obj", Json.List (obj_rows ()));
       ("shard", Json.List shard);
       ("wal_overhead", Json.List wal);
       ("mcheck", Json.List mcheck);
@@ -441,7 +494,7 @@ let validate_bench_json file =
   | v ->
       let open Json in
       (match Option.bind (member "schema" v) to_string_opt with
-      | Some "oocon-bench-core/2" -> ()
+      | Some "oocon-bench-core/3" -> ()
       | Some other -> err "unexpected schema %S" other
       | None -> err "missing schema");
       (match Option.bind (member "cores" v) to_int with
@@ -503,6 +556,30 @@ let validate_bench_json file =
         | None -> err "missing %s" key
       in
       check_rows "rsm" [ "backend"; "batch"; "throughput_per_kvt"; "ok" ];
+      check_rows "obj"
+        [
+          "object";
+          "apply_ops_per_sec";
+          "history_events";
+          "wg_states";
+          "wg_seconds";
+          "linearizable";
+        ];
+      (match Option.bind (member "obj" v) to_list with
+      | Some rows ->
+          List.iteri
+            (fun i row ->
+              (match Option.bind (member "apply_ops_per_sec" row) to_float with
+              | Some r when r > 0. -> ()
+              | _ -> err "obj[%d]: bad apply_ops_per_sec" i);
+              (match Option.bind (member "wg_states" row) to_int with
+              | Some s when s >= 1 -> ()
+              | _ -> err "obj[%d]: bad wg_states" i);
+              match Option.bind (member "linearizable" row) to_bool with
+              | Some true -> ()
+              | _ -> err "obj[%d]: history not linearizable" i)
+            rows
+      | None -> ());
       check_rows "shard"
         [
           "backend";
@@ -546,7 +623,7 @@ let validate_bench_json file =
       | None -> ()));
   match List.rev !errors with
   | [] ->
-      Format.printf "%s: valid oocon-bench-core/2 baseline@." file;
+      Format.printf "%s: valid oocon-bench-core/3 baseline@." file;
       0
   | errs ->
       List.iter (Format.eprintf "%s: %s@." file) errs;

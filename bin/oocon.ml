@@ -1043,6 +1043,195 @@ let shard_cmd =
           atomicity checking.")
     term
 
+(* ---------------------------------------------------------------- obj -- *)
+
+let obj_cmd =
+  let backends_arg =
+    let doc =
+      "Consensus backend(s) deciding the log: ben-or, phase-king, raft, all."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ben-or", [ Rsm.Backend.ben_or ]);
+               ("phase-king", [ Rsm.Backend.phase_king ]);
+               ("raft", [ Rsm.Backend.raft ]);
+               ("all", Rsm.Backend.all);
+             ])
+          [ Rsm.Backend.ben_or ]
+      & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let object_arg =
+    let doc =
+      Printf.sprintf "Sequential object to replicate: %s, or $(b,all)."
+        (String.concat ", "
+           (List.map (Printf.sprintf "$(b,%s)") Obj.Registry.names))
+    in
+    Arg.(value & opt string "queue" & info [ "object" ] ~docv:"OBJ" ~doc)
+  in
+  let clients_arg =
+    let doc = "Closed-loop clients driving the object." in
+    Arg.(value & opt int 3 & info [ "clients" ] ~docv:"K" ~doc)
+  in
+  let commands_arg =
+    let doc = "Commands per client (clients x commands <= 62, the WG cap)." in
+    Arg.(value & opt int 6 & info [ "commands" ] ~docv:"M" ~doc)
+  in
+  let batch_arg =
+    let doc = "Max commands batched into one consensus slot." in
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"B" ~doc)
+  in
+  let crashes_arg =
+    let doc = "Replicas to crash-stop (staggered early in the run)." in
+    Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"F" ~doc)
+  in
+  let restart_after_arg =
+    let doc = "Restart each crashed replica this much virtual time later." in
+    Arg.(value & opt (some int) None & info [ "restart-after" ] ~docv:"T" ~doc)
+  in
+  let broken_arg =
+    let doc =
+      "Deliberately broken universal construction: ack the K-th \
+       state-changing log entry but discard its effect (default K=1).  \
+       Every replica drops the same entry, so digests agree and the \
+       total-order checker stays silent — only the Wing–Gong \
+       linearizability check convicts it."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some 1) (some int) None
+      & info [ "broken-obj" ] ~docv:"K" ~doc)
+  in
+  let expect_violation_arg =
+    let doc =
+      "Invert the exit code: succeed only when a violation IS found (mutant \
+       checks in CI)."
+    in
+    Arg.(value & flag & info [ "expect-violation" ] ~doc)
+  in
+  let campaign_arg =
+    let doc =
+      "Run a nemesis campaign (objects x backends x fault plans, every run \
+       Wing–Gong-checked) instead of a single run."
+    in
+    Arg.(value & flag & info [ "campaign" ] ~doc)
+  in
+  let plans_arg =
+    let doc = "Campaign mode: fault plans (= seeds) per object x backend." in
+    Arg.(value & opt int 5 & info [ "plans" ] ~docv:"P" ~doc)
+  in
+  let storage_arg =
+    let doc =
+      "Campaign mode: WAL-backed replicas, plans draw storage faults."
+    in
+    Arg.(value & flag & info [ "storage-faults" ] ~doc)
+  in
+  let report_out_arg =
+    let doc =
+      "Campaign mode: write the report, minus timing figures, to this file — \
+       byte-identical across job counts, so two runs can be diffed."
+    in
+    Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
+  in
+  let run n seed backends object_name clients commands batch crashes
+      restart_after drop_nth expect_violation campaign plans storage jobs
+      report_out =
+    let objects =
+      if object_name = "all" then Obj.Registry.names
+      else if List.mem object_name Obj.Registry.names then [ object_name ]
+      else begin
+        Format.eprintf "unknown object %S (try one of: %s, all)@." object_name
+          (String.concat ", " Obj.Registry.names);
+        exit 2
+      end
+    in
+    if clients * commands > Workload.Obj_load.max_history then begin
+      Format.eprintf
+        "clients x commands = %d exceeds the Wing–Gong history cap (%d)@."
+        (clients * commands) Workload.Obj_load.max_history;
+      exit 2
+    end;
+    let finish ~violations_found =
+      if expect_violation then
+        if violations_found then begin
+          Format.printf "expected violation found@.";
+          exit 0
+        end
+        else begin
+          Format.eprintf "no violation found but one was expected@.";
+          exit 1
+        end
+      else if violations_found then exit 1
+    in
+    if campaign then begin
+      let cfg =
+        {
+          (Nemesis.Obj_campaign.default_config ~n ()) with
+          Nemesis.Obj_campaign.backends;
+          objects;
+          plans;
+          first_seed = seed;
+          clients;
+          commands;
+          batch;
+          storage;
+        }
+      in
+      let report = Nemesis.Obj_campaign.run ~jobs:(resolve_jobs jobs) cfg in
+      Format.printf "%a" Nemesis.Obj_campaign.pp_report report;
+      Option.iter
+        (fun file ->
+          Out_channel.with_open_text file (fun oc ->
+              let ppf = Format.formatter_of_out_channel oc in
+              Nemesis.Obj_campaign.pp_report_stable ppf report;
+              Format.pp_print_flush ppf ());
+          Format.printf "stable report written to %s@." file)
+        report_out;
+      finish ~violations_found:(report.Nemesis.Obj_campaign.failures <> [])
+    end
+    else begin
+      let summaries =
+        List.concat_map
+          (fun object_name ->
+            List.map
+              (fun backend ->
+                Workload.Obj_load.run ~n ~clients ~commands ~batch ~crashes
+                  ?restart_after ~seed ~quiet:true ?drop_nth ~backend
+                  ~object_name ())
+              backends)
+          objects
+      in
+      Workload.Obj_load.table summaries;
+      List.iter
+        (fun (s : Workload.Obj_load.summary) ->
+          List.iter
+            (Format.printf "  WG %s/%s: %s@." s.Workload.Obj_load.object_name
+               s.Workload.Obj_load.backend_name)
+            s.Workload.Obj_load.wg_violations)
+        summaries;
+      finish
+        ~violations_found:
+          (List.exists (fun s -> not s.Workload.Obj_load.ok) summaries)
+    end
+  in
+  let term =
+    Term.(
+      const run $ n_arg 5 $ seed_arg $ backends_arg $ object_arg $ clients_arg
+      $ commands_arg $ batch_arg $ crashes_arg $ restart_after_arg $ broken_arg
+      $ expect_violation_arg $ campaign_arg $ plans_arg $ storage_arg
+      $ jobs_arg $ report_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "obj"
+       ~doc:
+         "Run an arbitrary linearizable object through the universal \
+          construction: a sequential spec lifted onto the replicated \
+          consensus log, its concurrent history checked against the spec \
+          with the Wing–Gong linearizability checker.")
+    term
+
 (* ------------------------------------------------------------- mcheck -- *)
 
 let mcheck_cmd =
@@ -1275,6 +1464,7 @@ let main_cmd =
       raft_cmd;
       sharedmem_cmd;
       rsm_cmd;
+      obj_cmd;
       store_cmd;
       shard_cmd;
       nemesis_cmd;

@@ -17,20 +17,20 @@ let () =
     [|
       (* client 0 writes, then checks its own write is visible *)
       [
-        Rsm.App.Set ("currency", "OCaml");
-        Rsm.App.Set ("paper", "object-oriented-consensus");
-        Rsm.App.Get "currency";
+        Obj.Kv.Set ("currency", "OCaml");
+        Obj.Kv.Set ("paper", "object-oriented-consensus");
+        Obj.Kv.Get "currency";
       ];
       (* client 1 races client 2 on the same key via CAS *)
       [
-        Rsm.App.Set ("lock", "free");
-        Rsm.App.Cas { key = "lock"; expect = Some "free"; update = "held-by-1" };
-        Rsm.App.Set ("survivor", "true");
+        Obj.Kv.Set ("lock", "free");
+        Obj.Kv.Cas { key = "lock"; expect = Some "free"; update = "held-by-1" };
+        Obj.Kv.Set ("survivor", "true");
       ];
       [
-        Rsm.App.Cas { key = "lock"; expect = Some "free"; update = "held-by-2" };
-        Rsm.App.Set ("partition", "tolerated");
-        Rsm.App.Get "lock";
+        Obj.Kv.Cas { key = "lock"; expect = Some "free"; update = "held-by-2" };
+        Obj.Kv.Set ("partition", "tolerated");
+        Obj.Kv.Get "lock";
       ];
     |]
   in
@@ -44,7 +44,7 @@ let () =
       crash_schedule = [ (50, 0); (120, 3) ];
     }
   in
-  let r = Rsm.Runner.run cfg in
+  let r = Rsm.Runner.run Workload.Rsm_load.kv_app cfg in
   Format.printf "replicated KV over %s consensus: n=%d, %d commands@."
     (Rsm.Backend.name cfg.backend) n r.Rsm.Runner.submitted;
   Format.printf "%d/%d acked in %d slots (%d nested consensus instances, t=%d)@."

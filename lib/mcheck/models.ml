@@ -240,6 +240,80 @@ let ac_of_vac ?(n = 2) ?inputs () =
          "VAC => AC demotion over the two-AC construction (Section 5), n=%d" n)
     ~use_ac:true ~n ~inputs ()
 
+(* ---------------------------------- universal construction (Herlihy) ----
+   Herlihy's lock-free universal construction over registers and
+   consensus cells, instantiated at a FIFO queue: n processes each
+   enqueue a distinct value and then dequeue.  Every register operation
+   takes one engine step ([Fixed_steps 1]), so the explorer branches
+   over interleavings of the construction's register accesses.  The
+   [broken] variant replaces the decideNext consensus with a plain
+   last-write-wins register write — indistinguishable on sequential
+   schedules, but a racing schedule silently drops the losing enqueue
+   from the chain and both dequeues return the same value, which the
+   Wing–Gong check convicts. *)
+
+module Uc_queue = Obj.Smem.Make (Obj.Queue)
+
+let uc_queue ?(broken = false) ?(n = 2) () =
+  let make () =
+    let uc_ref = ref None in
+    let outcome = ref None in
+    let run oracle =
+      let eng = Engine.create ~seed:1L () in
+      Engine.set_oracle eng (Some oracle);
+      let world =
+        Sharedmem.World.create eng ~steps:(Sharedmem.World.Fixed_steps 1) ()
+      in
+      let uc = Uc_queue.create ~n ~broken () in
+      uc_ref := Some uc;
+      for i = 0 to n - 1 do
+        ignore
+          (Engine.spawn eng ~name:(Printf.sprintf "uc-%d" i) (fun ectx ->
+               let p = { Sharedmem.World.world; me = i; ectx } in
+               List.iteri
+                 (fun k op ->
+                   ignore
+                     (Uc_queue.exec uc p ~cid:((i lsl 20) lor k) op
+                       : Obj.Queue.resp))
+                 [ Obj.Queue.Enq (Printf.sprintf "v%d" i); Obj.Queue.Deq ])
+            : Engine.pid)
+      done;
+      outcome := Some (Engine.run eng)
+    in
+    let violations () =
+      match !uc_ref with
+      | None -> [ "termination: model never ran" ]
+      | Some uc ->
+          Uc_queue.violations uc
+          @ (match !outcome with
+            | Some Engine.Quiescent -> []
+            | Some o -> [ "termination: run ended " ^ outcome_str o ]
+            | None -> [ "termination: model never ran" ])
+    in
+    let digest () =
+      match !uc_ref with
+      | None -> "unrun"
+      | Some uc ->
+          Printf.sprintf "chain=[%s] final=%s"
+            (String.concat ";"
+               (List.map
+                  (fun (cid, o) ->
+                    Printf.sprintf "%d:%s" cid (Obj.Queue.op_to_string o))
+                  (Uc_queue.chain uc)))
+            (Uc_queue.final_digest uc)
+    in
+    { run; violations; digest; fingerprint = None }
+  in
+  {
+    name = (if broken then "uc-queue-broken" else "uc-queue");
+    describe =
+      Printf.sprintf
+        "Herlihy universal construction at a FIFO queue, n=%d%s" n
+        (if broken then " with consensus replaced by last-write-wins"
+         else "");
+    make;
+  }
+
 (* ------------------------------------------------------------- toy AC ----
    A two-phase message-passing adopt-commit for [2t < n], purpose-built as
    the mutant harness: every processor broadcasts its proposal, waits for
@@ -399,7 +473,16 @@ let toy_ac ?(broken = false) ?(n = 3) ?inputs ~check_termination () =
 (* ------------------------------------------------------------- registry *)
 
 let names =
-  [ "ben-or"; "phase-king"; "vac2ac"; "ac-of-vac"; "toy-ac"; "toy-ac-broken" ]
+  [
+    "ben-or";
+    "phase-king";
+    "vac2ac";
+    "ac-of-vac";
+    "toy-ac";
+    "toy-ac-broken";
+    "uc-queue";
+    "uc-queue-broken";
+  ]
 
 let of_name ?n name ~fault_budget =
   match name with
@@ -410,6 +493,8 @@ let of_name ?n name ~fault_budget =
   | "toy-ac" -> toy_ac ?n ~check_termination:(fault_budget <= 1) ()
   | "toy-ac-broken" ->
       toy_ac ~broken:true ?n ~check_termination:(fault_budget <= 1) ()
+  | "uc-queue" -> uc_queue ?n ()
+  | "uc-queue-broken" -> uc_queue ~broken:true ?n ()
   | _ ->
       invalid_arg
         (Printf.sprintf "Mcheck.Models.of_name: unknown model %S (known: %s)"

@@ -63,6 +63,16 @@ val toy_ac :
     for "the explorer must catch this".  The only model with a
     {!instance.fingerprint} (sound at fault budget 0). *)
 
+val uc_queue : ?broken:bool -> ?n:int -> unit -> t
+(** Herlihy's universal construction over registers + consensus cells,
+    instantiated at a FIFO queue: [n] (default 2) processes each
+    enqueue a distinct value then dequeue, one register operation per
+    engine step, Wing–Gong linearizability as the checked property.
+    The [broken] variant replaces the decideNext consensus with a plain
+    last-write-wins register write — sound on sequential schedules, but
+    a racing schedule drops the losing enqueue from the chain (both
+    dequeues answer the same value), which the explorer must catch. *)
+
 val names : string list
 (** Model names {!of_name} accepts. *)
 

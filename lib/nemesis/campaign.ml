@@ -29,14 +29,14 @@ let default_config ?(n = 5) () =
     storage = false;
   }
 
-let safety_ok (r : Rsm.Runner.report) =
+let safety_ok (r : _ Rsm.Runner.report) =
   r.Rsm.Runner.violations = [] && r.Rsm.Runner.digests_agree
 
-let complete (r : Rsm.Runner.report) =
+let complete (r : _ Rsm.Runner.report) =
   r.Rsm.Runner.completeness = []
   && r.Rsm.Runner.acked = r.Rsm.Runner.submitted
 
-let durable_ok (r : Rsm.Runner.report) = r.Rsm.Runner.durability = []
+let durable_ok (r : _ Rsm.Runner.report) = r.Rsm.Runner.durability = []
 
 type outcome = {
   backend_name : string;

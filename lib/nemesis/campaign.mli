@@ -29,13 +29,13 @@ val default_config : ?n:int -> unit -> config
 (** Ben-Or only, 50 plans from seed 1, n=5 (3 clients x 3 commands,
     batch 4), default minority-crash profile, no storage. *)
 
-val safety_ok : Rsm.Runner.report -> bool
+val safety_ok : 'op Rsm.Runner.report -> bool
 (** No checker violations and live-replica digests agree. *)
 
-val complete : Rsm.Runner.report -> bool
+val complete : 'op Rsm.Runner.report -> bool
 (** Every submitted command acked and applied at every live replica. *)
 
-val durable_ok : Rsm.Runner.report -> bool
+val durable_ok : 'op Rsm.Runner.report -> bool
 (** Empty durability audit: every acked command survives at some live
     replica (vacuously true for runs without a store). *)
 
@@ -75,7 +75,7 @@ val run_plan :
   backend:Rsm.Backend.t ->
   seed:int ->
   Plan.t ->
-  Rsm.Runner.report
+  Obj.Kv.op Rsm.Runner.report
 (** One deterministic run: the RSM workload for [seed] under the given
     plan.  This is also the shrinker's replay function.  [quiet]
     (default false) runs the engine without tracing — identical report

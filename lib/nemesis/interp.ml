@@ -110,10 +110,10 @@ let handle_of_net net =
     heal = (fun () -> Netsim.Async_net.heal net);
   }
 
-let handle_of_faults (f : Rsm.Runner.faults) =
+let handle_of_faults (f : _ Rsm.Runner.faults) =
   { crash = f.crash; restart = f.restart; partition = f.partition; heal = f.heal }
 
-let install_rsm plan (f : Rsm.Runner.faults) =
+let install_rsm plan (f : _ Rsm.Runner.faults) =
   f.Rsm.Runner.set_policy (policy plan);
   f.Rsm.Runner.set_store_policy (store_policy plan);
   schedule ~engine:f.Rsm.Runner.engine (handle_of_faults f) plan

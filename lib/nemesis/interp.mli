@@ -40,9 +40,9 @@ val handle_of_net : 'msg Netsim.Async_net.t -> handle
 (** Drive a bare network: crash/restart/partition/heal map directly to
     the net's own primitives (no protocol processes are touched). *)
 
-val handle_of_faults : Rsm.Runner.faults -> handle
+val handle_of_faults : 'op Rsm.Runner.faults -> handle
 
-val install_rsm : Plan.t -> Rsm.Runner.faults -> unit
+val install_rsm : Plan.t -> 'op Rsm.Runner.faults -> unit
 (** The {!Rsm.Runner.config.inject} hook for a plan: installs the
     message policy and the storage fault policy, and schedules all
     node/topology actions against the run's fault controller (which

@@ -1,0 +1,146 @@
+(* Nemesis sweeps for the universal construction: every object in the
+   registry, over every requested backend, under [plans] generated
+   fault plans each — with the Wing–Gong linearizability gate on every
+   run, on top of the order/digest/durability gates the KV campaign
+   already applies. *)
+
+type config = {
+  backends : Rsm.Backend.t list;
+  objects : string list;
+  plans : int;
+  first_seed : int;
+  n : int;
+  clients : int;
+  commands : int;
+  batch : int;
+  profile : Gen.profile;
+  storage : bool;
+}
+
+let default_config ?(n = 5) () =
+  {
+    backends = [ Rsm.Backend.ben_or ];
+    objects = Obj.Registry.names;
+    plans = 5;
+    first_seed = 1;
+    n;
+    clients = 3;
+    commands = 4;
+    batch = 4;
+    profile = Gen.default ~n;
+    storage = false;
+  }
+
+type outcome = {
+  summary : Workload.Obj_load.summary;
+  plan_seed : int;
+  plan : Plan.t;
+}
+
+type report = {
+  runs : int;
+  outcomes : outcome list;  (** object-major, then backend, then seed *)
+  failures : outcome list;  (** any gate tripped: order, digest, or WG *)
+  wg_failures : outcome list;  (** the WG gate specifically *)
+  wall_seconds : float;
+  runs_per_sec : float;
+}
+
+let plan_for cfg ~seed =
+  Gen.generate
+    { cfg.profile with n = cfg.n; storage = cfg.profile.storage || cfg.storage }
+    ~seed
+
+let run_plan ?(quiet = true) cfg ~object_name ~backend ~seed plan =
+  Workload.Obj_load.run ~n:cfg.n ~clients:cfg.clients ~commands:cfg.commands
+    ~batch:cfg.batch ~seed ~quiet ~trace_capacity:2_000 ~ack_timeout:400
+    ~max_events:400_000
+    ~inject:
+      { Workload.Obj_load.inject = (fun f -> Interp.install_rsm plan f) }
+    ?store:(if cfg.storage then Some Rsm.Runner.default_store_config else None)
+    ~backend ~object_name ()
+
+let run ?(jobs = 1) ?on_outcome cfg =
+  let t0 = Unix.gettimeofday () in
+  let work =
+    Array.of_list
+      (List.concat_map
+         (fun object_name ->
+           List.concat_map
+             (fun backend ->
+               List.init cfg.plans (fun k ->
+                   (object_name, backend, cfg.first_seed + k)))
+             cfg.backends)
+         cfg.objects)
+  in
+  let progress = Mutex.create () in
+  let one (object_name, backend, seed) =
+    let plan = plan_for cfg ~seed in
+    let summary = run_plan cfg ~object_name ~backend ~seed plan in
+    let o = { summary; plan_seed = seed; plan } in
+    Option.iter (fun f -> Mutex.protect progress (fun () -> f o)) on_outcome;
+    o
+  in
+  let outcomes =
+    Exec.Pool.map ~jobs ~seed_of:(fun i -> let _, _, s = work.(i) in s) one work
+  in
+  let outcomes = Array.to_list outcomes in
+  let failures = List.filter (fun o -> not o.summary.Workload.Obj_load.ok) outcomes in
+  let wg_failures =
+    List.filter
+      (fun o -> o.summary.Workload.Obj_load.wg_violations <> [])
+      outcomes
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let runs = List.length outcomes in
+  {
+    runs;
+    outcomes;
+    failures;
+    wg_failures;
+    wall_seconds = wall;
+    runs_per_sec = (if wall <= 0. then 0. else float_of_int runs /. wall);
+  }
+
+let pp_report_body ppf r =
+  let by_object =
+    List.sort_uniq compare
+      (List.map (fun o -> o.summary.Workload.Obj_load.object_name) r.outcomes)
+  in
+  List.iter
+    (fun name ->
+      let mine =
+        List.filter
+          (fun o -> o.summary.Workload.Obj_load.object_name = name)
+          r.outcomes
+      in
+      let bad = List.filter (fun o -> not o.summary.Workload.Obj_load.ok) mine in
+      Format.fprintf ppf "  %-8s %d runs, %d failures@." name
+        (List.length mine) (List.length bad))
+    by_object;
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "  FAIL %s/%s seed=%d (%d actions): %s@."
+        o.summary.Workload.Obj_load.object_name
+        o.summary.Workload.Obj_load.backend_name o.plan_seed (Plan.length o.plan)
+        (match o.summary.Workload.Obj_load.wg_violations with
+        | v :: _ -> v
+        | [] -> "order/digest gate"))
+    r.failures
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "object campaign: %d runs, %d failures (%d linearizability), %.1f \
+     runs/sec@."
+    r.runs
+    (List.length r.failures)
+    (List.length r.wg_failures)
+    r.runs_per_sec;
+  pp_report_body ppf r
+
+let pp_report_stable ppf r =
+  Format.fprintf ppf "object campaign: %d runs, %d failures (%d linearizability)@."
+    r.runs
+    (List.length r.failures)
+    (List.length r.wg_failures);
+  pp_report_body ppf r

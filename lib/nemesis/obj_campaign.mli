@@ -1,0 +1,66 @@
+(** Nemesis campaigns over the universal construction: sweep
+    objects x backends x plan seeds, Wing–Gong-checking every run.
+
+    The per-run gates are {!Workload.Obj_load.summary.ok}: zero
+    total-order/completeness/durability violations, agreeing
+    live-replica digests, a quiescent engine, {e and} a linearizable
+    history w.r.t. the object's sequential spec.  Deterministic: the
+    same config yields the same outcomes at every job count. *)
+
+type config = {
+  backends : Rsm.Backend.t list;
+  objects : string list;  (** names from {!Obj.Registry} *)
+  plans : int;  (** fault plans (= seeds) per object x backend cell *)
+  first_seed : int;
+  n : int;
+  clients : int;
+  commands : int;  (** per client; [clients * commands <= 62] (WG cap) *)
+  batch : int;
+  profile : Gen.profile;
+  storage : bool;  (** give replicas WAL-backed disks + storage faults *)
+}
+
+val default_config : ?n:int -> unit -> config
+(** Ben-Or only, every registry object, 5 plans from seed 1, n=5,
+    3 clients x 4 commands, batch 4, default profile, no storage. *)
+
+type outcome = {
+  summary : Workload.Obj_load.summary;
+  plan_seed : int;
+  plan : Plan.t;
+}
+
+type report = {
+  runs : int;
+  outcomes : outcome list;  (** object-major, then backend, then seed *)
+  failures : outcome list;  (** any gate tripped: order, digest, or WG *)
+  wg_failures : outcome list;  (** the WG gate specifically *)
+  wall_seconds : float;
+  runs_per_sec : float;
+}
+
+val plan_for : config -> seed:int -> Plan.t
+(** The plan a given seed names under this campaign's profile. *)
+
+val run_plan :
+  ?quiet:bool ->
+  config ->
+  object_name:string ->
+  backend:Rsm.Backend.t ->
+  seed:int ->
+  Plan.t ->
+  Workload.Obj_load.summary
+(** One deterministic run: the object's workload for [seed] under the
+    given plan ([quiet] defaults to true here — campaigns don't read
+    traces). *)
+
+val run : ?jobs:int -> ?on_outcome:(outcome -> unit) -> config -> report
+(** The sweep.  [jobs] fans cells over domains ({!Exec.Pool});
+    [on_outcome] observes completions (mutex-serialized, order
+    nondeterministic under [jobs > 1]).  The report is identical at
+    every job count. *)
+
+val pp_report : Format.formatter -> report -> unit
+val pp_report_stable : Format.formatter -> report -> unit
+(** [pp_report] with the timing header dropped, for byte-stable
+    comparison across job counts. *)

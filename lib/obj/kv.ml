@@ -1,0 +1,87 @@
+(* The replicated key-value store, re-homed from [Rsm.App] as just
+   another sequential object.  The wire codec (G/S/C0/C1 tags, [%S]
+   quoting) and the digest/snapshot formats are unchanged from the old
+   App module, so WALs and traces read the same. *)
+
+module M = Map.Make (String)
+
+type state = string M.t
+
+type op =
+  | Get of string
+  | Set of string * string
+  | Cas of { key : string; expect : string option; update : string }
+
+type resp = Got of string option | Done | Cas_result of bool
+
+let name = "kv"
+let init = M.empty
+
+let apply st = function
+  | Get k -> (st, Got (M.find_opt k st))
+  | Set (k, v) -> (M.add k v st, Done)
+  | Cas { key; expect; update } ->
+      if M.find_opt key st = expect then (M.add key update st, Cas_result true)
+      else (st, Cas_result false)
+
+let pp_op ppf = function
+  | Get k -> Format.fprintf ppf "GET %s" k
+  | Set (k, v) -> Format.fprintf ppf "SET %s=%s" k v
+  | Cas { key; expect; update } ->
+      Format.fprintf ppf "CAS %s %s->%s" key
+        (Option.value expect ~default:"\xe2\x88\x85")
+        update
+
+(* [%S] quoting makes the encoding total: any key/value roundtrips,
+   including spaces and newlines. *)
+let op_to_string = function
+  | Get k -> Printf.sprintf "G %S" k
+  | Set (k, v) -> Printf.sprintf "S %S %S" k v
+  | Cas { key; expect = None; update } -> Printf.sprintf "C0 %S %S" key update
+  | Cas { key; expect = Some e; update } ->
+      Printf.sprintf "C1 %S %S %S" key e update
+
+let op_of_string s =
+  match String.index_opt s ' ' with
+  | None -> invalid_arg ("Kv.op_of_string: " ^ s)
+  | Some i -> (
+      let tag = String.sub s 0 i in
+      let rest = String.sub s i (String.length s - i) in
+      match tag with
+      | "G" -> Scanf.sscanf rest " %S" (fun k -> Get k)
+      | "S" -> Scanf.sscanf rest " %S %S" (fun k v -> Set (k, v))
+      | "C0" ->
+          Scanf.sscanf rest " %S %S" (fun key update ->
+              Cas { key; expect = None; update })
+      | "C1" ->
+          Scanf.sscanf rest " %S %S %S" (fun key e update ->
+              Cas { key; expect = Some e; update })
+      | _ -> invalid_arg ("Kv.op_of_string: " ^ s))
+
+let resp_to_string = function
+  | Got None -> "got -"
+  | Got (Some v) -> Printf.sprintf "got %S" v
+  | Done -> "done"
+  | Cas_result b -> Printf.sprintf "cas %b" b
+
+let digest st =
+  M.bindings st |> List.map (fun (k, v) -> k ^ "=" ^ v) |> String.concat ";"
+
+let state_to_string st =
+  M.bindings st
+  |> List.map (fun (k, v) -> Printf.sprintf "%S %S" k v)
+  |> String.concat ";"
+
+let state_of_string s =
+  if s = "" then M.empty
+  else
+    String.split_on_char ';' s
+    |> List.fold_left
+         (fun acc pair -> Scanf.sscanf pair " %S %S" (fun k v -> M.add k v acc))
+         M.empty
+
+let gen_op ~rng ~key ~tag =
+  let roll = Dsim.Rng.int rng 100 in
+  if roll < 60 then Set (key, tag)
+  else if roll < 85 then Get key
+  else Cas { key; expect = None; update = "cas-" ^ tag }

@@ -1,0 +1,21 @@
+(* Name -> sequential object lookup, for CLI flags and sweep drivers. *)
+
+let all : (string * Spec.packed) list =
+  [
+    ("queue", (module Queue : Spec.S));
+    ("stack", (module Stack : Spec.S));
+    ("counter", (module Counter : Spec.S));
+    ("set", (module Sset : Spec.S));
+    ("index", (module Index : Spec.S));
+    ("kv", (module Kv : Spec.S));
+  ]
+
+let names = List.map fst all
+
+let find name =
+  match List.assoc_opt name all with
+  | Some o -> o
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Obj.Registry.find: unknown object %S (have: %s)" name
+           (String.concat ", " names))

@@ -1,0 +1,194 @@
+(* The shared-memory side of the universal construction: Herlihy's
+   lock-free log over atomic registers and single-use consensus cells
+   (SNIPPETS Snippet 2, the textbook construction).
+
+   Operations live in nodes; the log is the chain of [next] pointers
+   from a sentinel root.  To append, a process finds the chain's
+   current maximum-sequence node among the per-process head pointers,
+   runs consensus on that node's [dec] cell to decide its successor,
+   then — win or lose — publishes the outcome (sets the successor's
+   sequence number and its own head pointer).  That helping step is
+   what makes the loop lock-free: losing an iteration means some other
+   operation was appended, so my k-th attempt competes on a node of
+   sequence >= k and the loop runs at most [total_ops + 2] iterations.
+
+   The [broken] variant replaces the consensus step with a plain
+   register write of the [next] pointer: last-write-wins.  On
+   sequential schedules it is indistinguishable from the honest
+   construction; under a racing schedule the loser's node silently
+   falls out of the chain even though its caller got a response — the
+   canonical lost-update, and exactly what the Wing–Gong checker (and
+   the model checker's explorer) must convict. *)
+
+module SW = Sharedmem.World
+module R = Sharedmem.World.Reg
+
+module Make (O : Spec.S) = struct
+  module Wgc = Wg.Make (O)
+
+  type node = {
+    n_cid : int;
+    n_op : O.op option;  (* None only for the sentinel root *)
+    n_seq : int R.reg;  (* 0 until the node is appended *)
+    n_next : node option R.reg;
+    n_dec : node R.cell;  (* consensus on this node's successor *)
+  }
+
+  type t = {
+    n : int;
+    broken : bool;
+    root : node;
+    head : node R.reg array;
+    clock : int ref;  (* simulation-level event counter (not a register) *)
+    mutable events : Wgc.event list;
+  }
+
+  let create ~n ?(broken = false) () =
+    let root =
+      {
+        n_cid = -1;
+        n_op = None;
+        n_seq = R.make 1;
+        n_next = R.make None;
+        n_dec = R.cell ();
+      }
+    in
+    {
+      n;
+      broken;
+      root;
+      head = Array.init n (fun _ -> R.make root);
+      clock = ref 0;
+      events = [];
+    }
+
+  let tick t =
+    incr t.clock;
+    !(t.clock)
+
+  (* Execute one operation to completion: append [op]'s node to the
+     chain, then compute its response by replaying the chain from the
+     root.  Every register access takes a scheduler step, so the
+     interleaving adversary (Explore schedules, the Mcheck oracle) can
+     pause this process between any two accesses. *)
+  let exec t (p : SW.proc) ~cid op =
+    let invoked = tick t in
+    let mine =
+      {
+        n_cid = cid;
+        n_op = Some op;
+        n_seq = R.make 0;
+        n_next = R.make None;
+        n_dec = R.cell ();
+      }
+    in
+    while R.read p mine.n_seq = 0 do
+      (* the chain's tail: maximum sequence among the published heads *)
+      let before = ref t.root in
+      let best = ref 0 in
+      for j = 0 to t.n - 1 do
+        let h = R.read p t.head.(j) in
+        let s = R.read p h.n_seq in
+        if s > !best then begin
+          before := h;
+          best := s
+        end
+      done;
+      let after =
+        if t.broken then begin
+          (* BUG: plain write instead of consensus — concurrent
+             appenders both "win" and the last write erases the other *)
+          R.write p !before.n_next (Some mine);
+          mine
+        end
+        else R.decide p !before.n_dec mine
+      in
+      R.write p !before.n_next (Some after);
+      let bseq = R.read p !before.n_seq in
+      R.write p after.n_seq (bseq + 1);
+      R.write p t.head.(p.SW.me) after
+    done;
+    (* replay from the root for the response; my node's position in the
+       chain is fixed once decided, so this traversal is stable *)
+    let rec replay st node =
+      if node == mine then snd (O.apply st op)
+      else
+        let st =
+          match node.n_op with None -> st | Some o -> fst (O.apply st o)
+        in
+        match R.read p node.n_next with
+        | Some nxt -> replay st nxt
+        | None ->
+            (* chain ends without my node (only possible when broken):
+               answer as if appended here *)
+            snd (O.apply st op)
+    in
+    let resp = replay O.init t.root in
+    let returned = tick t in
+    t.events <-
+      {
+        Wgc.cid;
+        op;
+        resp = Some (O.resp_to_string resp);
+        invoked;
+        returned = Some returned;
+      }
+      :: t.events;
+    resp
+
+  let events t = List.rev t.events
+
+  (* Post-run, step-free inspection. *)
+  let chain t =
+    let rec go acc node =
+      let acc =
+        match node.n_op with None -> acc | Some o -> (node.n_cid, o) :: acc
+      in
+      match R.peek node.n_next with None -> List.rev acc | Some nx -> go acc nx
+    in
+    go [] t.root
+
+  let final_digest t =
+    O.digest
+      (List.fold_left (fun st (_, o) -> fst (O.apply st o)) O.init (chain t))
+
+  let check ?max_states t = Wgc.check ?max_states (events t)
+  let violations ?max_states t = Wgc.violations ?max_states (events t)
+
+  (* A worst-case step budget per process, for {!Explore} schedules
+     (over-budget schedules raise; unused slots are harmless).  Per
+     append iteration: 1 loop guard + 2n scan + 1 decide + 3
+     publication accesses; iterations <= total + 2 by lock-freedom;
+     plus the response replay (<= total + 2 pointer reads). *)
+  let budget ~n ~per_proc ~total =
+    per_proc * (((total + 2) * ((2 * n) + 7)) + total + 8)
+
+  type report = { samples : int; violations : string list }
+
+  (* Run [ops.(i)] on process [i] under [samples] uniformly random
+     interleavings and Wing–Gong-check every run. *)
+  let check_sampled ?(broken = false) ?max_states ~ops ~samples ~seed () =
+    let n = Array.length ops in
+    let total = Array.fold_left (fun a l -> a + List.length l) 0 ops in
+    let counts =
+      Array.map (fun l -> budget ~n ~per_proc:(List.length l) ~total) ops
+    in
+    let rng = Dsim.Rng.create seed in
+    let bad = ref [] in
+    for s = 0 to samples - 1 do
+      let t = create ~n ~broken () in
+      let schedule = Sharedmem.Explore.random_schedule ~counts ~rng in
+      ignore
+        (Sharedmem.Explore.run_schedule ~n ~schedule ~body:(fun p ->
+             List.iteri
+               (fun k o ->
+                 ignore (exec t p ~cid:((p.SW.me lsl 20) lor k) o : O.resp))
+               ops.(p.SW.me))
+          : Dsim.Engine.outcome);
+      if List.length !bad < 5 then
+        List.iter
+          (fun v -> bad := Printf.sprintf "sample %d: %s" s v :: !bad)
+          (violations ?max_states t)
+    done;
+    { samples; violations = List.rev !bad }
+end

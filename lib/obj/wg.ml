@@ -1,0 +1,134 @@
+(* The generic Wing–Gong linearizability checker.
+
+   Input: one event per operation of a concurrent history — what was
+   invoked when, what (encoded) response the client observed, and when
+   it returned.  Question: is there a total order of the operations
+   that (a) respects real time (if a returned before b was invoked, a
+   precedes b), (b) is legal for the sequential specification, and
+   (c) reproduces every completed operation's observed response?
+
+   The search is the classic Wing–Gong recursion: repeatedly pick one
+   of the minimal-in-real-time pending-or-completed operations, apply
+   it to the specification state, and recurse, memoizing on
+   (set-of-linearized-ops, canonical state digest) so equivalent
+   interleavings are explored once.  Completed operations must be
+   linearized with their observed response; operations that never
+   returned (the client never saw an ack) may be linearized with any
+   response or omitted entirely — their effect may or may not have
+   taken place.
+
+   Complexity: O(distinct (subset, state) pairs x history length) —
+   worst case exponential in the number of concurrent operations, in
+   practice tamed by the state digest (commuting prefixes collapse).
+   Histories are capped at 62 events so the linearized set fits one
+   immediate int. *)
+
+module Make (O : Spec.S) = struct
+  type event = {
+    cid : int;
+    op : O.op;
+    resp : string option;
+        (* the response the system produced (encoded with
+           [O.resp_to_string]), if any was observed *)
+    invoked : int;
+    returned : int option;  (* None: pending — invoked but never acked *)
+  }
+
+  type verdict =
+    | Linearizable of O.op list  (* a witness order *)
+    | Illegal of int list
+        (* completed cids that could not be linearized at the deepest
+           point the search reached *)
+    | Inconclusive  (* state budget exhausted before an answer *)
+
+  type result = { verdict : verdict; states : int }
+
+  exception Found of int list
+  exception Budget
+
+  let check ?(max_states = 2_000_000) (events : event list) =
+    let evs = Array.of_list events in
+    let n = Array.length evs in
+    if n > 62 then invalid_arg "Wg.check: history larger than 62 events";
+    let completed_mask = ref 0 in
+    for i = 0 to n - 1 do
+      if evs.(i).returned <> None then
+        completed_mask := !completed_mask lor (1 lsl i)
+    done;
+    let completed_mask = !completed_mask in
+    let states = ref 0 in
+    let visited : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+    (* deepest stuck point, for the failure report *)
+    let best_done = ref (-1) in
+    let best_stuck = ref [] in
+    let rec go mask st acc =
+      if mask land completed_mask = completed_mask then raise (Found acc);
+      incr states;
+      if !states > max_states then raise Budget;
+      let key = O.digest st ^ "|" ^ string_of_int mask in
+      if not (Hashtbl.mem visited key) then begin
+        Hashtbl.add visited key ();
+        (* an op may go next iff no other still-unlinearized completed
+           op returned strictly before it was invoked *)
+        let min_ret = ref max_int in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) = 0 then
+            match evs.(i).returned with
+            | Some r when r < !min_ret -> min_ret := r
+            | _ -> ()
+        done;
+        let progressed = ref false in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) = 0 && evs.(i).invoked <= !min_ret then begin
+            let st', resp = O.apply st evs.(i).op in
+            let legal =
+              match evs.(i).returned with
+              | None -> true  (* pending: any response is permissible *)
+              | Some _ -> (
+                  match evs.(i).resp with
+                  | Some obs -> String.equal (O.resp_to_string resp) obs
+                  | None -> false (* acked yet never applied: impossible *))
+            in
+            if legal then begin
+              progressed := true;
+              go (mask lor (1 lsl i)) st' (i :: acc)
+            end
+          end
+        done;
+        if not !progressed then begin
+          let depth = List.length acc in
+          if depth > !best_done then begin
+            best_done := depth;
+            best_stuck :=
+              List.filter_map
+                (fun i ->
+                  if mask land (1 lsl i) = 0 && evs.(i).returned <> None then
+                    Some evs.(i).cid
+                  else None)
+                (List.init n Fun.id)
+          end
+        end
+      end
+    in
+    match go 0 O.init [] with
+    | () -> { verdict = Illegal !best_stuck; states = !states }
+    | exception Found acc ->
+        {
+          verdict =
+            Linearizable (List.rev_map (fun i -> evs.(i).op) acc);
+          states = !states;
+        }
+    | exception Budget -> { verdict = Inconclusive; states = !states }
+
+  let violations ?max_states events =
+    match (check ?max_states events).verdict with
+    | Linearizable _ -> []
+    | Illegal stuck ->
+        [
+          Printf.sprintf
+            "wg: %s history not linearizable (stuck completed cids: %s)" O.name
+            (String.concat "," (List.map string_of_int stuck));
+        ]
+    | Inconclusive ->
+        [ Printf.sprintf "wg: %s check inconclusive (state budget hit)" O.name ]
+end

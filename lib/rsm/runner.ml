@@ -1,14 +1,30 @@
-type faults = {
+type 'op faults = {
   engine : Dsim.Engine.t;
   crash : int -> unit;
   restart : int -> unit;
   partition : int list list -> unit;
   heal : unit -> unit;
   set_policy :
-    (App.kv_cmd Tob.entry Netsim.Async_net.envelope ->
+    ('op Tob.entry Netsim.Async_net.envelope ->
     Netsim.Async_net.policy_verdict) ->
     unit;
   set_store_policy : Store.Policy.t -> unit;
+}
+
+(* Everything the runner needs to know about the replicated object: a
+   pure sequential step function plus single-line codecs for the WAL
+   and snapshots.  Responses cross the interface already encoded — the
+   runner stores and reports them, only a spec-aware checker interprets
+   them. *)
+type ('op, 'st) app = {
+  name : string;
+  init : 'st;
+  apply : 'st -> 'op -> 'st * string;
+  op_to_string : 'op -> string;
+  op_of_string : string -> 'op;
+  state_to_string : 'st -> string;
+  state_of_string : string -> 'st;
+  digest : 'st -> string;
 }
 
 type store_config = {
@@ -20,7 +36,7 @@ type store_config = {
 let default_store_config =
   { policy = Store.Policy.none; snapshot_every = 4; ack_before_fsync = false }
 
-type config = {
+type 'op config = {
   backend : Backend.t;
   n : int;
   batch : int;
@@ -28,10 +44,10 @@ type config = {
   latency : Netsim.Latency.t;
   crash_schedule : (int * int) list;
   restart_schedule : (int * int) list;
-  inject : (faults -> unit) option;
+  inject : ('op faults -> unit) option;
   trace_capacity : int option;
   quiet : bool;
-  ops : App.kv_cmd list array;
+  ops : 'op list array;
   ack_timeout : int;
   max_events : int;
   store : store_config option;
@@ -55,7 +71,16 @@ let default_config ~n ~ops =
     store = None;
   }
 
-type report = {
+type 'op hist = {
+  h_cid : int;
+  h_client : int;
+  h_op : 'op;
+  h_invoked : int;
+  h_resp : string option;
+  h_returned : int option;
+}
+
+type 'op report = {
   engine_outcome : Dsim.Engine.outcome;
   virtual_time : int;
   submitted : int;
@@ -72,6 +97,7 @@ type report = {
   durability : Checker.violation list;
   digests_agree : bool;
   digests : string array;
+  history : 'op hist list;
   latencies : float list;
   trace : Dsim.Trace.t;
   store_stats : Store.Disk.stats array;
@@ -94,21 +120,21 @@ let cid ~client ~k = (client lsl 20) lor k
    state, comma-separated delivered cids (the encodings contain no raw
    newlines). *)
 
-type wal_item =
-  | W_entry of int * int * App.kv_cmd
+type 'op wal_item =
+  | W_entry of int * int * 'op
   | W_commit of int * int
 
-let encode_entry slot (e : App.kv_cmd Tob.entry) =
-  Printf.sprintf "E %d %d %s" slot e.Tob.cid (App.kv_cmd_to_string e.Tob.op)
+let encode_entry ~op_to_string slot (e : _ Tob.entry) =
+  Printf.sprintf "E %d %d %s" slot e.Tob.cid (op_to_string e.Tob.op)
 
 let encode_commit slot winner = Printf.sprintf "C %d %d" slot winner
 
-let decode_record s =
+let decode_record ~op_of_string s =
   if String.length s > 0 && s.[0] = 'C' then
     Scanf.sscanf s "C %d %d" (fun slot w -> W_commit (slot, w))
   else
     Scanf.sscanf s "E %d %d %[^\n]" (fun slot cid rest ->
-        W_entry (slot, cid, App.kv_cmd_of_string rest))
+        W_entry (slot, cid, op_of_string rest))
 
 let encode_snapshot ~upto ~state ~cids =
   Printf.sprintf "%d\n%s\n%s" upto state
@@ -123,9 +149,9 @@ let decode_snapshot payload =
         else List.map int_of_string (String.split_on_char ',' cids) )
   | _ -> invalid_arg "Runner: malformed snapshot payload"
 
-type recovered_disk = {
+type 'op recovered_disk = {
   r_snap : (int * string * int list) option;  (* upto, app state, cids *)
-  r_slots : (int * int * App.kv_cmd Tob.entry list) list;
+  r_slots : (int * int * 'op Tob.entry list) list;
       (* every committed slot on disk (slot, winner, entries), ascending *)
   r_next_slot : int;  (* end of the contiguous committed prefix *)
   r_cids : int list;  (* delivered set recovery reproduces *)
@@ -136,20 +162,18 @@ type recovered_disk = {
    the first gap in slot numbers (a gap means that slot's batch was
    still volatile at the crash, so everything logically after it must be
    re-delivered). *)
-let recover_disk disk =
+let recover_disk ~op_of_string disk =
   let r_snap =
     Option.map
       (fun s -> decode_snapshot s.Store.Disk.payload)
       (Store.Disk.latest_snapshot disk)
   in
   let base_slot = match r_snap with Some (upto, _, _) -> upto | None -> -1 in
-  let entries : (int, App.kv_cmd Tob.entry list ref) Hashtbl.t =
-    Hashtbl.create 32
-  in
+  let entries : (int, _ Tob.entry list ref) Hashtbl.t = Hashtbl.create 32 in
   let committed : (int, int) Hashtbl.t = Hashtbl.create 32 in
   List.iter
     (fun (r : Store.Disk.record) ->
-      match decode_record r.Store.Disk.data with
+      match decode_record ~op_of_string r.Store.Disk.data with
       | W_entry (slot, cid, op) when slot > base_slot ->
           let l =
             match Hashtbl.find_opt entries slot with
@@ -192,7 +216,19 @@ let recover_disk disk =
   in
   { r_snap; r_slots; r_next_slot; r_cids }
 
-let run cfg =
+(* Internal per-command history record; frozen into ['op hist] for the
+   report.  The response is recorded at the {e first} application
+   anywhere in the cluster — the log is totally ordered and [apply]
+   deterministic, so every replica computes the same one. *)
+type 'op hrec = {
+  hr_client : int;
+  hr_op : 'op;
+  hr_invoked : int;
+  mutable hr_resp : string option;
+  mutable hr_returned : int option;
+}
+
+let run (type op st) (app : (op, st) app) (cfg : op config) : op report =
   if cfg.n < 1 then invalid_arg "Runner.run: need at least one replica";
   let eng =
     Dsim.Engine.create ~seed:cfg.seed ?trace_capacity:cfg.trace_capacity
@@ -212,10 +248,15 @@ let run cfg =
   let log =
     Log.create ~engine:eng ~backend:cfg.backend ~seed:cfg.seed ~live ()
   in
-  let apps = Array.init cfg.n (fun _ -> App.Kv.create ()) in
+  let apps = Array.make cfg.n app.init in
   let checker = Checker.create () in
-  let deliver ~pid ~slot (e : App.kv_cmd Tob.entry) =
-    ignore (App.Kv.apply apps.(pid) e.Tob.op : App.kv_output);
+  let hists : (int, op hrec) Hashtbl.t = Hashtbl.create 64 in
+  let deliver ~pid ~slot (e : op Tob.entry) =
+    let st, resp = app.apply apps.(pid) e.Tob.op in
+    apps.(pid) <- st;
+    (match Hashtbl.find_opt hists e.Tob.cid with
+    | Some h when h.hr_resp = None -> h.hr_resp <- Some resp
+    | Some _ | None -> ());
     Checker.record_applied checker ~replica:pid ~slot ~cid:e.Tob.cid
   in
   (* --- stable storage --- *)
@@ -274,7 +315,9 @@ let run cfg =
         match Log.decided log ~slot with Some d -> d.Log.winner | None -> pid
       in
       if
-        List.for_all (fun e -> append (encode_entry slot e)) fresh
+        List.for_all
+          (fun e -> append (encode_entry ~op_to_string:app.op_to_string slot e))
+          fresh
         && append (encode_commit slot winner)
       then begin
         awaiting.(pid) <-
@@ -287,7 +330,7 @@ let run cfg =
   in
   let take_snapshot pid ~upto =
     let disk = disks.(pid) in
-    let state = App.Kv.snapshot apps.(pid) in
+    let state = app.state_to_string apps.(pid) in
     let cids = Tob.delivered_cids (the_tob ()) ~pid in
     let payload = encode_snapshot ~upto ~state ~cids in
     let watermark = last_seq.(pid) in
@@ -317,7 +360,7 @@ let run cfg =
     end
   in
   let on_install ~pid ~owner ~upto ~state ~cids =
-    apps.(pid) <- App.Kv.restore state;
+    apps.(pid) <- app.state_of_string state;
     Checker.record_installed checker ~replica:pid ~from_replica:owner
       ~upto_slot:upto;
     Dsim.Engine.emitk eng ~tag:"rsm" (fun () ->
@@ -357,6 +400,14 @@ let run cfg =
         let cid = cid ~client:c ~k in
         Checker.record_submitted checker ~cid;
         let t0 = Dsim.Engine.now eng in
+        Hashtbl.replace hists cid
+          {
+            hr_client = c;
+            hr_op = op;
+            hr_invoked = t0;
+            hr_resp = None;
+            hr_returned = None;
+          };
         let attempt = ref 0 in
         let rec submit_round () =
           (* rotate over live replicas, starting at a client-specific one *)
@@ -383,6 +434,7 @@ let run cfg =
         in
         submit_round ();
         Checker.record_acked checker ~cid;
+        (Hashtbl.find hists cid).hr_returned <- Some (Dsim.Engine.now eng);
         incr acked;
         latencies := float_of_int (Dsim.Engine.now eng - t0) :: !latencies)
       cfg.ops.(c);
@@ -412,7 +464,7 @@ let run cfg =
         Store.Disk.crash disks.(victim);
         awaiting.(victim) <- [];
         (* judge this replica's history by what its disk can reproduce *)
-        let rd = recover_disk disks.(victim) in
+        let rd = recover_disk ~op_of_string:app.op_of_string disks.(victim) in
         Checker.record_crashed checker ~replica:victim
           ~survived:(List.length rd.r_cids);
         if live () = [] then Log.forget_volatile log
@@ -426,18 +478,18 @@ let run cfg =
     if Netsim.Async_net.is_crashed net victim then begin
       Netsim.Async_net.restart net victim;
       if store_on then begin
-        let rd = recover_disk disks.(victim) in
+        let rd = recover_disk ~op_of_string:app.op_of_string disks.(victim) in
         (match rd.r_snap with
         | Some (upto, state, cids) ->
-            apps.(victim) <- App.Kv.restore state;
+            apps.(victim) <- app.state_of_string state;
             Log.set_floor log ~owner:victim ~upto ~state ~cids
-        | None -> apps.(victim) <- App.Kv.create ());
+        | None -> apps.(victim) <- app.init);
         List.iter
           (fun (slot, _w, entries) ->
             if slot < rd.r_next_slot then
               List.iter
                 (fun (e : _ Tob.entry) ->
-                  ignore (App.Kv.apply apps.(victim) e.Tob.op : App.kv_output))
+                  apps.(victim) <- fst (app.apply apps.(victim) e.Tob.op))
                 entries)
           rd.r_slots;
         (* re-feed the cluster's slot cache with every decision this
@@ -481,10 +533,25 @@ let run cfg =
   Option.iter (fun f -> f faults) cfg.inject;
   let engine_outcome = Dsim.Engine.run ~max_events:cfg.max_events eng in
   let live_now = live () in
-  let digests = Array.map App.Kv.digest apps in
+  let digests = Array.map app.digest apps in
   let live_digests = List.map (fun p -> digests.(p)) live_now in
   let digests_agree =
     match live_digests with [] -> true | d :: rest -> List.for_all (( = ) d) rest
+  in
+  let history =
+    Hashtbl.fold
+      (fun cid (h : op hrec) acc ->
+        {
+          h_cid = cid;
+          h_client = h.hr_client;
+          h_op = h.hr_op;
+          h_invoked = h.hr_invoked;
+          h_resp = h.hr_resp;
+          h_returned = h.hr_returned;
+        }
+        :: acc)
+      hists []
+    |> List.sort (fun a b -> compare (a.h_invoked, a.h_cid) (b.h_invoked, b.h_cid))
   in
   {
     engine_outcome;
@@ -503,6 +570,7 @@ let run cfg =
     durability = Checker.check_durable checker ~live:live_now;
     digests_agree;
     digests;
+    history;
     latencies = List.rev !latencies;
     trace = Dsim.Engine.trace eng;
     store_stats = Array.map Store.Disk.stats disks;

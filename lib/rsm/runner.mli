@@ -1,7 +1,13 @@
-(** End-to-end RSM harness: K closed-loop clients drive a replicated KV
-    store through the total-order-broadcast layer over a simulated
+(** End-to-end RSM harness: K closed-loop clients drive a replicated
+    object through the total-order-broadcast layer over a simulated
     asynchronous network, under a fault schedule, with the total-order
     checker watching every application.
+
+    The harness is a universal construction: it is parameterized by an
+    {!app} — any pure sequential object with single-line codecs — and
+    replicates it by totally ordering its operations.  The KV store of
+    earlier versions is now just one instance ([Obj.Kv] lifted via
+    [Obj.Replicated]).
 
     Clients are closed-loop with retry: each submits its next command to
     a live replica, waits for the ack (the command to-delivered
@@ -16,7 +22,7 @@
     fault injector (the [Nemesis] subsystem) that can also partition the
     network and rewrite the per-message adversary policy mid-run. *)
 
-type faults = {
+type 'op faults = {
   engine : Dsim.Engine.t;
   crash : int -> unit;
       (** crash-stop the replica: freeze its inbox and kill its TOB
@@ -28,7 +34,7 @@ type faults = {
   partition : int list list -> unit;  (** install a network partition *)
   heal : unit -> unit;  (** remove any partition *)
   set_policy :
-    (App.kv_cmd Tob.entry Netsim.Async_net.envelope ->
+    ('op Tob.entry Netsim.Async_net.envelope ->
     Netsim.Async_net.policy_verdict) ->
     unit;
       (** replace the per-message adversary policy (drop / duplicate /
@@ -40,6 +46,25 @@ type faults = {
 (** Live controller over one run's fault surface, handed to [inject]
     after the cluster is wired and before the simulation starts.  All
     functions may also be called later from scheduled engine events. *)
+
+type ('op, 'st) app = {
+  name : string;
+  init : 'st;  (** initial sequential state *)
+  apply : 'st -> 'op -> 'st * string;
+      (** one deterministic sequential step; the [string] is the
+          operation's response, already encoded (the runner records it
+          verbatim into the {!hist}, only a spec-aware checker decodes
+          it).  Must be pure — every replica applies the same log. *)
+  op_to_string : 'op -> string;  (** WAL codec; must be newline-free *)
+  op_of_string : string -> 'op;
+  state_to_string : 'st -> string;  (** snapshot codec; newline-free *)
+  state_of_string : string -> 'st;
+  digest : 'st -> string;
+      (** canonical fingerprint — equal states must yield equal digests,
+          used for the cross-replica agreement gate *)
+}
+(** What the runner needs to know about the replicated object.  Build
+    instances from any [Obj.Spec.S] via [Obj.Replicated.app]. *)
 
 type store_config = {
   policy : Store.Policy.t;  (** initial storage fault policy *)
@@ -57,7 +82,7 @@ val default_store_config : store_config
 (** Honest disks ({!Store.Policy.none}), snapshot every 4 non-empty
     slots, ack after fsync. *)
 
-type config = {
+type 'op config = {
   backend : Backend.t;
   n : int;  (** replicas *)
   batch : int;  (** max commands per slot proposal *)
@@ -68,7 +93,7 @@ type config = {
   restart_schedule : (int * int) list;
       (** [(virtual_time, pid)]: restart that replica at that time
           (no-op unless it crashed earlier) *)
-  inject : (faults -> unit) option;
+  inject : ('op faults -> unit) option;
       (** fault-injection hook, run once at virtual time 0 *)
   trace_capacity : int option;
       (** bound retained trace events (None = unbounded); long campaigns
@@ -78,7 +103,7 @@ type config = {
           built or retained.  Scheduling, RNG draws and outcomes are
           unaffected — the checker never reads the trace — so quiet
           runs produce the same results as traced runs. *)
-  ops : App.kv_cmd list array;  (** one command list per client *)
+  ops : 'op list array;  (** one command list per client *)
   ack_timeout : int;  (** virtual time before a client re-submits *)
   max_events : int;  (** engine event budget (runaway guard) *)
   store : store_config option;
@@ -92,11 +117,28 @@ type config = {
           memory survives crashes. *)
 }
 
-val default_config : n:int -> ops:App.kv_cmd list array -> config
+val default_config : n:int -> ops:'op list array -> 'op config
 (** Ben-Or backend, batch 8, seed 1, uniform 1-10 latency, no faults,
     unbounded trace, ack timeout 2000, 5M event budget, no store. *)
 
-type report = {
+type 'op hist = {
+  h_cid : int;
+  h_client : int;
+  h_op : 'op;
+  h_invoked : int;  (** virtual time the client submitted *)
+  h_resp : string option;
+      (** the encoded response the cluster computed at the command's
+          first application, if it was applied anywhere *)
+  h_returned : int option;
+      (** virtual time the client saw the ack; [None] = still pending
+          when the run ended (its effect may or may not have taken
+          place) *)
+}
+(** One operation of the run's concurrent history, as a spec-agnostic
+    record — feed these to the Wing–Gong checker ([Obj.Replicated])
+    for a per-object linearizability verdict. *)
+
+type 'op report = {
   engine_outcome : Dsim.Engine.outcome;
   virtual_time : int;  (** time of the last processed event *)
   submitted : int;  (** distinct client commands *)
@@ -117,8 +159,10 @@ type report = {
           audit (empty for honest stores; non-empty flags acking
           non-durable commands, e.g. [ack_before_fsync]) *)
   digests_agree : bool;
-      (** all live replicas' final KV states are identical *)
-  digests : string array;  (** per-replica final KV digest *)
+      (** all live replicas' final object states are identical *)
+  digests : string array;  (** per-replica final state digest *)
+  history : 'op hist list;
+      (** the full concurrent history, sorted by invocation time *)
   latencies : float list;
       (** per-command submit-to-ack virtual times, acked commands only *)
   trace : Dsim.Trace.t;
@@ -131,6 +175,6 @@ type report = {
           snapshot chains ([[||]] when no store) *)
 }
 
-val run : config -> report
+val run : ('op, 'st) app -> 'op config -> 'op report
 (** Execute one simulation until the workload drains (or the event
     budget trips — reported, never raised). *)

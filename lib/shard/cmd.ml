@@ -7,7 +7,7 @@ type tx = {
 }
 
 type t =
-  | Kv of Rsm.App.kv_cmd
+  | Kv of Obj.Kv.op
   | Prepare of tx
   | Decide of { txid : int; commit : bool }
   | Outcome of { txid : int; commit : bool }
@@ -79,7 +79,7 @@ let encode_tx b tx =
     tx.ops
 
 let to_string = function
-  | Kv c -> "K " ^ Rsm.App.kv_cmd_to_string c
+  | Kv c -> "K " ^ Obj.Kv.op_to_string c
   | Decide { txid; commit } ->
       Printf.sprintf "D %d %d" txid (if commit then 1 else 0)
   | Outcome { txid; commit } ->
@@ -120,7 +120,7 @@ let of_string s =
   else
     let rest = String.sub s 2 (String.length s - 2) in
     match s.[0] with
-    | 'K' -> Kv (Rsm.App.kv_cmd_of_string rest)
+    | 'K' -> Kv (Obj.Kv.op_of_string rest)
     | 'D' ->
         Scanf.sscanf rest "%d %d" (fun txid c ->
             Decide { txid; commit = c = 1 })
@@ -131,7 +131,7 @@ let of_string s =
     | _ -> invalid_arg ("Cmd.of_string: " ^ s)
 
 let pp ppf = function
-  | Kv c -> Format.fprintf ppf "Kv(%a)" Rsm.App.pp_kv_cmd c
+  | Kv c -> Format.fprintf ppf "Kv(%a)" Obj.Kv.pp_op c
   | Prepare tx ->
       Format.fprintf ppf "Prepare(tx=%d,[%s])" tx.txid
         (String.concat "," (List.map string_of_int tx.participants))

@@ -31,7 +31,7 @@ type tx = {
 }
 
 type t =
-  | Kv of Rsm.App.kv_cmd  (** single-shard, coordination-free *)
+  | Kv of Obj.Kv.op  (** single-shard, coordination-free *)
   | Prepare of tx  (** participant votes by applying this *)
   | Decide of { txid : int; commit : bool }
       (** coordinator-shard record; the {e first} applied decide for a
@@ -61,7 +61,7 @@ type cid_kind =
 val kind_of_cid : int -> cid_kind
 
 (** {1 Codec} — total one-line encodings for WAL records, mirroring
-    {!Rsm.App.kv_cmd_to_string}. *)
+    {!Obj.Kv.op_to_string}. *)
 
 val wop_to_string : wop -> string
 val wop_of_string : string -> wop

@@ -6,7 +6,7 @@ type tx_entry = {
 }
 
 type output =
-  | O_kv of Rsm.App.kv_output
+  | O_kv of Obj.Kv.resp
   | O_vote of bool
   | O_decided of bool
   | O_outcome of bool
@@ -33,7 +33,7 @@ let locked_keys t = Hashtbl.length t.locks
 let tx_status t txid =
   Option.map (fun e -> e.status) (Hashtbl.find_opt t.txs txid)
 
-let apply_kv t (c : Rsm.App.kv_cmd) : Rsm.App.kv_output =
+let apply_kv t (c : Obj.Kv.op) : Obj.Kv.resp =
   match c with
   | Get k -> Got (Hashtbl.find_opt t.kv k)
   | Set (k, v) ->

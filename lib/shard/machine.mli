@@ -24,7 +24,7 @@
 type tx_status = Prepared | Committed | Aborted
 
 type output =
-  | O_kv of Rsm.App.kv_output
+  | O_kv of Obj.Kv.resp
   | O_vote of bool  (** this shard's vote on the prepare *)
   | O_decided of bool  (** canonical decision after this decide *)
   | O_outcome of bool  (** canonical per-shard outcome after this record *)

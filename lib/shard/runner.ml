@@ -12,7 +12,7 @@ type faults = {
   set_store_policy : shard:int -> Store.Policy.t -> unit;
 }
 
-type client_op = Single of Rsm.App.kv_cmd | Tx of Cmd.wop list
+type client_op = Single of Obj.Kv.op | Tx of Cmd.wop list
 
 type arrival =
   | Closed_loop of { think : int }
@@ -100,7 +100,7 @@ type report = {
   router : Router.t;
 }
 
-let kv_key : Rsm.App.kv_cmd -> string = function
+let kv_key : Obj.Kv.op -> string = function
   | Get k -> k
   | Set (k, _) -> k
   | Cas { key; _ } -> key
@@ -322,7 +322,7 @@ let run cfg =
           ());
 
   (* {2 Launching operations} *)
-  let start_single ~client ~seq (kc : Rsm.App.kv_cmd) =
+  let start_single ~client ~seq (kc : Obj.Kv.op) =
     let cid = Cmd.kv_cid ~client ~seq in
     let s = Router.shard_of_key router (kv_key kc) in
     let srt =

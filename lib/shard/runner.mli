@@ -40,7 +40,7 @@ type faults = {
 }
 
 type client_op =
-  | Single of Rsm.App.kv_cmd  (** routed to one shard, no coordination *)
+  | Single of Obj.Kv.op  (** routed to one shard, no coordination *)
   | Tx of Cmd.wop list  (** multi-key write set, 2PC when it spans shards *)
 
 type arrival =
@@ -117,5 +117,5 @@ type report = {
   router : Router.t;
 }
 
-val kv_key : Rsm.App.kv_cmd -> string
+val kv_key : Obj.Kv.op -> string
 val run : config -> report

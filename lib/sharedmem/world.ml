@@ -39,4 +39,20 @@ module Reg = struct
   let write proc reg v =
     step proc;
     reg.contents <- v
+
+  let peek reg = reg.contents
+
+  type 'a cell = { mutable winner : 'a option }
+
+  let cell () = { winner = None }
+
+  let decide proc c v =
+    step proc;
+    match c.winner with
+    | None ->
+        c.winner <- Some v;
+        v
+    | Some w -> w
+
+  let winner c = c.winner
 end

@@ -32,11 +32,29 @@ val step : proc -> unit
 val ops_performed : t -> int
 (** Total register operations executed so far (a work measure). *)
 
-(** Atomic read/write registers. *)
+(** Atomic read/write registers, plus a single-use consensus cell. *)
 module Reg : sig
   type 'a reg
 
   val make : 'a -> 'a reg
   val read : proc -> 'a reg -> 'a
   val write : proc -> 'a reg -> 'a -> unit
+
+  val peek : 'a reg -> 'a
+  (** Raw, step-free read for {e post-run} inspection (digests,
+      checkers).  Never call this from a running process: it bypasses
+      the scheduler and would let a process observe shared state
+      without taking a step. *)
+
+  (** A single-use consensus cell — equivalently, a register supporting
+      compare-and-swap from its initial empty state.  The first
+      {!decide} installs its proposal in one atomic step; every later
+      call returns the winner.  Consensus number [∞]: exactly the
+      [decideNext] primitive Herlihy's universal construction needs. *)
+  type 'a cell
+
+  val cell : unit -> 'a cell
+  val decide : proc -> 'a cell -> 'a -> 'a
+  val winner : 'a cell -> 'a option
+  (** Step-free post-run inspection of a cell (see {!peek}). *)
 end

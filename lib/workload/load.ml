@@ -87,9 +87,9 @@ let sample_key sampler rng ~shard =
 
 let kv_cmd_of_roll ~mix rng key tag =
   let roll = Dsim.Rng.int rng 100 in
-  if roll < mix.set_pct then Rsm.App.Set (key, tag)
-  else if roll < mix.set_pct + mix.get_pct then Rsm.App.Get key
-  else Rsm.App.Cas { key; expect = None; update = "cas-" ^ tag }
+  if roll < mix.set_pct then Obj.Kv.Set (key, tag)
+  else if roll < mix.set_pct + mix.get_pct then Obj.Kv.Get key
+  else Obj.Kv.Cas { key; expect = None; update = "cas-" ^ tag }
 
 let gen_kv_ops ?(shards = 1) ?(keys = 8) ?(mix = default_mix) ?(zipf_s = 0.)
     ~seed ~clients ~commands () =
@@ -102,6 +102,15 @@ let gen_kv_ops ?(shards = 1) ?(keys = 8) ?(mix = default_mix) ?(zipf_s = 0.)
           let shard = Dsim.Rng.int rng shards in
           let key = key_name (sample_key sm rng ~shard) in
           kv_cmd_of_roll ~mix rng key (Printf.sprintf "c%d.%d" c k)))
+
+let gen_obj_ops (type a) (module O : Obj.Spec.S with type op = a) ?(keys = 8)
+    ?(zipf_s = 0.) ~seed ~clients ~commands () : a list array =
+  let rng = Dsim.Rng.create seed in
+  let sm = sampler ~shards:1 ~keys ~zipf_s in
+  Array.init clients (fun c ->
+      List.init commands (fun k ->
+          let key = key_name (sample_key sm rng ~shard:0) in
+          O.gen_op ~rng ~key ~tag:(Printf.sprintf "c%d.%d" c k)))
 
 let gen_shard_ops l =
   validate l;

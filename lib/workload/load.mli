@@ -54,10 +54,24 @@ val gen_kv_ops :
   clients:int ->
   commands:int ->
   unit ->
-  Rsm.App.kv_cmd list array
+  Obj.Kv.op list array
 (** Plain key-value command lists (no transactions) — the single-group
     generator, now shard-aware: with [shards > 1], traffic is balanced
     across the per-shard key pools. *)
+
+val gen_obj_ops :
+  (module Obj.Spec.S with type op = 'a) ->
+  ?keys:int ->
+  ?zipf_s:float ->
+  seed:int64 ->
+  clients:int ->
+  commands:int ->
+  unit ->
+  'a list array
+(** Per-object workloads: each command is drawn from the object's own
+    characteristic mix ([Obj.Spec.S.gen_op]) at a Zipf-skewed key, so
+    every instance sees contention shaped the same way the KV harness
+    does.  Deterministic in [seed]. *)
 
 val gen_shard_ops : t -> Shard.Runner.client_op list array
 (** The sharded workload: singles plus [tx_pct]% multi-key

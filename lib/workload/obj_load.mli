@@ -1,0 +1,97 @@
+(** Per-object workloads over the replicated universal construction.
+
+    One run lifts a sequential object ({!Obj.Spec.S}) onto the
+    consensus log via [Obj.Replicated], drives it with closed-loop
+    clients drawing from the object's own operation mix under Zipf
+    contention ({!Load.gen_obj_ops}), and gates the result three ways:
+    the total-order checker (order/completeness/durability), the
+    cross-replica digest comparison, and the generic Wing–Gong
+    linearizability check over the recorded concurrent history. *)
+
+type injector = { inject : 'op. 'op Rsm.Runner.faults -> unit }
+(** An op-type-agnostic fault injector.  The field is polymorphic so
+    one injector (e.g. [Nemesis.Interp.install_rsm plan]) can be handed
+    to runs over any object's op type. *)
+
+type summary = {
+  object_name : string;
+  backend_name : string;
+  n : int;
+  clients : int;
+  commands : int;  (** distinct commands submitted *)
+  acked : int;
+  crashes : int;
+  restarts : int;
+  virtual_time : int;
+  slots : int;
+  throughput : float;
+  order_violations : int;
+      (** total-order + completeness + durability violations *)
+  wg_violations : string list;
+      (** non-empty iff the history is not linearizable w.r.t. the
+          sequential spec (or the checker's state budget tripped) *)
+  wg_states : int;  (** states the Wing–Gong search visited *)
+  digests_agree : bool;
+  ok : bool;
+}
+
+val max_history : int
+(** Event cap of the Wing–Gong checker (62); [run_packed] rejects
+    workloads with more than this many commands. *)
+
+val run_packed :
+  ?n:int ->
+  ?clients:int ->
+  ?commands:int ->
+  ?batch:int ->
+  ?crashes:int ->
+  ?restart_after:int ->
+  ?seed:int ->
+  ?keys:int ->
+  ?zipf_s:float ->
+  ?quiet:bool ->
+  ?trace_capacity:int ->
+  ?ack_timeout:int ->
+  ?max_events:int ->
+  ?inject:injector ->
+  ?store:Rsm.Runner.store_config ->
+  ?drop_nth:int ->
+  ?max_states:int ->
+  backend:Rsm.Backend.t ->
+  Obj.Spec.packed ->
+  summary
+(** One replicated run of the given object.  Defaults: 5 replicas, 3
+    clients x 6 commands, batch 8, seed 1, 8 keys at skew 1.1.
+    [crashes] / [restart_after] behave as in {!Rsm_load.run_one};
+    [drop_nth] builds the {e broken} universal construction that
+    discards the n-th state-changing log entry's effect (the Wing–Gong
+    check convicts it while order and digest gates stay silent). *)
+
+val run :
+  ?n:int ->
+  ?clients:int ->
+  ?commands:int ->
+  ?batch:int ->
+  ?crashes:int ->
+  ?restart_after:int ->
+  ?seed:int ->
+  ?keys:int ->
+  ?zipf_s:float ->
+  ?quiet:bool ->
+  ?trace_capacity:int ->
+  ?ack_timeout:int ->
+  ?max_events:int ->
+  ?inject:injector ->
+  ?store:Rsm.Runner.store_config ->
+  ?drop_nth:int ->
+  ?max_states:int ->
+  backend:Rsm.Backend.t ->
+  object_name:string ->
+  unit ->
+  summary
+(** [run_packed] through the object registry.
+    @raise Invalid_argument on an unknown object name. *)
+
+val table : ?ppf:Format.formatter -> summary list -> unit
+(** Print a fixed-width scorecard table of runs (byte-stable given equal
+    summaries). *)

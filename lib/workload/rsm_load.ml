@@ -36,7 +36,13 @@ type summary = {
   ok : bool;
 }
 
-let summarize (cfg : Rsm.Runner.config) (r : Rsm.Runner.report) =
+(* The KV store lifted onto the consensus log — the app every KV
+   workload run replicates. *)
+module Kv_rep = Obj.Replicated.Make (Obj.Kv)
+
+let kv_app = Kv_rep.app ()
+
+let summarize (cfg : _ Rsm.Runner.config) (r : _ Rsm.Runner.report) =
   let violations =
     List.length r.violations + List.length r.completeness
     + List.length r.durability
@@ -86,7 +92,7 @@ let run_one ?(n = 5) ?(clients = 4) ?(commands = 8) ?(batch = 8) ?(crashes = 0)
       store;
     }
   in
-  let r = Rsm.Runner.run cfg in
+  let r = Rsm.Runner.run kv_app cfg in
   (r, summarize cfg r)
 
 let sweep_batches ?(n = 5) ?(clients = 24) ?(commands = 4) ?(seeds = 3)

@@ -18,6 +18,18 @@ type op_mix = Load.mix = {
 val default_mix : op_mix
 (** 60% SET, 25% GET, 15% CAS. *)
 
+module Kv_rep : sig
+  type state
+
+  val app : ?drop_nth:int -> unit -> (Obj.Kv.op, state) Rsm.Runner.app
+end
+(** The KV object lifted onto the consensus log
+    ([Obj.Replicated.Make (Obj.Kv)]), re-exported so RSM callers can run
+    workloads without instantiating the functor themselves. *)
+
+val kv_app : (Obj.Kv.op, Kv_rep.state) Rsm.Runner.app
+(** [Kv_rep.app ()] — the honest replicated KV application. *)
+
 val gen_ops :
   ?shards:int ->
   ?keys:int ->
@@ -27,7 +39,7 @@ val gen_ops :
   clients:int ->
   commands:int ->
   unit ->
-  Rsm.App.kv_cmd list array
+  Obj.Kv.op list array
 (** One command list per client ([commands] each) over [keys] distinct
     keys (default 8 — small on purpose, to create contention), Zipf
     skew [zipf_s] (default 1.1).  Delegates to {!Load.gen_kv_ops};
@@ -68,7 +80,8 @@ type summary = {
   ok : bool;  (** zero violations and identical live-replica digests *)
 }
 
-val summarize : Rsm.Runner.config -> Rsm.Runner.report -> summary
+val summarize :
+  Obj.Kv.op Rsm.Runner.config -> Obj.Kv.op Rsm.Runner.report -> summary
 
 val run_one :
   ?n:int ->
@@ -82,11 +95,11 @@ val run_one :
   ?quiet:bool ->
   ?ack_timeout:int ->
   ?max_events:int ->
-  ?inject:(Rsm.Runner.faults -> unit) ->
+  ?inject:(Obj.Kv.op Rsm.Runner.faults -> unit) ->
   ?store:Rsm.Runner.store_config ->
   backend:Rsm.Backend.t ->
   unit ->
-  Rsm.Runner.report * summary
+  Obj.Kv.op Rsm.Runner.report * summary
 (** Defaults: 5 replicas, 4 clients x 8 commands, batch 8, no crashes,
     seed 1.  [restart_after] turns the crash schedule into the
     crash–restart plan (each victim recovers that long after its crash).

@@ -28,6 +28,7 @@ let () =
       ("explore", Test_explore.suite);
       ("store", Test_store.suite);
       ("rsm", Test_rsm.suite);
+      ("obj", Test_obj.suite);
       ("shard", Test_shard.suite);
       ("workload", Test_workload.suite);
       ("nemesis", Test_nemesis.suite);

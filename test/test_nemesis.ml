@@ -389,7 +389,7 @@ let shrinker_minimizes_torn_write_plan () =
          ~inject:(Interp.install_rsm plan)
          ~store ~backend:Rsm.Backend.ben_or ())
   in
-  let failing (r : Rsm.Runner.report) = r.Rsm.Runner.durability <> [] in
+  let failing (r : _ Rsm.Runner.report) = r.Rsm.Runner.durability <> [] in
   let plan : Plan.t =
     [
       { Plan.at = 0; action = Plan.Torn_write (None, 300) };

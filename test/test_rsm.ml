@@ -5,9 +5,11 @@
 module Backend = Rsm.Backend
 module Log = Rsm.Log
 module Tob = Rsm.Tob
-module App = Rsm.App
+module App = Obj.Kv
 module Checker = Rsm.Checker
 module Runner = Rsm.Runner
+
+let kv_app = Workload.Rsm_load.kv_app
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -22,7 +24,7 @@ let ops_of_n ~client n =
 
 let run ?(backend = Backend.ben_or) ?(n = 4) ?(batch = 4) ?(seed = 1)
     ?(crash_schedule = []) ops =
-  Runner.run
+  Runner.run kv_app
     {
       (Runner.default_config ~n ~ops) with
       backend;
@@ -31,7 +33,7 @@ let run ?(backend = Backend.ben_or) ?(n = 4) ?(batch = 4) ?(seed = 1)
       crash_schedule;
     }
 
-let no_violations ?(msg = "no violations") (r : Runner.report) =
+let no_violations ?(msg = "no violations") (r : _ Runner.report) =
   let show vs = Fmt.str "%a" (Fmt.list Checker.pp_violation) vs in
   check Alcotest.string (msg ^ " (order)") "" (show r.violations);
   check Alcotest.string (msg ^ " (completeness)") "" (show r.completeness);
@@ -177,7 +179,7 @@ let backend_crash_restart_run backend () =
       Workload.Rsm_load.crash_restart_plan ~n:4 ~crashes:2 ~down_for:120 ()
     in
     let r =
-      Runner.run
+      Runner.run kv_app
         {
           (Runner.default_config ~n:4 ~ops) with
           backend;

@@ -84,16 +84,16 @@ let mixed_ops ~router ~clients ~per_client ~tx_every ~hot_keys =
             Runner.Tx [ Cmd.W_add (a, 1); Cmd.W_add (b, 1) ]
           else
             Runner.Single
-              (Rsm.App.Set (Printf.sprintf "c%d-%d" c k, string_of_int k))))
+              (Obj.Kv.Set (Printf.sprintf "c%d-%d" c k, string_of_int k))))
 
 (* --- cmd codec --------------------------------------------------------- *)
 
 let codec_roundtrip () =
   let samples =
     [
-      Cmd.Kv (Rsm.App.Set ("a b", "x\ny"));
-      Cmd.Kv (Rsm.App.Get "k");
-      Cmd.Kv (Rsm.App.Cas { key = "k"; expect = Some "1 2"; update = "3" });
+      Cmd.Kv (Obj.Kv.Set ("a b", "x\ny"));
+      Cmd.Kv (Obj.Kv.Get "k");
+      Cmd.Kv (Obj.Kv.Cas { key = "k"; expect = Some "1 2"; update = "3" });
       Cmd.Decide { txid = 42; commit = true };
       Cmd.Outcome { txid = 7; commit = false };
       Cmd.Prepare
@@ -228,7 +228,7 @@ let machine_first_decision_wins () =
 
 let machine_snapshot_roundtrip () =
   let m = Machine.create ~shard:2 in
-  ignore (Machine.apply m (Cmd.Kv (Rsm.App.Set ("k \"1\"", "v\n2"))) : Machine.output);
+  ignore (Machine.apply m (Cmd.Kv (Obj.Kv.Set ("k \"1\"", "v\n2"))) : Machine.output);
   ignore
     (Machine.apply m
        (Cmd.Prepare

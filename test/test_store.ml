@@ -7,7 +7,7 @@
 module Policy = Store.Policy
 module Disk = Store.Disk
 module Runner = Rsm.Runner
-module App = Rsm.App
+module App = Obj.Kv
 module Checker = Rsm.Checker
 
 let check = Alcotest.check
@@ -272,7 +272,7 @@ let ops_of_n ~client n =
 let run_store ?(backend = Rsm.Backend.ben_or) ?(n = 4) ?(batch = 4) ?(seed = 1)
     ?(crash_schedule = []) ?(restart_schedule = [])
     ?(store = Runner.default_store_config) ops =
-  Runner.run
+  Runner.run Workload.Rsm_load.kv_app
     {
       (Runner.default_config ~n ~ops) with
       backend;
@@ -283,7 +283,7 @@ let run_store ?(backend = Rsm.Backend.ben_or) ?(n = 4) ?(batch = 4) ?(seed = 1)
       store = Some store;
     }
 
-let no_violations ?(msg = "no violations") (r : Runner.report) =
+let no_violations ?(msg = "no violations") (r : _ Runner.report) =
   let show vs = Fmt.str "%a" (Fmt.list Checker.pp_violation) vs in
   check Alcotest.string (msg ^ " (order)") "" (show r.violations);
   check Alcotest.string (msg ^ " (completeness)") "" (show r.completeness);
