@@ -461,9 +461,37 @@ let bench_core_json () =
           Mcheck.Models.benor ~check_termination:false ());
     ]
   in
+  let detect =
+    let row kind (c : Workload.Detect_load.summary) =
+      Json.Obj
+        [
+          ("kind", Json.String kind);
+          ("period", Json.Int c.Workload.Detect_load.period);
+          ("window", Json.Int c.Workload.Detect_load.window);
+          ( "mean_decision_latency",
+            match c.Workload.Detect_load.mean_latency with
+            | Some m -> Json.Float m
+            | None -> Json.Null );
+          ( "mean_omega_stability",
+            match c.Workload.Detect_load.mean_stability with
+            | Some m -> Json.Float m
+            | None -> Json.Null );
+          ("suspicions", Json.Int c.Workload.Detect_load.suspicions);
+          ( "false_suspicions",
+            Json.Int c.Workload.Detect_load.false_suspicions );
+          ( "heartbeats_per_kvt",
+            Json.Float c.Workload.Detect_load.heartbeats_per_kvt );
+          ("ok", Json.Bool c.Workload.Detect_load.ok);
+        ]
+    in
+    List.map (row "window")
+      (Workload.Detect_load.sweep_windows ~seeds:2 null_ppf)
+    @ List.map (row "period")
+        (Workload.Detect_load.sweep_periods ~seeds:2 null_ppf)
+  in
   Json.Obj
     [
-      ("schema", Json.String "oocon-bench-core/3");
+      ("schema", Json.String "oocon-bench-core/4");
       ("cores", Json.Int cores);
       ("engine", Json.Obj [ ("traced", traced); ("quiet", quiet) ]);
       ("campaign", Json.List campaign);
@@ -472,6 +500,7 @@ let bench_core_json () =
       ("shard", Json.List shard);
       ("wal_overhead", Json.List wal);
       ("mcheck", Json.List mcheck);
+      ("detect", Json.List detect);
     ]
 
 let write_bench_json file =
@@ -494,7 +523,7 @@ let validate_bench_json file =
   | v ->
       let open Json in
       (match Option.bind (member "schema" v) to_string_opt with
-      | Some "oocon-bench-core/3" -> ()
+      | Some "oocon-bench-core/4" -> ()
       | Some other -> err "unexpected schema %S" other
       | None -> err "missing schema");
       (match Option.bind (member "cores" v) to_int with
@@ -609,6 +638,38 @@ let validate_bench_json file =
         [ "backend"; "store"; "virtual_time"; "appends"; "fsyncs"; "ok" ];
       check_rows "mcheck"
         [ "model"; "depth"; "executions"; "violating"; "schedules_per_sec" ];
+      check_rows "detect"
+        [
+          "kind";
+          "period";
+          "window";
+          "suspicions";
+          "false_suspicions";
+          "heartbeats_per_kvt";
+          "ok";
+        ];
+      (match Option.bind (member "detect" v) to_list with
+      | Some rows ->
+          List.iteri
+            (fun i row ->
+              (match Option.bind (member "heartbeats_per_kvt" row) to_float with
+              | Some h when h > 0. -> ()
+              | _ -> err "detect[%d]: bad heartbeats_per_kvt" i);
+              (match Option.bind (member "kind" row) to_string_opt with
+              | Some "window" -> (
+                  (* the window sweep exists to show the latency curve *)
+                  match
+                    Option.bind (member "mean_decision_latency" row) to_float
+                  with
+                  | Some l when l > 0. -> ()
+                  | _ -> err "detect[%d]: window row lacks decision latency" i)
+              | Some "period" -> ()
+              | _ -> err "detect[%d]: bad kind" i);
+              match Option.bind (member "ok" row) to_bool with
+              | Some true -> ()
+              | _ -> err "detect[%d]: run reported violations or no decision" i)
+            rows
+      | None -> ());
       (match Option.bind (member "mcheck" v) to_list with
       | Some rows ->
           List.iteri
@@ -623,7 +684,7 @@ let validate_bench_json file =
       | None -> ()));
   match List.rev !errors with
   | [] ->
-      Format.printf "%s: valid oocon-bench-core/3 baseline@." file;
+      Format.printf "%s: valid oocon-bench-core/4 baseline@." file;
       0
   | errs ->
       List.iter (Format.eprintf "%s: %s@." file) errs;

@@ -750,6 +750,226 @@ let nemesis_cmd =
           failing plans to minimal counterexamples.")
     term
 
+(* ------------------------------------------------------------- detect -- *)
+
+let detect_cmd =
+  let period_arg =
+    let doc = "Heartbeat period (virtual time)." in
+    Arg.(
+      value
+      & opt int Detect.Timeout.default.Detect.Timeout.period
+      & info [ "period" ] ~docv:"T" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Initial suspicion timeout (grows adaptively on each suspicion)." in
+    Arg.(
+      value
+      & opt int Detect.Timeout.default.Detect.Timeout.initial
+      & info [ "timeout" ] ~docv:"T" ~doc)
+  in
+  let cap_arg =
+    let doc = "Upper bound the adaptive timeout saturates at." in
+    Arg.(
+      value
+      & opt int Detect.Timeout.default.Detect.Timeout.cap
+      & info [ "cap" ] ~docv:"T" ~doc)
+  in
+  let mutant_arg =
+    let doc =
+      "Replace the honest detector with a lying mutant: $(b,false-suspect) \
+       permanently suspects node 0 (a correct process — the backend must \
+       still decide, routing around it), $(b,rotate) names a different \
+       leader on every query (liveness is lost; safety must survive)."
+    in
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("false-suspect", Detect.Oracle.False_suspect 0);
+                  ("rotate", Detect.Oracle.Rotating);
+                ]))
+          None
+      & info [ "broken-detector" ] ~docv:"MUTANT" ~doc)
+  in
+  let expect_violation_arg =
+    let doc =
+      "Invert the liveness exit code: succeed only when liveness IS lost \
+       (mutant gates in CI).  A safety violation is never expected — a \
+       lying detector must not break agreement, so that still fails, with \
+       exit code 2."
+    in
+    Arg.(value & flag & info [ "expect-violation" ] ~doc)
+  in
+  let campaign_arg =
+    let doc =
+      "Sweep generated fault plans instead of a single run (see --plans)."
+    in
+    Arg.(value & flag & info [ "campaign" ] ~doc)
+  in
+  let plans_arg =
+    let doc = "Seeded random fault plans in --campaign mode." in
+    Arg.(value & opt int 50 & info [ "plans" ] ~docv:"P" ~doc)
+  in
+  let horizon_arg =
+    let doc = "Virtual-time window fault actions are placed in." in
+    Arg.(value & opt int 800 & info [ "horizon" ] ~docv:"H" ~doc)
+  in
+  let plan_file_arg =
+    let doc = "Inject this plan file into a single run." in
+    Arg.(value & opt (some file) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let quiet_arg =
+    let doc = "No per-run progress dots in --campaign mode." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let report_out_arg =
+    let doc =
+      "Write the campaign report, minus timing figures, to this file — \
+       byte-identical across job counts, so two runs can be diffed."
+    in
+    Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
+  in
+  let run n seed period timeout cap mutant expect_violation campaign plans
+      horizon plan_file quiet jobs report_out show_trace =
+    let params =
+      { Detect.Timeout.default with Detect.Timeout.period; initial = timeout; cap }
+    in
+    if not (Detect.Timeout.valid params) then begin
+      Format.eprintf "invalid detector parameters@.";
+      exit 2
+    end;
+    let mutant_v = Option.value mutant ~default:Detect.Oracle.Honest in
+    (* Safety is unconditional: even a lying detector breaking agreement
+       is a bug in the backend, never an "expected" violation. *)
+    let finish ~safety_ok ~liveness_ok =
+      if not safety_ok then begin
+        if mutant <> None then
+          Format.eprintf "lying detector must not break safety@.";
+        exit (if mutant <> None then 2 else 1)
+      end;
+      if expect_violation then
+        if liveness_ok then begin
+          Format.eprintf "no liveness violation found but one was expected@.";
+          exit 1
+        end
+        else begin
+          Format.printf "expected liveness violation found (safety intact)@.";
+          exit 0
+        end
+      else if not liveness_ok then exit 1
+    in
+    if campaign then begin
+      let cfg =
+        {
+          (Nemesis.Detect_campaign.default_config ~n ()) with
+          Nemesis.Detect_campaign.plans;
+          first_seed = seed;
+          params = [ params ];
+          mutant = mutant_v;
+          profile = { (Nemesis.Gen.default ~n) with Nemesis.Gen.horizon };
+        }
+      in
+      let on_outcome (o : Nemesis.Detect_campaign.outcome) =
+        if not quiet then begin
+          print_char
+            (if not (o.agreement && o.validity) then 'X'
+             else if o.livelock then '!'
+             else '.');
+          flush stdout
+        end
+      in
+      let report =
+        Nemesis.Detect_campaign.run ~jobs:(resolve_jobs jobs) ~on_outcome cfg
+      in
+      if not quiet then print_newline ();
+      Format.printf "%a" Nemesis.Detect_campaign.pp_report report;
+      Option.iter
+        (fun file ->
+          Out_channel.with_open_text file (fun oc ->
+              let ppf = Format.formatter_of_out_channel oc in
+              Nemesis.Detect_campaign.pp_report_stable ppf report;
+              Format.pp_print_flush ppf ());
+          Format.printf "stable report written to %s@." file)
+        report_out;
+      finish
+        ~safety_ok:
+          (report.Nemesis.Detect_campaign.agreement_failures = []
+          && report.Nemesis.Detect_campaign.validity_failures = [])
+        ~liveness_ok:(report.Nemesis.Detect_campaign.livelocks = [])
+    end
+    else begin
+      let plan =
+        Option.map
+          (fun file ->
+            let text = In_channel.with_open_text file In_channel.input_all in
+            let plan =
+              try Nemesis.Plan.of_string text
+              with Nemesis.Plan.Parse_error msg ->
+                Format.eprintf "cannot parse plan %s: %s@." file msg;
+                exit 2
+            in
+            match Nemesis.Plan.validate ~n plan with
+            | [] -> plan
+            | problems ->
+                Format.eprintf "ill-formed plan %s:@." file;
+                List.iter (Format.eprintf "  %s@.") problems;
+                exit 2)
+          plan_file
+      in
+      let r =
+        Detect.Runner.run ~n ~seed:(Int64.of_int seed) ~params ~mutant:mutant_v
+          ~horizon:(horizon + 3000)
+          ?install:
+            (Option.map (fun p f -> Nemesis.Interp.install_detect p f) plan)
+          ()
+      in
+      Array.iteri
+        (fun p d ->
+          Format.printf "node %d: %s@." p
+            (match d with
+            | Some v ->
+                Printf.sprintf "decided %b at t=%d" v
+                  (Option.get r.Detect.Runner.decided_at.(p))
+            | None -> "undecided"))
+        r.Detect.Runner.decisions;
+      Format.printf
+        "agreement %s, validity %s, all live decided: %b, vt %d@."
+        (if r.Detect.Runner.agreement_ok then "ok" else "VIOLATED")
+        (if r.Detect.Runner.validity_ok then "ok" else "VIOLATED")
+        r.Detect.Runner.all_live_decided r.Detect.Runner.virtual_time;
+      Format.printf
+        "detector: %d heartbeats, %d suspicions (%d false), %d unsuspicions, \
+         omega changes %d, stable %s@."
+        r.Detect.Runner.heartbeats_sent r.Detect.Runner.suspicions
+        r.Detect.Runner.false_suspicions r.Detect.Runner.unsuspicions
+        r.Detect.Runner.omega_changes
+        (match r.Detect.Runner.omega_stable_at with
+        | Some t -> Printf.sprintf "at t=%d" t
+        | None -> "never");
+      dump_trace ~limit:show_trace (Dsim.Engine.trace r.Detect.Runner.engine);
+      finish
+        ~safety_ok:(r.Detect.Runner.agreement_ok && r.Detect.Runner.validity_ok)
+        ~liveness_ok:r.Detect.Runner.all_live_decided
+    end
+  in
+  let term =
+    Term.(
+      const run $ n_arg 4 $ seed_arg $ period_arg $ timeout_arg $ cap_arg
+      $ mutant_arg $ expect_violation_arg $ campaign_arg $ plans_arg
+      $ horizon_arg $ plan_file_arg $ quiet_arg $ jobs_arg $ report_out_arg
+      $ show_trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:
+         "Failure-detector oracles and indulgent consensus: run the \
+          Omega-driven backend under fault plans, audit the indulgence \
+          contract (safety unconditional, liveness once the detector \
+          stabilises), and sweep detector-accuracy campaigns.")
+    term
+
 (* -------------------------------------------------------------- shard -- *)
 
 let shard_cmd =
@@ -1468,6 +1688,7 @@ let main_cmd =
       store_cmd;
       shard_cmd;
       nemesis_cmd;
+      detect_cmd;
       mcheck_cmd;
       experiments_cmd;
     ]

@@ -1,0 +1,47 @@
+(* Adaptive timeout arithmetic for the eventually-perfect detector.
+   Pure integer functions over virtual-time ticks so the adjustment
+   rules are qcheck-able in isolation from the simulator: on every
+   suspicion the timeout grows by a rational backoff factor (so a
+   finite number of false suspicions pushes it past any fixed message
+   delay — the ◊P convergence argument), on a late heartbeat from a
+   suspected peer it shrinks additively (so over-conservative timeouts
+   recover, but never below the floor that keeps benign runs
+   suspicion-free). *)
+
+type params = {
+  period : int;  (** heartbeat send period, virtual-time ticks *)
+  initial : int;  (** starting timeout per peer *)
+  backoff_num : int;  (** growth factor numerator *)
+  backoff_den : int;  (** growth factor denominator *)
+  cap : int;  (** timeouts never exceed this *)
+  shrink : int;  (** additive shrink on a late heartbeat *)
+}
+
+(* Under the simulator's default Uniform(1,10) link latency the gap
+   between consecutive heartbeat arrivals is at most period + 10 - 1,
+   so initial = 50 > 29 leaves benign runs with zero false
+   suspicions at every seed (pinned by a qcheck property). *)
+let default =
+  {
+    period = 20;
+    initial = 50;
+    backoff_num = 3;
+    backoff_den = 2;
+    cap = 800;
+    shrink = 5;
+  }
+
+let valid p =
+  p.period > 0 && p.initial > 0
+  && p.backoff_num > p.backoff_den
+  && p.backoff_den > 0
+  && p.cap >= p.initial
+  && p.shrink >= 0
+
+(* Growth is strict (max (t+1)) even when the rational factor rounds
+   down to identity, so repeated suspicions always make progress
+   toward the cap. *)
+let after_suspicion p t =
+  min p.cap (max (t + 1) (t * p.backoff_num / p.backoff_den))
+
+let after_late_heartbeat p t = max p.initial (t - p.shrink)

@@ -1,0 +1,34 @@
+(** Pure adaptive-timeout arithmetic for the ◊P heartbeat detector.
+
+    Timeouts are per-peer and measured in virtual-time ticks.  The two
+    adjustment rules implement the classic eventually-perfect recipe:
+    every (possibly false) suspicion multiplies the timeout by
+    [backoff_num/backoff_den] (strictly increasing, clamped at [cap]),
+    and a heartbeat arriving from a currently-suspected peer — proof
+    the suspicion was premature — shrinks it back additively, never
+    below [initial]. *)
+
+type params = {
+  period : int;  (** heartbeat send period, virtual-time ticks *)
+  initial : int;  (** starting timeout per peer *)
+  backoff_num : int;  (** growth factor numerator *)
+  backoff_den : int;  (** growth factor denominator *)
+  cap : int;  (** timeouts never exceed this *)
+  shrink : int;  (** additive shrink on a late heartbeat *)
+}
+
+val default : params
+(** Sized so benign runs under the simulator's default Uniform(1,10)
+    link latency produce zero false suspicions at every seed. *)
+
+val valid : params -> bool
+(** Well-formedness: positive period/initial, a genuinely growing
+    backoff factor, [cap >= initial], non-negative shrink. *)
+
+val after_suspicion : params -> int -> int
+(** New timeout after a suspicion fires: grows by the backoff factor,
+    strictly (at least +1) and at most to [cap]. *)
+
+val after_late_heartbeat : params -> int -> int
+(** New timeout after a heartbeat from a suspected peer: shrinks by
+    [shrink], floored at [initial]. *)

@@ -7,7 +7,12 @@
 type event = {
   time : int;  (** virtual time at which the event was emitted *)
   pid : int option;  (** emitting process, when applicable *)
-  tag : string;  (** machine-matchable category, e.g. ["send"] *)
+  tag : string;  (** machine-matchable category, e.g. ["send"].  Tags are
+                     free-form per subsystem; e.g. the failure-detector
+                     layer emits under ["detect"] ([suspect]/[trust]
+                     transitions, [omega stable]/[omega unstable] view
+                     changes, [round]/[decide] protocol steps) and the
+                     fault injector under ["nemesis"]. *)
   detail : string;  (** human-readable payload *)
 }
 

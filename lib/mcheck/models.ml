@@ -470,6 +470,119 @@ let toy_ac ?(broken = false) ?(n = 3) ?inputs ~check_termination () =
     make;
   }
 
+(* ----------------------------------------------------------- omega AC ----
+   The failure-detector suspicion race, boiled down to the smallest
+   model the explorer can branch on: node 0 is the Ω-elected
+   coordinator and broadcasts its input; every other node arms a
+   suspicion deadline for it.  Under an oracle the proposal is
+   delivered at t=1 and the deadline also fires at t=1, so the
+   same-tick "sched" choice decides which a waiter observes first —
+   exactly the timing uncertainty a real detector lives with.
+
+   The correct (indulgent) rule ignores suspicion for the decision:
+   suspecting the coordinator is just a note, the waiter still decides
+   the proposed value when it arrives, so every schedule agrees on
+   node 0's input.  The [broken] variant decides its OWN input the
+   moment the deadline beats the delivery — trusting the detector for
+   safety — and the schedule that fires the deadline first diverges
+   from the coordinator, which the explorer must convict. *)
+
+type omega_msg = OProp of bool
+
+let omega_ac ?(broken = false) ?(n = 2) ?inputs () =
+  if n < 2 then invalid_arg "Models.omega_ac: n >= 2 required";
+  let inputs =
+    match inputs with
+    | Some a ->
+        if Array.length a <> n then invalid_arg "Models.omega_ac: |inputs| <> n";
+        a
+    | None -> Array.init n (fun i -> i mod 2 = 0)
+  in
+  let make () =
+    let decisions = Array.make n None in
+    let suspected = Array.make n false in
+    let outcome = ref None in
+    let run oracle =
+      let eng = Engine.create ~seed:1L () in
+      Engine.set_oracle eng (Some oracle);
+      let net = Async_net.create eng ~n () in
+      ignore
+        (Engine.spawn eng ~name:"omega-0" (fun _ectx ->
+             Async_net.broadcast net ~src:0 (OProp inputs.(0));
+             decisions.(0) <- Some inputs.(0))
+          : Engine.pid);
+      for i = 1 to n - 1 do
+        ignore
+          (Engine.spawn eng ~name:(Printf.sprintf "omega-%d" i) (fun _ectx ->
+               (* deadline waker: same delay as the oracle's base message
+                  latency, so it ties with the delivery tick *)
+               Engine.schedule eng ~delay:1 (fun () ->
+                   if decisions.(i) = None then suspected.(i) <- true);
+               let res =
+                 Engine.await (fun () ->
+                     let prop =
+                       List.find_map
+                         (fun env ->
+                           match env.Async_net.payload with OProp v -> Some v)
+                         (Async_net.inbox net i)
+                     in
+                     match prop with
+                     | Some v -> Some (`Proposed v)
+                     | None ->
+                         if broken && suspected.(i) then Some `Suspected
+                         else None)
+               in
+               match res with
+               | `Proposed v -> decisions.(i) <- Some v
+               | `Suspected ->
+                   (* BUG: the detector's word taken for safety *)
+                   decisions.(i) <- Some inputs.(i))
+            : Engine.pid)
+      done;
+      outcome := Some (Engine.run eng)
+    in
+    let violations () =
+      let decided = Array.to_list decisions |> List.filter_map Fun.id in
+      (match decided with
+      | v :: rest when not (List.for_all (Bool.equal v) rest) ->
+          [
+            Printf.sprintf "agreement: decisions diverge [%s]"
+              (String.concat ";" (List.map string_of_bool decided));
+          ]
+      | _ -> [])
+      @ (if List.for_all (fun v -> Array.exists (Bool.equal v) inputs) decided
+         then []
+         else [ "validity: decision is nobody's input" ])
+      @
+      match !outcome with
+      | Some Engine.Quiescent when Array.for_all (( <> ) None) decisions -> []
+      | Some Engine.Quiescent -> [ "termination: a node never decided" ]
+      | Some o -> [ "termination: run ended " ^ outcome_str o ]
+      | None -> [ "termination: model never ran" ]
+    in
+    let digest () =
+      Printf.sprintf "decisions=[%s] suspected=[%s] outcome=%s"
+        (String.concat ";"
+           (Array.to_list
+              (Array.map
+                 (function None -> "-" | Some v -> string_of_bool v)
+                 decisions)))
+        (String.concat ";"
+           (Array.to_list (Array.map string_of_bool suspected)))
+        (match !outcome with Some o -> outcome_str o | None -> "unrun")
+    in
+    { run; violations; digest; fingerprint = None }
+  in
+  {
+    name = (if broken then "omega-ac-broken" else "omega-ac");
+    describe =
+      Printf.sprintf
+        "Omega-coordinator decision vs suspicion-deadline race, n=%d%s" n
+        (if broken then " deciding its own input on first suspicion"
+         else " (indulgent: suspicion never decides)");
+    make;
+  }
+
 (* ------------------------------------------------------------- registry *)
 
 let names =
@@ -482,6 +595,8 @@ let names =
     "toy-ac-broken";
     "uc-queue";
     "uc-queue-broken";
+    "omega-ac";
+    "omega-ac-broken";
   ]
 
 let of_name ?n name ~fault_budget =
@@ -495,6 +610,8 @@ let of_name ?n name ~fault_budget =
       toy_ac ~broken:true ?n ~check_termination:(fault_budget <= 1) ()
   | "uc-queue" -> uc_queue ?n ()
   | "uc-queue-broken" -> uc_queue ~broken:true ?n ()
+  | "omega-ac" -> omega_ac ?n ()
+  | "omega-ac-broken" -> omega_ac ~broken:true ?n ()
   | _ ->
       invalid_arg
         (Printf.sprintf "Mcheck.Models.of_name: unknown model %S (known: %s)"

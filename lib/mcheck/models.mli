@@ -73,6 +73,17 @@ val uc_queue : ?broken:bool -> ?n:int -> unit -> t
     a racing schedule drops the losing enqueue from the chain (both
     dequeues answer the same value), which the explorer must catch. *)
 
+val omega_ac : ?broken:bool -> ?n:int -> ?inputs:bool array -> unit -> t
+(** The failure-detector suspicion race in miniature (default n=2,
+    lock-step): node 0 is the Ω-elected coordinator broadcasting its
+    input; every waiter arms a suspicion deadline that ties with the
+    delivery tick, so the explorer's same-tick scheduling choice decides
+    which fires first.  The correct variant is indulgent — suspicion is
+    only a note, the waiter still decides the proposed value — and
+    agrees on every schedule.  The [broken] variant decides its own
+    input the moment suspicion beats delivery (trusting the detector
+    for safety), and the explorer must convict that schedule. *)
+
 val names : string list
 (** Model names {!of_name} accepts. *)
 

@@ -1,0 +1,104 @@
+(** Detector-accuracy campaigns over the indulgent consensus runner.
+
+    Sweeps a detector parameter grid x seeded fault plans, auditing
+    every run for the indulgence contract: agreement/validity must
+    hold in {e every} run (detector-free safety), and every run whose
+    plan is {!eventually_stable} must decide — a stable-but-undecided
+    run is a {e livelock}, of which an honest campaign must count
+    zero, while the lying mutants are expected to produce them
+    (liveness lost, safety intact: exactly what the gate checks).
+
+    Like {!Campaign}, the run set is named by [(profile, params,
+    first_seed, plans)] alone, runs are isolated simulations keyed by
+    seed, and reports are byte-identical at every job count. *)
+
+type config = {
+  plans : int;
+  first_seed : int;
+  n : int;
+  params : Detect.Timeout.params list;  (** detector parameter grid *)
+  mutant : Detect.Oracle.mutant;
+  profile : Gen.profile;
+  horizon_slack : int;
+      (** extra virtual time past the plan horizon for post-heal
+          recovery (capped timeouts and round backoff need room) *)
+  max_events : int;
+}
+
+val default_config : ?n:int -> unit -> config
+(** 50 plans from seed 1 at n=4, default timeout parameters, honest
+    detector, default minority-crash profile. *)
+
+val eventually_stable : n:int -> Plan.t -> bool
+(** Whether the plan's final state lets the detector stabilise and a
+    quorum form: no unhealed cut and a strict majority of nodes up.
+    (Weaker than [Plan.quiet_after <> None]: a permanently-crashed
+    minority still stabilises.) *)
+
+type outcome = {
+  plan_seed : int;
+  params_ix : int;  (** index into the config's parameter grid *)
+  plan : Plan.t;
+  stable : bool;
+  decided : bool;  (** every live node learned the decision *)
+  agreement : bool;
+  validity : bool;
+  livelock : bool;  (** [stable && not decided] *)
+  decision_latency : int option;
+  suspicions : int;
+  false_suspicions : int;
+  omega_stable_at : int option;
+  heartbeats : int;
+  virtual_time : int;
+  engine_outcome : Dsim.Engine.outcome;
+}
+
+type report = {
+  runs : int;
+  outcomes : outcome list;  (** params-major, then plan order *)
+  agreement_failures : outcome list;
+  validity_failures : outcome list;
+  livelocks : outcome list;
+  stable_runs : int;
+  decided_runs : int;
+  latency_sum : int;
+  latency_runs : int;
+  suspicions : int;
+  false_suspicions : int;
+  stability_sum : int;
+  stability_runs : int;
+  heartbeats : int;
+  faults_injected : int;
+  coverage : (string * int) list;
+  cpu_seconds : float;
+  wall_seconds : float;
+  runs_per_sec : float;
+}
+
+val empty_report : report
+
+val plan_for : config -> seed:int -> Plan.t
+
+val run_plan :
+  ?quiet:bool ->
+  config ->
+  params:Detect.Timeout.params ->
+  seed:int ->
+  Plan.t ->
+  Detect.Runner.report
+(** One deterministic run (the shrinker's replay function).  [quiet]
+    defaults to true — pass false to retain the trace. *)
+
+val merge : report -> report -> report
+(** Associative aggregation (see {!Campaign.merge}). *)
+
+val run : ?jobs:int -> ?on_outcome:(outcome -> unit) -> config -> report
+(** The full sweep.  [jobs] (default 1) fans runs over that many
+    domains; the report is identical — field for field, modulo timing
+    — at every job count. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val pp_report_stable : Format.formatter -> report -> unit
+(** {!pp_report} minus the timing header — byte-identical across job
+    counts. *)

@@ -106,6 +106,15 @@ let generate p ~seed =
             (Plan.Disk_stall (some_ids (), 10 + Dsim.Rng.int rng 90, window at))
     end
   done;
+  (* A cut that never heals stalls every quorum-gated slot to the
+     horizon by design (the DESIGN §12 fix in Rsm.Log.majority_view),
+     which would turn whole campaigns into liveness noise: generated
+     plans therefore always heal — partitions are windows, only
+     crashes may persist (in non-benign mode). *)
+  if !partitioned && not p.benign then begin
+    push (min (p.horizon - 1) (max (!t + 1) (p.horizon * 4 / 5))) Plan.Heal;
+    partitioned := false
+  end;
   if p.benign then begin
     (* Undo every lingering disturbance strictly before the horizon. *)
     let pending = List.length !down + if !partitioned then 1 else 0 in

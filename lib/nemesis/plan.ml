@@ -83,6 +83,9 @@ let check_match ~n ~problems ~at m =
 let validate ~n plan =
   let problems = ref [] in
   let down = Hashtbl.create 8 in
+  let ever_down = Hashtbl.create 8 in
+  let cut = ref false in
+  let ever_cut = ref false in
   let prev = ref min_int in
   List.iter
     (fun { at; action } ->
@@ -100,13 +103,22 @@ let validate ~n plan =
           pid_ok "crash" pid;
           if Hashtbl.mem down pid then
             problems := Printf.sprintf "@%d: crash of already-down %d" at pid :: !problems
-          else Hashtbl.replace down pid ()
+          else begin
+            Hashtbl.replace down pid ();
+            Hashtbl.replace ever_down pid ()
+          end
       | Restart pid ->
           pid_ok "restart" pid;
           if not (Hashtbl.mem down pid) then
-            problems := Printf.sprintf "@%d: restart of live %d" at pid :: !problems
+            problems :=
+              (if Hashtbl.mem ever_down pid then
+                 Printf.sprintf "@%d: restart of live %d" at pid
+               else Printf.sprintf "@%d: restart of never-crashed %d" at pid)
+              :: !problems
           else Hashtbl.remove down pid
       | Partition groups ->
+          cut := true;
+          ever_cut := true;
           let seen = Hashtbl.create 8 in
           if groups = [] then
             problems := Printf.sprintf "@%d: empty partition" at :: !problems;
@@ -124,7 +136,14 @@ let validate ~n plan =
                   else Hashtbl.replace seen id ())
                 g)
             groups
-      | Heal -> ()
+      | Heal ->
+          if not !cut then
+            problems :=
+              (if !ever_cut then
+                 Printf.sprintf "@%d: heal with no active partition" at
+               else Printf.sprintf "@%d: heal of never-partitioned network" at)
+              :: !problems
+          else cut := false
       | Drop_matching (m, lasts) ->
           check_match ~n ~problems ~at m;
           if lasts < 1 then
@@ -156,6 +175,40 @@ let validate ~n plan =
               Printf.sprintf "@%d: stall window must last >= 1" at :: !problems))
     plan;
   List.rev !problems
+
+(* State-machine consistency alone (no pid-range checks, so no [n]):
+   the fragment of [validate] a shrinker can re-check cheaply when it
+   deletes steps — dropping a [Crash] must not orphan its [Restart],
+   dropping a [Partition] must not orphan its [Heal]. *)
+let consistent plan =
+  let down = Hashtbl.create 8 in
+  let cut = ref false in
+  List.for_all
+    (fun { action; _ } ->
+      match action with
+      | Crash pid ->
+          if Hashtbl.mem down pid then false
+          else begin
+            Hashtbl.replace down pid ();
+            true
+          end
+      | Restart pid ->
+          if Hashtbl.mem down pid then begin
+            Hashtbl.remove down pid;
+            true
+          end
+          else false
+      | Partition _ ->
+          cut := true;
+          true
+      | Heal ->
+          if !cut then begin
+            cut := false;
+            true
+          end
+          else false
+      | _ -> true)
+    plan
 
 let quiet_after plan =
   (* The earliest time by which every scripted disturbance has ended:

@@ -61,8 +61,18 @@ val count_kinds : t -> (string * int) list
 val validate : n:int -> t -> string list
 (** Well-formedness problems, empty when the plan is well-formed: times
     non-negative and sorted; pids and match ids in [0, n); no crash of a
-    down node or restart of a live one; partition groups disjoint and
-    non-empty; window durations and intensities positive. *)
+    down node, restart of a live or never-crashed one, or heal of a
+    never-partitioned (or already-healed) network; partition groups
+    disjoint and non-empty; window durations and intensities
+    positive.  Ill-formed plans are rejected with these messages, never
+    silently reinterpreted. *)
+
+val consistent : t -> bool
+(** The crash/restart/partition/heal state-machine fragment of
+    {!validate} alone (no [n] needed): false iff some step double-
+    crashes, restarts a non-down node or heals a non-cut network.  The
+    shrinker filters its deletion candidates through this so shrunk
+    plans stay valid. *)
 
 val quiet_after : t -> int option
 (** The earliest virtual time by which every scripted disturbance has

@@ -44,6 +44,11 @@ let shrink ?(max_replays = 400) oracle plan0 =
   in
   if not (fails plan0) then
     invalid_arg "Shrink.shrink: the initial plan does not fail";
+  (* Candidates must stay state-machine consistent (Plan.consistent):
+     deleting a Crash must not orphan its Restart, deleting a
+     Partition must not orphan its Heal — otherwise the shrinker would
+     hand back plans [Plan.validate] now rejects. *)
+  let fails_cand p = Plan.consistent p && fails p in
   (* Greedy delta debugging to a local minimum: first try dropping whole
      steps (restarting the scan after every success), then try weakening
      the survivors, going back to removal whenever a weakening lands. *)
@@ -54,10 +59,57 @@ let shrink ?(max_replays = 400) oracle plan0 =
       if i >= len then None
       else
         let cand = without i plan in
-        if fails cand then Some cand else try_at (i + 1)
+        if fails_cand cand then Some cand else try_at (i + 1)
     in
     match try_at 0 with Some p -> remove_pass p | None -> plan
   in
+  (* Paired removal: a Crash is only deletable together with its
+     matching Restart (and a Partition with its Heal) — the single-step
+     pass can never drop either alone without tripping the consistency
+     filter, so without this pass crash–restart cycles would be stuck
+     in every minimum. *)
+  let pair_candidates plan =
+    let arr = Array.of_list plan in
+    let first_after i pred =
+      let j = ref None in
+      Array.iteri
+        (fun k s -> if !j = None && k > i && pred s.Plan.action then j := Some k)
+        arr;
+      !j
+    in
+    let cands = ref [] in
+    Array.iteri
+      (fun i s ->
+        match s.Plan.action with
+        | Plan.Crash p -> (
+            match first_after i (fun a -> a = Plan.Restart p) with
+            | Some j -> cands := (i, j) :: !cands
+            | None -> ())
+        | Plan.Restart p -> (
+            (* a restart plus its re-crash: deleting both keeps the
+               node down across the whole interval *)
+            match first_after i (fun a -> a = Plan.Crash p) with
+            | Some j -> cands := (i, j) :: !cands
+            | None -> ())
+        | Plan.Partition _ -> (
+            match first_after i (fun a -> a = Plan.Heal) with
+            | Some j -> cands := (i, j) :: !cands
+            | None -> ())
+        | _ -> ())
+      arr;
+    List.rev !cands
+  in
+  let rec pair_pass plan =
+    let rec try_pairs = function
+      | [] -> plan
+      | (i, j) :: rest ->
+          let cand = List.filteri (fun k _ -> k <> i && k <> j) plan in
+          if fails_cand cand then pair_pass (remove_pass cand)
+          else try_pairs rest
+    in
+    try_pairs (pair_candidates plan)
+  in
+  let reduce plan = pair_pass (remove_pass plan) in
   let rec weaken_pass plan =
     let arr = Array.of_list plan in
     let rec try_at i =
@@ -70,13 +122,13 @@ let shrink ?(max_replays = 400) oracle plan0 =
               let cand =
                 List.mapi (fun j s -> if j = i then w else s) plan
               in
-              if fails cand then Some cand else try_w rest
+              if fails_cand cand then Some cand else try_w rest
         in
         try_w weakenings
     in
     match try_at 0 with
-    | Some p -> weaken_pass (remove_pass p)
+    | Some p -> weaken_pass (reduce p)
     | None -> plan
   in
-  let plan = weaken_pass (remove_pass plan0) in
+  let plan = weaken_pass (reduce plan0) in
   { plan; replays = !replays; reduced_from = List.length plan0 }

@@ -23,6 +23,7 @@ type 'msg t = {
   retain_inbox : bool;
   nodes : 'msg node array;
   mutable partition : int array option;  (* node -> group id; -1 isolated *)
+  mutable partition_groups : int list list option;  (* as installed *)
   mutable next_env : int;
   mutable sent : int;
   mutable deliveries : int;
@@ -40,6 +41,7 @@ let create eng ~n ?(latency = Latency.Uniform (1, 10)) ?(policy = fun _ -> Deliv
     retain_inbox;
     nodes = Array.init n (fun _ -> { delivered = []; crashed = false; handler = None });
     partition = None;
+    partition_groups = None;
     next_env = 0;
     sent = 0;
     deliveries = 0;
@@ -209,13 +211,17 @@ let set_partition t groups =
         members)
     groups;
   t.partition <- Some map;
+  t.partition_groups <- Some groups;
   Dsim.Engine.emitk t.eng ~tag:"partition" (fun () ->
       String.concat " | "
         (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups))
 
 let heal t =
   t.partition <- None;
+  t.partition_groups <- None;
   Dsim.Engine.emit t.eng ~tag:"heal" "partition removed"
+
+let partition_groups t = t.partition_groups
 
 let messages_sent t = t.sent
 let messages_delivered t = t.deliveries

@@ -107,6 +107,12 @@ val set_partition : 'msg t -> int list list -> unit
 val heal : 'msg t -> unit
 (** Remove any partition. *)
 
+val partition_groups : 'msg t -> int list list option
+(** The currently-installed partition, exactly as given to
+    {!set_partition}; [None] when the network is whole.  Lets layers
+    above (e.g. the RSM's quorum gate) reason about which side of a
+    cut can make progress. *)
+
 val messages_sent : 'msg t -> int
 (** Total sends attempted (including dropped ones). *)
 

@@ -95,9 +95,21 @@ module Raft_backend = struct
     end
 end
 
+module Omega_backend = struct
+  let name = "omega"
+
+  (* Indulgent Paxos driven by the Ω failure detector (lib/detect):
+     the nested instance runs fault-free with an honest detector, so
+     node 0 is leader from the first poll and decides in two round
+     trips.  Positioned as the paper's fourth decomposition — the
+     reconciliator as a failure detector (ROADMAP 5a). *)
+  let decide ~seed ~inputs = Detect.Runner.decide ~seed ~inputs
+end
+
 let ben_or : t = (module Ben_or_backend)
 let phase_king : t = (module Phase_king_backend)
 let raft : t = (module Raft_backend)
-let all = [ ben_or; phase_king; raft ]
+let omega : t = (module Omega_backend)
+let all = [ ben_or; phase_king; raft; omega ]
 let name (module B : S) = B.name
 let of_string s = List.find_opt (fun (module B : S) -> B.name = s) all

@@ -37,6 +37,11 @@ val raft : t
 (** The decentralized Raft variant of paper Section 4.3 (VAC + the
     timing reconciliator) — the paper's own template decomposition. *)
 
+val omega : t
+(** Indulgent Paxos with the coordinator elected by the Ω failure
+    detector ([lib/detect]) — the fourth decomposition: the
+    reconciliator as a failure detector. *)
+
 val all : t list
 val name : t -> string
 val of_string : string -> t option

@@ -18,23 +18,49 @@ type 'cmd t = {
   backend : Backend.t;
   seed : int64;
   live : unit -> int list;
+  view : unit -> int list option;
   slots : (int, 'cmd slot) Hashtbl.t;
   mutable floor : floor option;
   mutable decided_count : int;
   mutable instances_total : int;
 }
 
-let create ~engine ~backend ~seed ~live () =
+let create ~engine ~backend ~seed ~live ?view () =
+  let view = match view with Some v -> v | None -> fun () -> Some (live ()) in
   {
     engine;
     backend;
     seed;
     live;
+    view;
     slots = Hashtbl.create 64;
     floor = None;
     decided_count = 0;
     instances_total = 0;
   }
+
+(* Partition-aware quorum view over an [Async_net]: with the network
+   whole every live replica counts (crash-only behaviour unchanged);
+   under a cut only the side holding a strict majority of the live
+   replicas may decide, and with no such side every slot stalls until
+   heal. *)
+let majority_view ~net ~live () =
+  match Netsim.Async_net.partition_groups net with
+  | None -> Some (live ())
+  | Some groups ->
+      let lv = live () in
+      let best =
+        List.fold_left
+          (fun best g ->
+            let lg = List.filter (fun p -> List.mem p g) lv in
+            match best with
+            | Some b when List.length b >= List.length lg -> best
+            | _ -> Some lg)
+          None groups
+      in
+      (match best with
+      | Some b when 2 * List.length b > List.length lv -> Some b
+      | _ -> None)
 
 let mix seed ~slot ~attempt =
   Int64.add (Int64.mul seed 1_000_003L) (Int64.of_int ((slot * 7919) + attempt + 1))
@@ -104,10 +130,21 @@ let propose t ~slot ~pid ~batch =
           (Dsim.Engine.spawn t.engine
              ~name:(Printf.sprintf "rsm-slot-%d" slot)
              (fun ctx ->
-               Dsim.Engine.await_cond (fun () ->
-                   List.for_all
-                     (fun p -> List.mem_assoc p s.proposals)
-                     (t.live ()));
+               (* Quorum gate: a slot advances only when [view] grants
+                  a decision-capable member set — under a majority-less
+                  partition it returns None and the slot stalls until
+                  heal (DESIGN §12/§14 fix: cuts now block consensus-
+                  internal progress, not just client traffic). *)
+               ignore
+                 (Dsim.Engine.await (fun () ->
+                      match t.view () with
+                      | Some members
+                        when List.for_all
+                               (fun p -> List.mem_assoc p s.proposals)
+                               members ->
+                          Some members
+                      | _ -> None)
+                   : int list);
                let d = compute t slot s in
                if d.duration > 0 then Dsim.Engine.sleep ctx d.duration;
                publish t slot s d)

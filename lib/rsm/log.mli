@@ -37,10 +37,24 @@ val create :
   backend:Backend.t ->
   seed:int64 ->
   live:(unit -> int list) ->
+  ?view:(unit -> int list option) ->
   unit ->
   'cmd t
 (** [live] names the replicas a slot must still wait for; it is polled
-    while a slot gathers proposals, so crashes release waiting slots. *)
+    while a slot gathers proposals, so crashes release waiting slots.
+
+    [view] is the quorum gate: a slot's decider only advances when it
+    returns [Some members] (then waits for those members' proposals);
+    [None] stalls the slot — how a majority-less network partition
+    blocks consensus-internal progress until heal.  Default:
+    [fun () -> Some (live ())], the pre-partition-aware behaviour. *)
+
+val majority_view :
+  net:'msg Netsim.Async_net.t -> live:(unit -> int list) -> unit -> int list option
+(** The standard [view] implementation: [Some (live ())] while the
+    network is whole; under a partition, the cut side holding a strict
+    majority of the live replicas (or [None], stalling every slot,
+    when no side does). *)
 
 val propose : 'cmd t -> slot:int -> pid:int -> batch:'cmd list -> unit
 (** Register [pid]'s proposal.  The first proposal opens the slot (its

@@ -246,7 +246,8 @@ let run (type op st) (app : (op, st) app) (cfg : op config) : op report =
       (List.init cfg.n Fun.id)
   in
   let log =
-    Log.create ~engine:eng ~backend:cfg.backend ~seed:cfg.seed ~live ()
+    Log.create ~engine:eng ~backend:cfg.backend ~seed:cfg.seed ~live
+      ~view:(Log.majority_view ~net ~live) ()
   in
   let apps = Array.make cfg.n app.init in
   let checker = Checker.create () in

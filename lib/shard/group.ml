@@ -226,12 +226,13 @@ let create ~engine ~shard ~replicas:n ~backend ~seed
       n;
       net;
       log =
-        Rsm.Log.create ~engine ~backend ~seed
-          ~live:(fun () ->
-            List.filter
-              (fun p -> not (Netsim.Async_net.is_crashed net p))
-              (List.init n Fun.id))
-          ();
+        (let live () =
+           List.filter
+             (fun p -> not (Netsim.Async_net.is_crashed net p))
+             (List.init n Fun.id)
+         in
+         Rsm.Log.create ~engine ~backend ~seed ~live
+           ~view:(Rsm.Log.majority_view ~net ~live) ());
       tob = None;
       machines = Array.init n (fun _ -> Machine.create ~shard);
       checker = Rsm.Checker.create ();

@@ -1,0 +1,50 @@
+(** Deterministic detector-parameter sweeps over the indulgent
+    consensus runner ({!Detect.Runner}) — the single-run bench cells
+    behind two trade-off tables:
+
+    - {b decision latency vs stability window}: the stable leader is
+      crashed early, so the survivors pay one suspicion timeout before
+      anyone else coordinates — latency tracks the window;
+    - {b heartbeat overhead vs period}: a follower is crashed
+      permanently so the run lasts the full horizon, and heartbeats
+      are counted over fixed virtual time.
+
+    Campaign-grade sweeps over random fault plans live in
+    [Nemesis.Detect_campaign] (which sits above this library). *)
+
+type summary = {
+  period : int;
+  window : int;  (** initial suspicion timeout *)
+  seeds : int;
+  decided : int;  (** runs where every surviving node decided *)
+  mean_latency : float option;  (** virtual time of the first decision *)
+  mean_stability : float option;  (** time to a stable omega *)
+  suspicions : int;
+  false_suspicions : int;
+  heartbeats : int;
+  heartbeats_per_kvt : float;  (** heartbeats per 1000 virtual time units *)
+  virtual_time : int;  (** summed over the cell's runs *)
+  ok : bool;  (** all decided, agreement + validity everywhere *)
+}
+
+val sweep_windows :
+  ?n:int ->
+  ?seeds:int ->
+  ?windows:int list ->
+  ?horizon:int ->
+  Format.formatter ->
+  summary list
+(** One cell per stability window (default [{50; 100; 200; 400}]),
+    [seeds] (default 3) runs each, leader crash at t=10; prints the
+    latency table and returns the cells in window order. *)
+
+val sweep_periods :
+  ?n:int ->
+  ?seeds:int ->
+  ?periods:int list ->
+  ?horizon:int ->
+  Format.formatter ->
+  summary list
+(** One cell per heartbeat period (default [{10; 20; 40; 80}]), with
+    the window scaled to stay accurate at every period; prints the
+    overhead table and returns the cells in period order. *)

@@ -32,6 +32,7 @@ let () =
       ("shard", Test_shard.suite);
       ("workload", Test_workload.suite);
       ("nemesis", Test_nemesis.suite);
+      ("detect", Test_detect.suite);
       ("mcheck", Test_mcheck.suite);
       ("exec", Test_exec.suite);
     ]

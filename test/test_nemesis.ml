@@ -277,7 +277,9 @@ let storage_campaign_durability () =
     }
   in
   let r = Campaign.run cfg in
-  check Alcotest.int "all runs executed" 21 r.Campaign.runs;
+  check Alcotest.int "all runs executed"
+    (7 * List.length Rsm.Backend.all)
+    r.Campaign.runs;
   check Alcotest.int "no durability failures" 0
     (List.length r.Campaign.durability_failures);
   check Alcotest.int "no safety failures" 0 (List.length r.Campaign.safety_failures);
