@@ -42,6 +42,7 @@ type t = {
   stats : stats;
   mutable last_view : int option;  (* agreed honest leader, if any *)
   mutable stopped : bool;
+  mutable k_check : int;  (* flat deadline-waker kind; arg = me * n + from *)
 }
 
 let params t = t.params
@@ -113,33 +114,6 @@ let recheck_stability t =
         Engine.emitk t.engine ~tag:"detect" (fun () -> "omega unstable")
   end
 
-let create ~engine ~n ?(params = Timeout.default) ?(mutant = Honest)
-    ~send_heartbeat ~is_live () =
-  if not (Timeout.valid params) then invalid_arg "Detect.Oracle.create: invalid timeout parameters";
-  {
-    engine;
-    n;
-    params;
-    mutant;
-    send_heartbeat;
-    is_live;
-    suspected = Array.init n (fun _ -> Array.make n false);
-    timeout = Array.init n (fun _ -> Array.make n params.Timeout.initial);
-    deadline = Array.init n (fun _ -> Array.make n 0);
-    rotation = Array.make n 0;
-    stats =
-      {
-        suspicions = 0;
-        false_suspicions = 0;
-        unsuspicions = 0;
-        omega_changes = 0;
-        (* everyone trusts 0 at birth — already stable; Rotating never is *)
-        omega_stable_at = (if mutant = Rotating then None else Some 0);
-      };
-    last_view = (if mutant = Rotating then None else Some 0);
-    stopped = false;
-  }
-
 let suspect t ~me ~from =
   if not t.suspected.(me).(from) then begin
     t.suspected.(me).(from) <- true;
@@ -163,6 +137,39 @@ let check t ~me ~from =
     && not t.suspected.(me).(from)
   then suspect t ~me ~from
 
+let create ~engine ~n ?(params = Timeout.default) ?(mutant = Honest)
+    ~send_heartbeat ~is_live () =
+  if not (Timeout.valid params) then invalid_arg "Detect.Oracle.create: invalid timeout parameters";
+  let t =
+  {
+    engine;
+    n;
+    params;
+    mutant;
+    send_heartbeat;
+    is_live;
+    suspected = Array.init n (fun _ -> Array.make n false);
+    timeout = Array.init n (fun _ -> Array.make n params.Timeout.initial);
+    deadline = Array.init n (fun _ -> Array.make n 0);
+    rotation = Array.make n 0;
+    stats =
+      {
+        suspicions = 0;
+        false_suspicions = 0;
+        unsuspicions = 0;
+        omega_changes = 0;
+        (* everyone trusts 0 at birth — already stable; Rotating never is *)
+        omega_stable_at = (if mutant = Rotating then None else Some 0);
+      };
+    last_view = (if mutant = Rotating then None else Some 0);
+    stopped = false;
+    k_check = -1;
+  }
+  in
+  t.k_check <-
+    Engine.register_kind engine (fun a -> check t ~me:(a / t.n) ~from:(a mod t.n));
+  t
+
 (* Arm (or re-arm) [me]'s deadline for [from] and schedule the waker
    that fires when it passes.  Wakers made stale by a fresh heartbeat
    see [now < deadline] and do nothing; once suspected, no waker is
@@ -171,7 +178,8 @@ let check t ~me ~from =
 let arm t ~me ~from =
   let tmo = t.timeout.(me).(from) in
   t.deadline.(me).(from) <- Engine.now t.engine + tmo;
-  Engine.schedule t.engine ~delay:tmo (fun () -> check t ~me ~from)
+  Engine.schedule_kind t.engine ~owner:(-1) ~delay:tmo ~kind:t.k_check
+    ((me * t.n) + from)
 
 let deliver_heartbeat t ~me ~from =
   if not t.stopped then begin

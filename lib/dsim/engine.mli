@@ -34,12 +34,37 @@ type outcome =
   | Time_limit  (** virtual [until] reached *)
   | Event_limit  (** [max_events] executed *)
 
-val create : ?seed:int64 -> ?trace_capacity:int -> ?tracing:bool -> unit -> t
+val create :
+  ?seed:int64 ->
+  ?trace_capacity:int ->
+  ?tracing:bool ->
+  ?queue:Equeue.backend ->
+  ?batching:bool ->
+  unit ->
+  t
 (** A fresh engine at time 0.  Default seed is 1.  [tracing:false]
     creates a {e quiet} engine: every {!emit}/{!emitk} is a no-op, so
     the message hot path allocates no trace strings at all.  Tracing
     only affects what the trace retains — never scheduling, RNG streams
-    or outcomes — so a quiet run is bit-identical to a traced one. *)
+    or outcomes — so a quiet run is bit-identical to a traced one.
+
+    [queue] picks the event-queue backend (default [Equeue.Heap]; the
+    timing wheel wins on heavy-timer workloads).  [batching] (default
+    on) lets {!run} drain a whole same-tick tie set in one queue
+    operation when no oracle is installed.  Neither knob changes
+    behaviour: seeded runs are byte-identical across all four
+    combinations, and an installed oracle always sees per-event
+    granularity regardless of [batching]. *)
+
+val queue_backend : t -> Equeue.backend
+(** Which event-queue backend this engine was created with. *)
+
+val batching : t -> bool
+(** Whether same-tick batch draining is enabled (see {!create}). *)
+
+val set_batching : t -> bool -> unit
+(** Flip batch draining.  Flipping it mid-[run] while a drained tick is
+    still executing is not supported; flip between runs. *)
 
 val now : t -> int
 (** Current virtual time. *)
@@ -73,6 +98,32 @@ val schedule : t -> ?owner:pid -> delay:int -> (unit -> unit) -> unit
     (a message delivery into [pid]'s inbox/handler).  Events without an
     owner are never treated as commutative.  It has no effect on normal
     (oracle-free) runs.
+    @raise Invalid_argument if [delay < 0]. *)
+
+(** {1 Flat events — allocation-free scheduling for hot paths}
+
+    Internally every queued event is a packed int, not a boxed closure:
+    a {e kind} (dispatch-table index), an owner pid and a 30-bit
+    argument.  {!schedule} is the generic path — it parks its thunk in
+    an arena slot and packs the slot index.  Layers with a hot event
+    shape (network delivery, timer fire, heartbeat probe) register a
+    kind once and then schedule pure ints, so steady-state event traffic
+    allocates nothing at all. *)
+
+val register_kind : t -> (int -> unit) -> int
+(** [register_kind t handler] allocates a new event kind on [t] and
+    returns its id; when a matching event fires, [handler arg] runs with
+    the 30-bit argument given at {!schedule_kind} time.  Kinds are
+    per-engine and never freed (at most 1024 per engine).
+    @raise Invalid_argument when the kind space is exhausted. *)
+
+val schedule_kind : t -> owner:pid -> delay:int -> kind:int -> int -> unit
+(** [schedule_kind t ~owner ~delay ~kind arg] queues a flat event:
+    [kind]'s registered handler runs with [arg], [delay] units from now.
+    [owner] carries the same commutativity label as {!schedule}'s
+    [?owner], with [-1] meaning {e no owner} (avoiding the option
+    allocation on hot paths); pids must fit 23 bits and [arg] must fit
+    30 bits (unchecked).  Allocates nothing.
     @raise Invalid_argument if [delay < 0]. *)
 
 (** {1 Choice oracle — systematic schedule exploration}

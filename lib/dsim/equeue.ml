@@ -1,0 +1,43 @@
+(* Event-queue backend dispatcher: the engine talks to one of the two
+   priority-queue implementations through this thin variant.  Both
+   backends share the (key, insertion-seq) ordering contract and
+   identical tie-set semantics, so the choice is purely a performance
+   knob — seeded runs are byte-identical on either. *)
+
+type backend = Heap | Wheel
+
+type t = H of Heap.t | W of Wheel.t
+
+let create = function Heap -> H (Heap.create ()) | Wheel -> W (Wheel.create ())
+let backend = function H _ -> Heap | W _ -> Wheel
+let length = function H h -> Heap.length h | W w -> Wheel.length w
+let is_empty = function H h -> Heap.is_empty h | W w -> Wheel.is_empty w
+
+let add t ~key v =
+  match t with H h -> Heap.add h ~key v | W w -> Wheel.add w ~key v
+
+let pop = function H h -> Heap.pop h | W w -> Wheel.pop w
+let pop_value = function H h -> Heap.pop_value h | W w -> Wheel.pop_value w
+let peek_key = function H h -> Heap.peek_key h | W w -> Wheel.peek_key w
+
+let peek_key_fast = function
+  | H h -> Heap.peek_key_fast h
+  | W w -> Wheel.peek_key_fast w
+
+let pop_run t ~buf ~dummy =
+  match t with
+  | H h -> Heap.pop_run h ~buf ~dummy
+  | W w -> Wheel.pop_run w ~buf ~dummy
+
+let min_key_count = function
+  | H h -> Heap.min_key_count h
+  | W w -> Wheel.min_key_count w
+
+let min_key_values = function
+  | H h -> Heap.min_key_values h
+  | W w -> Wheel.min_key_values w
+
+let pop_min_nth t n =
+  match t with H h -> Heap.pop_min_nth h n | W w -> Wheel.pop_min_nth w n
+
+let clear = function H h -> Heap.clear h | W w -> Wheel.clear w

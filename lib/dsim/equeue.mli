@@ -1,0 +1,36 @@
+(** The engine's event-queue, behind a backend switch.
+
+    Both backends — the struct-of-arrays binary {!Heap} and the
+    hierarchical timing {!Wheel} — implement the same contract: minimum
+    integer key first, insertion order breaking ties, and tie-set
+    operations that surface the same-key group identically.  Seeded
+    simulations are byte-identical on either backend; pick by workload
+    (the wheel's O(1) add/pop wins on heavy-timer runs with large
+    in-flight event counts). *)
+
+type backend = Heap | Wheel
+
+type t = H of Heap.t | W of Wheel.t
+(** The representation is exposed so the engine can hoist the backend
+    dispatch out of its per-event hot loop (one match per run, not per
+    queue operation).  Ordinary callers should treat it as abstract and
+    go through the functions below. *)
+
+val create : backend -> t
+val backend : t -> backend
+val length : t -> int
+val is_empty : t -> bool
+
+val add : t -> key:int -> int -> unit
+(** Wheel backend only: @raise Invalid_argument when [key] is below the
+    largest key already popped. *)
+
+val pop : t -> (int * int) option
+val pop_value : t -> int
+val peek_key : t -> int option
+val peek_key_fast : t -> int
+val pop_run : t -> buf:int array ref -> dummy:int -> int
+val min_key_count : t -> int
+val min_key_values : t -> int list
+val pop_min_nth : t -> int -> (int * int) option
+val clear : t -> unit

@@ -1,75 +1,116 @@
-type 'a entry = { key : int; seq : int; value : 'a }
+(* Struct-of-arrays binary min-heap.
 
-type 'a t = {
-  mutable data : 'a entry array;
+   Entries live in three parallel arrays (key / tiebreak seq / payload)
+   instead of one boxed record per insertion, so [add] allocates nothing
+   once the arrays are warm and the sift loops touch flat int arrays.
+   The sifts move a hole instead of swapping pairs; because (key, seq)
+   is a strict total order (seqs are unique) the hole walk makes exactly
+   the comparisons the classic swap walk makes and lands every element
+   in the same slot — the array layout, and therefore the
+   [fold_min_indices] tie enumeration the choice oracle observes, is
+   bit-identical to the old boxed implementation. *)
+
+type t = {
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable vals : int array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () = { keys = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-let precedes a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
-
-let grow t =
-  let cap = Array.length t.data in
+let grow t filler =
+  let cap = Array.length t.keys in
   let new_cap = if cap = 0 then 16 else cap * 2 in
-  (* A dummy entry fills the tail; it is never read past [size]. *)
-  let dummy = t.data.(0) in
-  let data = Array.make new_cap dummy in
-  Array.blit t.data 0 data 0 t.size;
-  t.data <- data
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if precedes t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let left = (2 * i) + 1 in
-  let right = left + 1 in
-  let smallest = ref i in
-  if left < t.size && precedes t.data.(left) t.data.(!smallest) then
-    smallest := left;
-  if right < t.size && precedes t.data.(right) t.data.(!smallest) then
-    smallest := right;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+  let keys = Array.make new_cap 0 in
+  let seqs = Array.make new_cap 0 in
+  (* The filler pads the tail; it is never read past [size]. *)
+  let vals = Array.make new_cap filler in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.vals 0 vals 0 t.size;
+  t.keys <- keys;
+  t.seqs <- seqs;
+  t.vals <- vals
 
 let add t ~key value =
-  let entry = { key; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry
-  else if t.size = Array.length t.data then grow t;
-  t.data.(t.size) <- entry;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  if t.size = Array.length t.keys then grow t value;
+  let keys = t.keys and seqs = t.seqs and vals = t.vals in
+  (* Hole-based sift-up: shift larger ancestors down into the hole. *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let stop = ref false in
+  while (not !stop) && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pk = keys.(parent) in
+    if pk > key || (pk = key && seqs.(parent) > seq) then begin
+      keys.(!i) <- pk;
+      seqs.(!i) <- seqs.(parent);
+      vals.(!i) <- vals.(parent);
+      i := parent
+    end
+    else stop := true
+  done;
+  keys.(!i) <- key;
+  seqs.(!i) <- seq;
+  vals.(!i) <- value
+
+(* Hole-based sift-down of the detached element (k, s, v) starting at the
+   root: follow the smaller-child path while the child precedes the
+   element.  Zero allocation. *)
+let sift_down_root t k s v =
+  let keys = t.keys and seqs = t.seqs and vals = t.vals in
+  let n = t.size in
+  let i = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    let l = (2 * !i) + 1 in
+    if l >= n then stop := true
+    else begin
+      let r = l + 1 in
+      let c =
+        if
+          r < n
+          && (keys.(r) < keys.(l) || (keys.(r) = keys.(l) && seqs.(r) < seqs.(l)))
+        then r
+        else l
+      in
+      if keys.(c) < k || (keys.(c) = k && seqs.(c) < s) then begin
+        keys.(!i) <- keys.(c);
+        seqs.(!i) <- seqs.(c);
+        vals.(!i) <- vals.(c);
+        i := c
+      end
+      else stop := true
+    end
+  done;
+  keys.(!i) <- k;
+  seqs.(!i) <- s;
+  vals.(!i) <- v
+
+let pop_value t =
+  (* Precondition: size > 0 (the engine hot loop checks once). *)
+  let top = t.vals.(0) in
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then sift_down_root t t.keys.(n) t.seqs.(n) t.vals.(n);
+  top
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some (top.key, top.value)
+    let key = t.keys.(0) in
+    Some (key, pop_value t)
   end
 
-let peek_key t = if t.size = 0 then None else Some t.data.(0).key
+let peek_key_fast t = t.keys.(0)
+let peek_key t = if t.size = 0 then None else Some t.keys.(0)
 
 (* Every entry tied with the minimum key sits in a subtree hanging off the
    root: a node's ancestors have keys <= its own, so an entry equal to the
@@ -79,9 +120,9 @@ let peek_key t = if t.size = 0 then None else Some t.data.(0).key
 let fold_min_indices t init f =
   if t.size = 0 then init
   else begin
-    let min_key = t.data.(0).key in
+    let min_key = t.keys.(0) in
     let rec go acc i =
-      if i >= t.size || t.data.(i).key <> min_key then acc
+      if i >= t.size || t.keys.(i) <> min_key then acc
       else
         let acc = f acc i in
         let acc = go acc ((2 * i) + 1) in
@@ -94,22 +135,56 @@ let min_key_count t = fold_min_indices t 0 (fun n _ -> n + 1)
 
 let min_entries_by_seq t =
   let idxs = fold_min_indices t [] (fun acc i -> i :: acc) in
-  List.sort
-    (fun a b -> compare t.data.(a).seq t.data.(b).seq)
-    (List.rev idxs)
+  List.sort (fun a b -> compare t.seqs.(a) t.seqs.(b)) (List.rev idxs)
 
 let min_key_values t =
-  List.map (fun i -> t.data.(i).value) (min_entries_by_seq t)
+  List.map (fun i -> t.vals.(i)) (min_entries_by_seq t)
+
+(* Swap-based sifts for interior removal (oracle mode only — cold). *)
+let precedes_ix t a b =
+  t.keys.(a) < t.keys.(b) || (t.keys.(a) = t.keys.(b) && t.seqs.(a) < t.seqs.(b))
+
+let swap_ix t a b =
+  let k = t.keys.(a) and s = t.seqs.(a) and v = t.vals.(a) in
+  t.keys.(a) <- t.keys.(b);
+  t.seqs.(a) <- t.seqs.(b);
+  t.vals.(a) <- t.vals.(b);
+  t.keys.(b) <- k;
+  t.seqs.(b) <- s;
+  t.vals.(b) <- v
+
+let rec sift_up_ix t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes_ix t i parent then begin
+      swap_ix t i parent;
+      sift_up_ix t parent
+    end
+  end
+
+let rec sift_down_ix t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.size && precedes_ix t left !smallest then smallest := left;
+  if right < t.size && precedes_ix t right !smallest then smallest := right;
+  if !smallest <> i then begin
+    swap_ix t i !smallest;
+    sift_down_ix t !smallest
+  end
 
 let remove_at t i =
-  let entry = t.data.(i) in
+  let key = t.keys.(i) and value = t.vals.(i) in
   t.size <- t.size - 1;
   if i < t.size then begin
-    t.data.(i) <- t.data.(t.size);
-    sift_down t i;
-    sift_up t i
+    let n = t.size in
+    t.keys.(i) <- t.keys.(n);
+    t.seqs.(i) <- t.seqs.(n);
+    t.vals.(i) <- t.vals.(n);
+    sift_down_ix t i;
+    sift_up_ix t i
   end;
-  entry
+  (key, value)
 
 let pop_min_nth t n =
   if t.size = 0 then None
@@ -117,12 +192,30 @@ let pop_min_nth t n =
     let by_seq = min_entries_by_seq t in
     match List.nth_opt by_seq n with
     | None -> invalid_arg "Heap.pop_min_nth: index out of tied range"
-    | Some i ->
-        let e = remove_at t i in
-        Some (e.key, e.value)
+    | Some i -> Some (remove_at t i)
   end
 
-(* Keep the backing array: a cleared-and-reused heap (campaign runs,
+(* Pop every entry tied at the minimum key into [buf] (growing it as
+   needed), in seq order — exactly the order repeated [pop]s would
+   surface them.  Returns the count. *)
+let pop_run t ~buf ~dummy =
+  if t.size = 0 then 0
+  else begin
+    let key = t.keys.(0) in
+    let n = ref 0 in
+    while t.size > 0 && t.keys.(0) = key do
+      if !n >= Array.length !buf then begin
+        let bigger = Array.make (max 16 (2 * Array.length !buf)) dummy in
+        Array.blit !buf 0 bigger 0 !n;
+        buf := bigger
+      end;
+      !buf.(!n) <- pop_value t;
+      incr n
+    done;
+    !n
+  end
+
+(* Keep the backing arrays: a cleared-and-reused heap (campaign runs,
    engine pools) skips the regrowth ramp.  Resetting [next_seq] restores
    the insertion-order tiebreak from zero, so a reused heap behaves
    exactly like a fresh one. *)

@@ -1,45 +1,72 @@
-(** A classic array-backed binary min-heap, specialized for the event queue.
+(** An array-backed binary min-heap, specialized for the event queue.
 
     Elements are ordered by an integer key (the virtual timestamp) with a
     monotonically increasing sequence number as a tiebreaker, so two events
     scheduled for the same instant fire in insertion order — a requirement
-    for deterministic simulation. *)
+    for deterministic simulation.
 
-type 'a t
+    The storage is struct-of-arrays (parallel [keys]/[seqs]/[vals]
+    arrays); [add] and [pop_value] allocate nothing once the arrays are
+    warm.  The sift order is bit-identical to the classic boxed-entry
+    implementation, so the tie sets {!fold_min_indices} enumerates (and
+    the choice oracle observes) are unchanged. *)
 
-val create : unit -> 'a t
+type t
+
+val create : unit -> t
 (** An empty heap. *)
 
-val length : 'a t -> int
+val length : t -> int
 (** Number of queued elements. *)
 
-val is_empty : 'a t -> bool
+val is_empty : t -> bool
 
-val add : 'a t -> key:int -> 'a -> unit
+val add : t -> key:int -> int -> unit
 (** [add t ~key v] inserts [v] with priority [key]. Insertion order breaks
     ties. *)
 
-val pop : 'a t -> (int * 'a) option
+val pop : t -> (int * int) option
 (** Remove and return the minimum-key element, or [None] when empty. *)
 
-val peek_key : 'a t -> int option
+val pop_value : t -> int
+(** Zero-allocation {!pop}: remove and return just the minimum element's
+    payload.  The caller must know the heap is non-empty (check
+    {!is_empty}) and can read the key beforehand with {!peek_key_fast}. *)
+
+val peek_key : t -> int option
 (** The smallest key currently queued, without removing it. *)
 
-val min_key_count : 'a t -> int
+val peek_key_fast : t -> int
+(** Unchecked {!peek_key}: the smallest key, assuming the heap is
+    non-empty.  Undefined (may raise [Invalid_argument]) when empty. *)
+
+val pop_run : t -> buf:int array ref -> dummy:int -> int
+(** Pop {e every} element tied at the minimum key into [buf] (grown with
+    [dummy] padding as needed), in insertion (seq) order — exactly what
+    repeated {!pop}s would produce.  Returns how many were popped
+    (0 when empty).  This is the same-tick batching primitive: one call
+    drains a whole tick. *)
+
+val min_key_count : t -> int
 (** How many queued elements are tied for the smallest key (0 when
     empty).  O(ties), not O(size). *)
 
-val min_key_values : 'a t -> 'a list
+val min_key_values : t -> int list
 (** The elements tied for the smallest key, in insertion (seq) order —
     the order {!pop} would surface them.  Does not remove anything. *)
 
-val pop_min_nth : 'a t -> int -> (int * 'a) option
+val pop_min_nth : t -> int -> (int * int) option
 (** [pop_min_nth t i] removes and returns the [i]-th element (insertion
     order, 0-based) among those tied for the smallest key.
     [pop_min_nth t 0] is {!pop}.  [None] when the heap is empty.
     @raise Invalid_argument when [i] is outside the tied range. *)
 
-val clear : 'a t -> unit
+val fold_min_indices : t -> 'b -> ('b -> int -> 'b) -> 'b
+(** Fold over the array indices of the elements tied for the smallest
+    key, in heap-array order (not seq order).  Exposed for the
+    equivalence tests; ordinary callers want {!min_key_values}. *)
+
+val clear : t -> unit
 (** Drop all elements and reset the tiebreak sequence, keeping the
     backing storage for reuse — a cleared heap is observationally a
     fresh one, without the regrowth ramp. *)

@@ -3,19 +3,31 @@ type t = {
   callback : unit -> unit;
   mutable generation : int;
   mutable armed : bool;
+  mutable kind : int;  (* this timer's registered flat-event kind *)
 }
 
-let create engine callback = { engine; callback; generation = 0; armed = false }
+(* The scheduled event carries the arming generation in its 30-bit
+   argument, so re-arming and cancelling never allocate: stale firings
+   fall through on the generation compare.  (The compare is modulo 2^30;
+   a collision would need a billion re-arms while one firing is still in
+   flight.) *)
+let gen_mask = (1 lsl 30) - 1
+
+let create engine callback =
+  let t = { engine; callback; generation = 0; armed = false; kind = -1 } in
+  t.kind <-
+    Engine.register_kind engine (fun gen ->
+        if t.armed && t.generation land gen_mask = gen then begin
+          t.armed <- false;
+          t.callback ()
+        end);
+  t
 
 let arm t ~delay =
   t.generation <- t.generation + 1;
   t.armed <- true;
-  let gen = t.generation in
-  Engine.schedule t.engine ~delay (fun () ->
-      if t.armed && t.generation = gen then begin
-        t.armed <- false;
-        t.callback ()
-      end)
+  Engine.schedule_kind t.engine ~owner:(-1) ~delay ~kind:t.kind
+    (t.generation land gen_mask)
 
 let cancel t =
   t.generation <- t.generation + 1;

@@ -1,0 +1,360 @@
+(* Hierarchical timing wheel (calendar queue) — drop-in alternative to
+   {!Heap} for the engine's event queue.
+
+   Eight levels of 256 slots each cover the full 63-bit key space: an
+   entry whose key first differs from the wheel's current time [cur] in
+   byte [l] lives at level [l], slot [(key lsr (8*l)) land 255].  Adds
+   and pops are O(1) amortized: popping advances [cur] through level-0
+   slots (each level-0 slot holds exactly one key, so the slot's list is
+   the whole same-key tie set) and, when a 256-key window is exhausted,
+   cascades the next occupied higher-level slot down one level.
+
+   Determinism contract: entries are appended at slot tails, and a slot
+   only ever receives entries while it is the unique destination for its
+   key range (a key's placement never changes until the slot is opened
+   by a cascade, and cascades splice lists in order), so every slot list
+   is in ascending seq order.  The minimum slot's list is therefore the
+   same-key tie set in insertion order — exactly what {!Heap}'s
+   [min_key_values]/[pop_min_nth] produce, so a choice oracle sees
+   identical tie sets on either backend.
+
+   Unlike the heap, the wheel is monotone: adding a key below the
+   current minimum floor ([time] below) is a programming error.  The
+   engine never does this — events are scheduled with non-negative
+   delays — and {!add} raises [Invalid_argument] if violated. *)
+
+let levels = 8
+let slots = 256 (* per level; 8 levels x 8 bits cover the 63-bit key space *)
+let words = 8 (* 32-bit occupancy words per level: 256 / 32 *)
+
+type t = {
+  (* entry pool, struct-of-arrays; [nxt] threads slot lists and the
+     freelist (-1 terminates) *)
+  mutable key : int array;
+  mutable seq : int array;
+  mutable vl : int array;
+  mutable nxt : int array;
+  mutable free_head : int;
+  mutable pool_top : int;  (* high-water mark of ever-used pool slots *)
+  head : int array;  (* levels * slots, entry index or -1 *)
+  tail : int array;
+  occ : int array;  (* levels * words bitmap of non-empty slots *)
+  mutable cur : int;  (* wheel time: key of the current minimum floor *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () =
+  {
+    key = [||];
+    seq = [||];
+    vl = [||];
+    nxt = [||];
+    free_head = -1;
+    pool_top = 0;
+    head = Array.make (levels * slots) (-1);
+    tail = Array.make (levels * slots) (-1);
+    occ = Array.make (levels * words) 0;
+    cur = 0;
+    size = 0;
+    next_seq = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let time t = t.cur
+
+(* --------------------------------------------------------- bit tricks -- *)
+
+let ntz32 x =
+  let x = x land (-x) in
+  let n = ref 0 in
+  let x = ref x in
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then n := !n + 1;
+  !n
+
+(* First occupied slot index >= [from] at [level], or -1. *)
+let next_occupied t ~level ~from =
+  if from >= slots then -1
+  else begin
+    let base = level * words in
+    let w0 = from lsr 5 in
+    let rec go w mask =
+      if w >= words then -1
+      else begin
+        let x = t.occ.(base + w) land mask in
+        if x = 0 then go (w + 1) 0xFFFFFFFF
+        else (w lsl 5) + ntz32 x
+      end
+    in
+    go w0 (0xFFFFFFFF lxor ((1 lsl (from land 31)) - 1))
+  end
+
+let set_occ t ~level ~slot =
+  let w = (level * words) + (slot lsr 5) in
+  t.occ.(w) <- t.occ.(w) lor (1 lsl (slot land 31))
+
+let clear_occ t ~level ~slot =
+  let w = (level * words) + (slot lsr 5) in
+  t.occ.(w) <- t.occ.(w) land lnot (1 lsl (slot land 31))
+
+(* ------------------------------------------------------------ placing -- *)
+
+(* Level of [key] relative to [cur]: index of the highest byte in which
+   they differ (0 when equal). *)
+let level_of t k =
+  let x = k lxor t.cur in
+  let rec go x l = if x < 256 then l else go (x lsr 8) (l + 1) in
+  go x 0
+
+(* Append entry [e] (with key [k]) at the tail of its slot. *)
+let place t e k =
+  let l = level_of t k in
+  let s = (l * slots) + ((k lsr (8 * l)) land 255) in
+  t.nxt.(e) <- -1;
+  let tl = t.tail.(s) in
+  if tl < 0 then begin
+    t.head.(s) <- e;
+    t.tail.(s) <- e;
+    set_occ t ~level:l ~slot:(s land 255)
+  end
+  else begin
+    t.nxt.(tl) <- e;
+    t.tail.(s) <- e
+  end
+
+let grow_pool t filler =
+  let cap = Array.length t.key in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let key = Array.make ncap 0
+  and seq = Array.make ncap 0
+  and nxt = Array.make ncap (-1)
+  and vl = Array.make ncap filler in
+  Array.blit t.key 0 key 0 cap;
+  Array.blit t.seq 0 seq 0 cap;
+  Array.blit t.nxt 0 nxt 0 cap;
+  Array.blit t.vl 0 vl 0 cap;
+  t.key <- key;
+  t.seq <- seq;
+  t.nxt <- nxt;
+  t.vl <- vl
+
+let alloc_entry t ~k ~s value =
+  let e =
+    if t.free_head >= 0 then begin
+      let e = t.free_head in
+      t.free_head <- t.nxt.(e);
+      e
+    end
+    else begin
+      if t.pool_top = Array.length t.key then grow_pool t value;
+      let e = t.pool_top in
+      t.pool_top <- e + 1;
+      e
+    end
+  in
+  t.key.(e) <- k;
+  t.seq.(e) <- s;
+  t.vl.(e) <- value;
+  e
+
+let free_entry t e =
+  t.nxt.(e) <- t.free_head;
+  t.free_head <- e
+  (* t.vl.(e) keeps its last payload until the slot is reused — same
+     bounded retention the heap's over-allocated tail has. *)
+
+let add t ~key value =
+  if key < t.cur then
+    invalid_arg "Wheel.add: key below the current time (wheel is monotone)";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let e = alloc_entry t ~k:key ~s:seq value in
+  place t e key;
+  t.size <- t.size + 1
+
+(* ---------------------------------------------------------- the front -- *)
+
+(* Advance [cur] to the minimum key and return its (level-0) slot index:
+   scan level 0 from [cur]'s low byte; when the window is exhausted,
+   cascade the next occupied higher-level slot down and rescan.
+   Precondition: size > 0.  Pure position-finding — the entries
+   themselves are only relinked (in list order), never reordered, so
+   this mutation is invisible to the pop sequence. *)
+let rec settle t =
+  let s0 = next_occupied t ~level:0 ~from:(t.cur land 255) in
+  if s0 >= 0 then begin
+    t.cur <- (t.cur land lnot 255) lor s0;
+    s0
+  end
+  else cascade t 1
+
+and cascade t l =
+  if l >= levels then
+    (* size > 0 guarantees some level is occupied *)
+    invalid_arg "Wheel: internal invariant broken (no occupied slot)"
+  else begin
+    let from = ((t.cur lsr (8 * l)) land 255) + 1 in
+    let s = next_occupied t ~level:l ~from in
+    if s < 0 then cascade t (l + 1)
+    else begin
+      (* Rebase the window: byte l becomes s, all lower bytes zero. *)
+      let mask = if l >= 7 then 0 else lnot ((1 lsl (8 * (l + 1))) - 1) in
+      t.cur <- (t.cur land mask) lor (s lsl (8 * l));
+      (* Splice the slot's list out and re-place each entry (it lands at
+         a level < l); walking in list order preserves seq order. *)
+      let idx = (l * slots) + s in
+      let e = ref t.head.(idx) in
+      t.head.(idx) <- -1;
+      t.tail.(idx) <- -1;
+      clear_occ t ~level:l ~slot:s;
+      while !e >= 0 do
+        let next = t.nxt.(!e) in
+        place t !e t.key.(!e);
+        e := next
+      done;
+      settle t
+    end
+  end
+
+let peek_key t =
+  if t.size = 0 then None
+  else begin
+    ignore (settle t : int);
+    Some t.cur
+  end
+
+let peek_key_fast t =
+  ignore (settle t : int);
+  t.cur
+
+(* Unlink and free the head entry of level-0 slot [s0]; returns value. *)
+let take_head t s0 =
+  let e = t.head.(s0) in
+  let v = t.vl.(e) in
+  let n = t.nxt.(e) in
+  t.head.(s0) <- n;
+  if n < 0 then begin
+    t.tail.(s0) <- -1;
+    clear_occ t ~level:0 ~slot:s0
+  end;
+  free_entry t e;
+  t.size <- t.size - 1;
+  v
+
+let pop_value t =
+  let s0 = settle t in
+  take_head t s0
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let s0 = settle t in
+    Some (t.cur, take_head t s0)
+  end
+
+let pop_run t ~buf ~dummy =
+  if t.size = 0 then 0
+  else begin
+    let s0 = settle t in
+    (* The level-0 slot list is exactly the minimum-key tie set, already
+       in seq order: splice the whole list out in one pass. *)
+    let n = ref 0 in
+    let e = ref t.head.(s0) in
+    while !e >= 0 do
+      if !n >= Array.length !buf then begin
+        let bigger = Array.make (max 16 (2 * Array.length !buf)) dummy in
+        Array.blit !buf 0 bigger 0 !n;
+        buf := bigger
+      end;
+      !buf.(!n) <- t.vl.(!e);
+      incr n;
+      let next = t.nxt.(!e) in
+      free_entry t !e;
+      e := next
+    done;
+    t.head.(s0) <- -1;
+    t.tail.(s0) <- -1;
+    clear_occ t ~level:0 ~slot:s0;
+    t.size <- t.size - !n;
+    !n
+  end
+
+(* ------------------------------------------------- tie-set operations -- *)
+
+let min_key_count t =
+  if t.size = 0 then 0
+  else begin
+    let s0 = settle t in
+    let n = ref 0 in
+    let e = ref t.head.(s0) in
+    while !e >= 0 do
+      incr n;
+      e := t.nxt.(!e)
+    done;
+    !n
+  end
+
+let min_key_values t =
+  if t.size = 0 then []
+  else begin
+    let s0 = settle t in
+    let acc = ref [] in
+    let e = ref t.head.(s0) in
+    while !e >= 0 do
+      acc := t.vl.(!e) :: !acc;
+      e := t.nxt.(!e)
+    done;
+    List.rev !acc
+  end
+
+let pop_min_nth t n =
+  if t.size = 0 then None
+  else begin
+    let s0 = settle t in
+    let key = t.cur in
+    (* Walk to the nth entry, keeping the predecessor for the unlink. *)
+    let rec go prev e i =
+      if e < 0 then invalid_arg "Wheel.pop_min_nth: index out of tied range"
+      else if i < n then go e t.nxt.(e) (i + 1)
+      else begin
+        let v = t.vl.(e) in
+        let next = t.nxt.(e) in
+        if prev < 0 then t.head.(s0) <- next else t.nxt.(prev) <- next;
+        if next < 0 then begin
+          t.tail.(s0) <- (if prev < 0 then -1 else prev);
+          if t.head.(s0) < 0 then clear_occ t ~level:0 ~slot:s0
+        end;
+        free_entry t e;
+        t.size <- t.size - 1;
+        Some (key, v)
+      end
+    in
+    go (-1) t.head.(s0) 0
+  end
+
+let clear t =
+  Array.fill t.head 0 (Array.length t.head) (-1);
+  Array.fill t.tail 0 (Array.length t.tail) (-1);
+  Array.fill t.occ 0 (Array.length t.occ) 0;
+  t.free_head <- -1;
+  t.pool_top <- 0;
+  t.cur <- 0;
+  t.size <- 0;
+  t.next_seq <- 0

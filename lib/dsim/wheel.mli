@@ -1,0 +1,56 @@
+(** A hierarchical timing wheel — the calendar-queue alternative to
+    {!Heap} for the engine's event queue.
+
+    Same ordering contract as {!Heap}: elements sort by integer key with
+    insertion order breaking ties, and the tie-set operations
+    ({!min_key_count}, {!min_key_values}, {!pop_min_nth}) surface the
+    same-key group in the same insertion order — a choice oracle sees
+    identical tie sets on either backend.
+
+    Unlike the heap, the wheel is {e monotone}: keys may not go below
+    the largest key already popped (the wheel's current {!time}).  The
+    simulation engine satisfies this by construction (delays are
+    non-negative); {!add} raises [Invalid_argument] otherwise.
+
+    Complexity: O(1) amortized add/pop versus the heap's O(log n), which
+    is what makes it interesting for heavy-timer workloads (Raft
+    election/heartbeat timers, failure-detector deadlines) with large
+    in-flight event counts. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val time : t -> int
+(** The wheel's current time: the floor below which no key may be added.
+    Starts at 0 and advances to each popped key. *)
+
+val add : t -> key:int -> int -> unit
+(** [add t ~key v] inserts [v] with priority [key]; insertion order
+    breaks ties.
+    @raise Invalid_argument when [key < time t]. *)
+
+val pop : t -> (int * int) option
+val pop_value : t -> int
+(** Zero-allocation pop of just the payload; the wheel must be
+    non-empty. *)
+
+val peek_key : t -> int option
+val peek_key_fast : t -> int
+(** The minimum key, assuming non-empty (undefined when empty). *)
+
+val pop_run : t -> buf:int array ref -> dummy:int -> int
+(** Splice the {e entire} minimum-key tie set into [buf] in insertion
+    order — the wheel's same-tick batch pop, O(ties) with no re-sifting.
+    Returns the count (0 when empty). *)
+
+val min_key_count : t -> int
+val min_key_values : t -> int list
+val pop_min_nth : t -> int -> (int * int) option
+(** Tie-set operations with {!Heap}-identical semantics.
+    @raise Invalid_argument when the index is outside the tied range. *)
+
+val clear : t -> unit
+(** Reset to empty at time 0, keeping backing storage for reuse. *)

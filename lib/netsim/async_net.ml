@@ -27,25 +27,89 @@ type 'msg t = {
   mutable next_env : int;
   mutable sent : int;
   mutable deliveries : int;
+  (* in-flight envelope arena: deliveries are flat engine events (one
+     registered kind, arg = arena slot) instead of a closure each *)
+  mutable k_deliver : int;
+  mutable pend : 'msg envelope array;
+  mutable pnext : int array;  (* freelist links, -1 terminates *)
+  mutable pfree : int;
+  mutable ptop : int;
 }
+
+let grow_pending t filler =
+  let cap = Array.length t.pend in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  let pend = Array.make ncap filler and pnext = Array.make ncap (-1) in
+  Array.blit t.pend 0 pend 0 cap;
+  Array.blit t.pnext 0 pnext 0 cap;
+  t.pend <- pend;
+  t.pnext <- pnext
+
+let alloc_pending t env =
+  let slot =
+    if t.pfree >= 0 then begin
+      let s = t.pfree in
+      t.pfree <- t.pnext.(s);
+      s
+    end
+    else begin
+      if t.ptop = Array.length t.pend then grow_pending t env;
+      let s = t.ptop in
+      t.ptop <- s + 1;
+      s
+    end
+  in
+  t.pend.(slot) <- env;
+  slot
+
+(* The delivery event: free the slot first (the handler below may send,
+   recycling it), then run what used to be the per-delivery closure. *)
+let run_delivery t slot =
+  let env = t.pend.(slot) in
+  t.pnext.(slot) <- t.pfree;
+  t.pfree <- slot;
+  (* [t.pend.(slot)] keeps the envelope until the slot is reused — the
+     same bounded retention a popped heap tail has. *)
+  let node = t.nodes.(env.dst) in
+  if not node.crashed then begin
+    if t.retain_inbox then begin
+      node.delivered <- env :: node.delivered;
+      (* Per-message tracing is only affordable at inbox-retention
+         scale; counter-based protocols run millions of messages.
+         The thunk keeps quiet engines allocation-free here. *)
+      Dsim.Engine.emitk t.eng ~pid:env.dst ~tag:"recv" (fun () ->
+          Printf.sprintf "#%d from %d" env.env_id env.src)
+    end;
+    t.deliveries <- t.deliveries + 1;
+    match node.handler with Some f -> f env | None -> ()
+  end
 
 let create eng ~n ?(latency = Latency.Uniform (1, 10)) ?(policy = fun _ -> Deliver)
     ?(retain_inbox = true) () =
   if n <= 0 then invalid_arg "Async_net.create: n must be positive";
-  {
-    eng;
-    size = n;
-    latency;
-    policy;
-    rng = Dsim.Rng.split (Dsim.Engine.rng eng);
-    retain_inbox;
-    nodes = Array.init n (fun _ -> { delivered = []; crashed = false; handler = None });
-    partition = None;
-    partition_groups = None;
-    next_env = 0;
-    sent = 0;
-    deliveries = 0;
-  }
+  let t =
+    {
+      eng;
+      size = n;
+      latency;
+      policy;
+      rng = Dsim.Rng.split (Dsim.Engine.rng eng);
+      retain_inbox;
+      nodes = Array.init n (fun _ -> { delivered = []; crashed = false; handler = None });
+      partition = None;
+      partition_groups = None;
+      next_env = 0;
+      sent = 0;
+      deliveries = 0;
+      k_deliver = -1;
+      pend = [||];
+      pnext = [||];
+      pfree = -1;
+      ptop = 0;
+    }
+  in
+  t.k_deliver <- Dsim.Engine.register_kind eng (fun slot -> run_delivery t slot);
+  t
 
 let n t = t.size
 let engine t = t.eng
@@ -65,20 +129,8 @@ let deliver t env ~delay =
   (* The delivery only touches [env.dst]'s node state (inbox, handler),
      so label it with the recipient: same-tick deliveries to distinct
      recipients commute, which mcheck's reduction exploits. *)
-  Dsim.Engine.schedule t.eng ~owner:env.dst ~delay (fun () ->
-      let node = t.nodes.(env.dst) in
-      if not node.crashed then begin
-        if t.retain_inbox then begin
-          node.delivered <- env :: node.delivered;
-          (* Per-message tracing is only affordable at inbox-retention
-             scale; counter-based protocols run millions of messages.
-             The thunk keeps quiet engines allocation-free here. *)
-          Dsim.Engine.emitk t.eng ~pid:env.dst ~tag:"recv" (fun () ->
-              Printf.sprintf "#%d from %d" env.env_id env.src)
-        end;
-        t.deliveries <- t.deliveries + 1;
-        match node.handler with Some f -> f env | None -> ()
-      end)
+  let slot = alloc_pending t env in
+  Dsim.Engine.schedule_kind t.eng ~owner:env.dst ~delay ~kind:t.k_deliver slot
 
 let send t ~src ~dst msg =
   check_id t src "send";

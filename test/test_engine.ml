@@ -346,6 +346,114 @@ let prop_determinism =
          in
          String.equal (run_once ()) (run_once ())))
 
+(* --- flat events, queue backends, same-tick batching ------------------- *)
+
+let flat_kind_events () =
+  (* register_kind/schedule_kind must interleave with closure-based
+     schedule in strict (time, insertion) order, and the packed 30-bit
+     argument must round-trip intact — including the extremes. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let record name arg = log := (name, arg, Engine.now e) :: !log in
+  let k1 = Engine.register_kind e (record "k1") in
+  let k2 = Engine.register_kind e (record "k2") in
+  Engine.schedule_kind e ~owner:(-1) ~delay:5 ~kind:k1 42;
+  Engine.schedule e ~delay:5 (fun () -> record "closure" 0);
+  Engine.schedule_kind e ~owner:3 ~delay:5 ~kind:k2 7;
+  Engine.schedule_kind e ~owner:(-1) ~delay:2 ~kind:k2 0x3FFF_FFFF;
+  Engine.schedule_kind e ~owner:(-1) ~delay:2 ~kind:k1 0;
+  check outcome_testable "quiescent" Engine.Quiescent (Engine.run e);
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.string Alcotest.int Alcotest.int))
+    "time order, FIFO ties, args intact"
+    [
+      ("k2", 0x3FFF_FFFF, 2);
+      ("k1", 0, 2);
+      ("k1", 42, 5);
+      ("closure", 0, 5);
+      ("k2", 7, 5);
+    ]
+    (List.rev !log)
+
+(* A seeded workload with deliberate same-tick ties: several processes
+   sleeping tiny random amounts plus flat-kind events at delay 0. *)
+let mixed_workload ~queue ~batching ~seed =
+  let e = Engine.create ~seed ~queue ~batching () in
+  let log = Buffer.create 256 in
+  let k =
+    Engine.register_kind e (fun arg ->
+        Buffer.add_string log (Printf.sprintf "k%d@%d;" arg (Engine.now e)))
+  in
+  for i = 0 to 4 do
+    ignore
+      (Engine.spawn e (fun ctx ->
+           for r = 1 to 6 do
+             Engine.sleep ctx (Dsim.Rng.int ctx.Engine.rng 4);
+             Buffer.add_string log
+               (Printf.sprintf "p%d.%d@%d;" i r (Engine.now e));
+             if r mod 2 = 0 then Engine.schedule_kind e ~owner:i ~delay:0 ~kind:k i
+           done)
+        : Engine.pid)
+  done;
+  let o = Engine.run e in
+  (o, Buffer.contents log)
+
+let run_testable = Alcotest.pair outcome_testable Alcotest.string
+
+let batching_toggle_equivalence () =
+  (* Batch draining is a pure mechanism: flipping it must not move a
+     single event. *)
+  let on = mixed_workload ~queue:Dsim.Equeue.Heap ~batching:true ~seed:5L in
+  let off = mixed_workload ~queue:Dsim.Equeue.Heap ~batching:false ~seed:5L in
+  check run_testable "batching on = batching off" on off
+
+let wheel_backend_equivalence () =
+  (* Same seeded program, heap vs wheel event queue: identical trace. *)
+  let heap = mixed_workload ~queue:Dsim.Equeue.Heap ~batching:true ~seed:5L in
+  let wheel = mixed_workload ~queue:Dsim.Equeue.Wheel ~batching:true ~seed:5L in
+  check run_testable "heap = wheel" heap wheel;
+  let wheel_nb =
+    mixed_workload ~queue:Dsim.Equeue.Wheel ~batching:false ~seed:5L
+  in
+  check run_testable "heap = wheel, batching off" heap wheel_nb
+
+let oracle_bypasses_batching () =
+  (* With an oracle installed the engine must fall back to per-event
+     granularity even though batching is on: the first "sched" choice
+     sees the whole tie set (arity 3, owners decoded from the packed
+     representation), and picking the last alternative each time
+     reverses the firing order. *)
+  let e = Engine.create ~batching:true () in
+  check Alcotest.bool "batching enabled" true (Engine.batching e);
+  let fired = ref [] in
+  let k = Engine.register_kind e (fun arg -> fired := arg :: !fired) in
+  Engine.schedule_kind e ~owner:4 ~delay:3 ~kind:k 0;
+  Engine.schedule_kind e ~owner:9 ~delay:3 ~kind:k 1;
+  Engine.schedule e ~delay:3 (fun () -> fired := 2 :: !fired);
+  let choices = ref [] in
+  Engine.set_oracle e
+    (Some
+       {
+         Engine.choose =
+           (fun c ->
+             if c.Engine.c_domain = "sched" then
+               choices :=
+                 (c.Engine.c_arity, Array.to_list c.Engine.c_owners)
+                 :: !choices;
+             c.Engine.c_arity - 1);
+       });
+  check outcome_testable "quiescent" Engine.Quiescent (Engine.run e);
+  let choices = List.rev !choices in
+  check
+    (Alcotest.list
+       (Alcotest.pair Alcotest.int
+          (Alcotest.list (Alcotest.option Alcotest.int))))
+    "tie set surfaced per-event with owners decoded"
+    [ (3, [ Some 4; Some 9; None ]); (2, [ Some 4; Some 9 ]) ]
+    choices;
+  check (Alcotest.list Alcotest.int) "oracle-chosen order (last first)"
+    [ 2; 1; 0 ] (List.rev !fired)
+
 let suite =
   [
     Alcotest.test_case "schedule ordering" `Quick schedule_ordering;
@@ -377,4 +485,11 @@ let suite =
       run_quiet_restores_tracing;
     Alcotest.test_case "quiet matches traced schedule" `Quick
       quiet_matches_traced_schedule;
+    Alcotest.test_case "flat kind events" `Quick flat_kind_events;
+    Alcotest.test_case "batching toggle equivalence" `Quick
+      batching_toggle_equivalence;
+    Alcotest.test_case "wheel backend equivalence" `Quick
+      wheel_backend_equivalence;
+    Alcotest.test_case "oracle bypasses batching" `Quick
+      oracle_bypasses_batching;
   ]

@@ -12,7 +12,7 @@ let pop_all heap =
   go []
 
 let empty_heap () =
-  let h : int Dsim.Heap.t = Dsim.Heap.create () in
+  let h = Dsim.Heap.create () in
   check Alcotest.bool "is_empty" true (Dsim.Heap.is_empty h);
   check Alcotest.int "length" 0 (Dsim.Heap.length h);
   check Alcotest.bool "pop None" true (Dsim.Heap.pop h = None);
@@ -30,29 +30,29 @@ let ordering () =
 let fifo_on_ties () =
   let h = Dsim.Heap.create () in
   List.iteri (fun i label -> Dsim.Heap.add h ~key:(i mod 2) label)
-    [ "a"; "b"; "c"; "d"; "e" ];
-  (* keys: a:0 b:1 c:0 d:1 e:0 — ties must pop in insertion order *)
+    [ 10; 11; 12; 13; 14 ];
+  (* keys: 10:0 11:1 12:0 13:1 14:0 — ties must pop in insertion order *)
   check
-    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
     "insertion order within equal keys"
-    [ (0, "a"); (0, "c"); (0, "e"); (1, "b"); (1, "d") ]
+    [ (0, 10); (0, 12); (0, 14); (1, 11); (1, 13) ]
     (pop_all h)
 
 let peek_does_not_remove () =
   let h = Dsim.Heap.create () in
-  Dsim.Heap.add h ~key:3 "x";
-  Dsim.Heap.add h ~key:1 "y";
+  Dsim.Heap.add h ~key:3 0;
+  Dsim.Heap.add h ~key:1 1;
   check (Alcotest.option Alcotest.int) "peek min" (Some 1) (Dsim.Heap.peek_key h);
   check Alcotest.int "length unchanged" 2 (Dsim.Heap.length h)
 
 let interleaved () =
   let h = Dsim.Heap.create () in
-  Dsim.Heap.add h ~key:10 "late";
-  Dsim.Heap.add h ~key:1 "early";
-  check Alcotest.bool "pop early" true (Dsim.Heap.pop h = Some (1, "early"));
-  Dsim.Heap.add h ~key:5 "mid";
-  check Alcotest.bool "pop mid" true (Dsim.Heap.pop h = Some (5, "mid"));
-  check Alcotest.bool "pop late" true (Dsim.Heap.pop h = Some (10, "late"));
+  Dsim.Heap.add h ~key:10 3;
+  Dsim.Heap.add h ~key:1 1;
+  check Alcotest.bool "pop early" true (Dsim.Heap.pop h = Some (1, 1));
+  Dsim.Heap.add h ~key:5 2;
+  check Alcotest.bool "pop mid" true (Dsim.Heap.pop h = Some (5, 2));
+  check Alcotest.bool "pop late" true (Dsim.Heap.pop h = Some (10, 3));
   check Alcotest.bool "empty again" true (Dsim.Heap.is_empty h)
 
 let clear () =
@@ -70,7 +70,7 @@ let prop_heap_sorts =
     QCheck.(list small_int)
     (fun keys ->
       let h = Dsim.Heap.create () in
-      List.iter (fun k -> Dsim.Heap.add h ~key:k ()) keys;
+      List.iter (fun k -> Dsim.Heap.add h ~key:k 0) keys;
       let drained = List.map fst (pop_all h) in
       drained = List.sort compare keys)
 
@@ -95,17 +95,17 @@ let clear_then_reuse () =
   (* clear retains the backing array for reuse but must reset the
      tie-break sequence, so a reused heap pops exactly like a fresh
      one — including insertion order on equal keys. *)
-  let inserts = [ (3, "a"); (1, "b"); (3, "c"); (0, "d"); (1, "e") ] in
+  let inserts = [ (3, 20); (1, 21); (3, 22); (0, 23); (1, 24) ] in
   let fresh = Dsim.Heap.create () in
   List.iter (fun (k, v) -> Dsim.Heap.add fresh ~key:k v) inserts;
   let reused = Dsim.Heap.create () in
   for i = 1 to 64 do
-    Dsim.Heap.add reused ~key:i (string_of_int i)
+    Dsim.Heap.add reused ~key:i i
   done;
   Dsim.Heap.clear reused;
   List.iter (fun (k, v) -> Dsim.Heap.add reused ~key:k v) inserts;
   check
-    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
     "reused heap pops like a fresh one" (pop_all fresh) (pop_all reused)
 
 let prop_heap_length =

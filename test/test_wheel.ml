@@ -1,0 +1,212 @@
+(* Tests for the hierarchical timing wheel, centred on its contract
+   with {!Dsim.Heap}: same (key, insertion-seq) order, same tie sets.
+   The engine's determinism across queue backends rests on exactly the
+   equivalences checked here. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let pop_all w =
+  let rec go acc =
+    match Dsim.Wheel.pop w with
+    | None -> List.rev acc
+    | Some (key, v) -> go ((key, v) :: acc)
+  in
+  go []
+
+let kv_list = Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)
+
+let empty_wheel () =
+  let w = Dsim.Wheel.create () in
+  check Alcotest.bool "is_empty" true (Dsim.Wheel.is_empty w);
+  check Alcotest.int "length" 0 (Dsim.Wheel.length w);
+  check Alcotest.bool "pop None" true (Dsim.Wheel.pop w = None);
+  check Alcotest.bool "peek None" true (Dsim.Wheel.peek_key w = None);
+  check Alcotest.int "time starts at 0" 0 (Dsim.Wheel.time w)
+
+let ordering_across_levels () =
+  (* Keys chosen to straddle level boundaries: same level-0 window,
+     next 256-window (level 1), a level-2 key, and a far level-3 key.
+     Popping must cascade through all of them in sorted order. *)
+  let keys = [ 3; 255; 256; 257; 65_535; 65_536; 16_777_216; 5; 70_000 ] in
+  let w = Dsim.Wheel.create () in
+  List.iteri (fun i k -> Dsim.Wheel.add w ~key:k i) keys;
+  let expected =
+    List.stable_sort
+      (fun (k1, _) (k2, _) -> compare k1 k2)
+      (List.mapi (fun i k -> (k, i)) keys)
+  in
+  check kv_list "sorted across cascade boundaries" expected (pop_all w)
+
+let fifo_on_ties () =
+  let w = Dsim.Wheel.create () in
+  List.iteri
+    (fun i label -> Dsim.Wheel.add w ~key:(if i mod 2 = 0 then 7 else 9) label)
+    [ 10; 11; 12; 13; 14 ];
+  check kv_list "insertion order within equal keys"
+    [ (7, 10); (7, 12); (7, 14); (9, 11); (9, 13) ]
+    (pop_all w)
+
+let monotone_violation () =
+  let w = Dsim.Wheel.create () in
+  Dsim.Wheel.add w ~key:100 1;
+  check Alcotest.bool "pop" true (Dsim.Wheel.pop w = Some (100, 1));
+  check Alcotest.int "time advanced" 100 (Dsim.Wheel.time w);
+  Alcotest.check_raises "key below time rejected"
+    (Invalid_argument "Wheel.add: key below the current time (wheel is monotone)")
+    (fun () -> Dsim.Wheel.add w ~key:99 2);
+  (* at the floor is fine *)
+  Dsim.Wheel.add w ~key:100 3;
+  check Alcotest.bool "re-add at floor" true (Dsim.Wheel.pop w = Some (100, 3))
+
+let clear_then_reuse () =
+  let inserts = [ (300, 20); (1, 21); (300, 22); (0, 23); (70_000, 24) ] in
+  let fresh = Dsim.Wheel.create () in
+  List.iter (fun (k, v) -> Dsim.Wheel.add fresh ~key:k v) inserts;
+  let reused = Dsim.Wheel.create () in
+  for i = 1 to 64 do
+    Dsim.Wheel.add reused ~key:(i * 17) i
+  done;
+  for _ = 1 to 10 do
+    ignore (Dsim.Wheel.pop reused : (int * int) option)
+  done;
+  Dsim.Wheel.clear reused;
+  check Alcotest.int "time reset by clear" 0 (Dsim.Wheel.time reused);
+  List.iter (fun (k, v) -> Dsim.Wheel.add reused ~key:k v) inserts;
+  check kv_list "reused wheel pops like a fresh one" (pop_all fresh)
+    (pop_all reused)
+
+let tie_set_operations () =
+  let w = Dsim.Wheel.create () in
+  List.iteri
+    (fun i k -> Dsim.Wheel.add w ~key:k i)
+    [ 5; 9; 5; 5; 12 ];
+  check Alcotest.int "min_key_count" 3 (Dsim.Wheel.min_key_count w);
+  check (Alcotest.list Alcotest.int) "min_key_values in seq order" [ 0; 2; 3 ]
+    (Dsim.Wheel.min_key_values w);
+  (* remove the middle of the tie set; the rest keeps its order *)
+  check Alcotest.bool "pop_min_nth 1" true
+    (Dsim.Wheel.pop_min_nth w 1 = Some (5, 2));
+  check (Alcotest.list Alcotest.int) "tie set after interior removal" [ 0; 3 ]
+    (Dsim.Wheel.min_key_values w);
+  Alcotest.check_raises "nth outside tied range"
+    (Invalid_argument "Wheel.pop_min_nth: index out of tied range") (fun () ->
+      ignore (Dsim.Wheel.pop_min_nth w 2 : (int * int) option))
+
+(* --- randomized heap/wheel equivalence (S3) --------------------------- *)
+
+(* One weighted random op per int drawn from the generator.  Keys are
+   monotone (the wheel's contract): adds land at or above the current
+   minimum, exactly like the engine's now+delay scheduling.  Deltas mix
+   small same-window steps with jumps that cross level-1/2/3 cascade
+   boundaries. *)
+type equiv_op = Add of int * int | Pop | TieQuery | PopNth of int | Clear
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 120)
+      (int_range 0 99 >>= fun sel ->
+       if sel < 45 then
+         oneofl [ 2; 250; 68_000; 17_000_000 ] >>= fun span ->
+         int_bound span >>= fun delta ->
+         small_nat >>= fun v -> return (Add (delta, v))
+       else if sel < 75 then return Pop
+       else if sel < 85 then return TieQuery
+       else if sel < 95 then small_nat >>= fun n -> return (PopNth n)
+       else return Clear))
+
+let arb_ops = QCheck.make ~print:(fun l -> Printf.sprintf "<%d ops>" (List.length l)) gen_ops
+
+let prop_heap_wheel_equivalent =
+  QCheck.Test.make ~name:"heap and wheel pop identically (incl. tie sets)"
+    ~count:500 arb_ops (fun ops ->
+      let h = Dsim.Heap.create () and w = Dsim.Wheel.create () in
+      (* The wheel floor: tie-set queries settle it to the current
+         minimum, so adds must stay at or above the min key — the
+         engine guarantees this via now+delay. *)
+      let floor_key = ref 0 in
+      let ok = ref true in
+      let agree a b = if a <> b then ok := false in
+      List.iter
+        (fun op ->
+          match op with
+          | Add (delta, v) ->
+              let base =
+                match Dsim.Heap.peek_key h with
+                | Some mk -> max !floor_key mk
+                | None -> !floor_key
+              in
+              let k = base + delta in
+              Dsim.Heap.add h ~key:k v;
+              Dsim.Wheel.add w ~key:k v
+          | Pop ->
+              let a = Dsim.Heap.pop h and b = Dsim.Wheel.pop w in
+              agree a b;
+              (match a with
+              | Some (k, _) -> floor_key := max !floor_key k
+              | None -> ())
+          | TieQuery ->
+              agree
+                (Some (Dsim.Heap.min_key_count h, Dsim.Heap.min_key_values h))
+                (Some (Dsim.Wheel.min_key_count w, Dsim.Wheel.min_key_values w));
+              (* the query settled the wheel to the current min *)
+              (match Dsim.Heap.peek_key h with
+              | Some k -> floor_key := max !floor_key k
+              | None -> ())
+          | PopNth n ->
+              let c = Dsim.Heap.min_key_count h in
+              if c > 0 then begin
+                let n = n mod c in
+                let a = Dsim.Heap.pop_min_nth h n in
+                agree a (Dsim.Wheel.pop_min_nth w n);
+                (* the wheel settled to the tie key even when this was the
+                   last element, so take the floor from the popped key *)
+                match a with
+                | Some (k, _) -> floor_key := max !floor_key k
+                | None -> ()
+              end
+          | Clear ->
+              Dsim.Heap.clear h;
+              Dsim.Wheel.clear w;
+              floor_key := 0)
+        ops;
+      (* drain both and compare the full (key, value) pop sequence *)
+      let rec drain () =
+        let a = Dsim.Heap.pop h and b = Dsim.Wheel.pop w in
+        agree a b;
+        if a <> None then drain ()
+      in
+      drain ();
+      !ok)
+
+let prop_equeue_backends_agree =
+  QCheck.Test.make ~name:"Equeue dispatch agrees across backends" ~count:200
+    QCheck.(list (pair (int_bound 1000) small_nat))
+    (fun adds ->
+      let qh = Dsim.Equeue.create Dsim.Equeue.Heap
+      and qw = Dsim.Equeue.create Dsim.Equeue.Wheel in
+      (* one monotone pass: sort keys so the wheel accepts them *)
+      let adds = List.sort compare adds in
+      List.iter
+        (fun (k, v) ->
+          Dsim.Equeue.add qh ~key:k v;
+          Dsim.Equeue.add qw ~key:k v)
+        adds;
+      let rec drain acc q =
+        match Dsim.Equeue.pop q with
+        | None -> List.rev acc
+        | Some kv -> drain (kv :: acc) q
+      in
+      drain [] qh = drain [] qw)
+
+let suite =
+  [
+    Alcotest.test_case "empty wheel" `Quick empty_wheel;
+    Alcotest.test_case "ordering across levels" `Quick ordering_across_levels;
+    Alcotest.test_case "FIFO on ties" `Quick fifo_on_ties;
+    Alcotest.test_case "monotone violation" `Quick monotone_violation;
+    Alcotest.test_case "clear then reuse" `Quick clear_then_reuse;
+    Alcotest.test_case "tie-set operations" `Quick tie_set_operations;
+    qtest prop_heap_wheel_equivalent;
+    qtest prop_equeue_backends_agree;
+  ]
