@@ -419,8 +419,8 @@ let campaign_scaling ~plans jobs_list =
 
 (* One bounded exploration, reported as schedules/sec.  Kept small: the
    json baseline runs on every CI build. *)
-let mcheck_cell ~model ~depth make_model =
-  let config = { Mcheck.Explorer.default_config with depth } in
+let mcheck_cell ~model ~depth ?(reduction = Mcheck.Explorer.Rsleep) make_model =
+  let config = { Mcheck.Explorer.default_config with depth; reduction } in
   let r = Mcheck.Explorer.explore ~jobs:1 ~config (make_model ()) in
   let rate =
     if r.Mcheck.Explorer.r_wall > 0. then
@@ -431,8 +431,31 @@ let mcheck_cell ~model ~depth make_model =
     [
       ("model", Json.String model);
       ("depth", Json.Int depth);
+      ("reduction", Json.String (Mcheck.Explorer.reduction_name reduction));
       ("executions", Json.Int r.Mcheck.Explorer.r_executions);
       ("violating", Json.Int r.Mcheck.Explorer.r_violating);
+      ("schedules_per_sec", Json.Float rate);
+    ]
+
+(* One PCT sampling campaign: the empirical bug-finding probability per
+   schedule at a fixed budget — the figure of merit for randomized
+   testing where exhaustive sweeps are hopeless.  Deterministic for a
+   fixed seed, so the baseline can pin it. *)
+let pct_cell ~model ~schedules make_model =
+  let config = { Mcheck.Pct.default_config with Mcheck.Pct.schedules } in
+  let r = Mcheck.Pct.run ~jobs:1 ~config (make_model ()) in
+  let rate =
+    if r.Mcheck.Pct.pr_wall > 0. then
+      float_of_int schedules /. r.Mcheck.Pct.pr_wall
+    else 0.
+  in
+  Json.Obj
+    [
+      ("model", Json.String model);
+      ("schedules", Json.Int schedules);
+      ("d", Json.Int config.Mcheck.Pct.d);
+      ("violating", Json.Int r.Mcheck.Pct.pr_violating);
+      ("probability", Json.Float r.Mcheck.Pct.pr_probability);
       ("schedules_per_sec", Json.Float rate);
     ]
 
@@ -587,8 +610,16 @@ let bench_core_json () =
     [
       mcheck_cell ~model:"toy-ac" ~depth:8 (fun () ->
           Mcheck.Models.toy_ac ~check_termination:true ());
+      mcheck_cell ~model:"toy-ac" ~depth:8 ~reduction:Mcheck.Explorer.Rdpor
+        (fun () -> Mcheck.Models.toy_ac ~check_termination:true ());
       mcheck_cell ~model:"ben-or" ~depth:5 (fun () ->
           Mcheck.Models.benor ~check_termination:false ());
+    ]
+  in
+  let pct =
+    [
+      pct_cell ~model:"toy-ac-broken" ~schedules:2000 (fun () ->
+          Mcheck.Models.toy_ac ~broken:true ~check_termination:true ());
     ]
   in
   let detect =
@@ -621,7 +652,7 @@ let bench_core_json () =
   in
   Json.Obj
     [
-      ("schema", Json.String "oocon-bench-core/5");
+      ("schema", Json.String "oocon-bench-core/6");
       ("cores", Json.Int cores);
       ( "engine",
         Json.Obj
@@ -638,6 +669,7 @@ let bench_core_json () =
       ("shard", Json.List shard);
       ("wal_overhead", Json.List wal);
       ("mcheck", Json.List mcheck);
+      ("pct", Json.List pct);
       ("detect", Json.List detect);
     ]
 
@@ -661,7 +693,7 @@ let validate_bench_json file =
   | v ->
       let open Json in
       (match Option.bind (member "schema" v) to_string_opt with
-      | Some "oocon-bench-core/5" -> ()
+      | Some "oocon-bench-core/6" -> ()
       | Some other -> err "unexpected schema %S" other
       | None -> err "missing schema");
       (match Option.bind (member "cores" v) to_int with
@@ -800,7 +832,23 @@ let validate_bench_json file =
       check_rows "wal_overhead"
         [ "backend"; "store"; "virtual_time"; "appends"; "fsyncs"; "ok" ];
       check_rows "mcheck"
-        [ "model"; "depth"; "executions"; "violating"; "schedules_per_sec" ];
+        [
+          "model";
+          "depth";
+          "reduction";
+          "executions";
+          "violating";
+          "schedules_per_sec";
+        ];
+      check_rows "pct"
+        [
+          "model";
+          "schedules";
+          "d";
+          "violating";
+          "probability";
+          "schedules_per_sec";
+        ];
       check_rows "detect"
         [
           "kind";
@@ -844,10 +892,22 @@ let validate_bench_json file =
               | Some r when r > 0. -> ()
               | _ -> err "mcheck[%d]: bad schedules_per_sec" i)
             rows
+      | None -> ());
+      (match Option.bind (member "pct" v) to_list with
+      | Some rows ->
+          List.iteri
+            (fun i row ->
+              (match Option.bind (member "schedules" row) to_int with
+              | Some s when s >= 1 -> ()
+              | _ -> err "pct[%d]: bad schedules" i);
+              match Option.bind (member "probability" row) to_float with
+              | Some p when p >= 0. && p <= 1. -> ()
+              | _ -> err "pct[%d]: probability outside [0, 1]" i)
+            rows
       | None -> ()));
   match List.rev !errors with
   | [] ->
-      Format.printf "%s: valid oocon-bench-core/5 baseline@." file;
+      Format.printf "%s: valid oocon-bench-core/6 baseline@." file;
       0
   | errs ->
       List.iter (Format.eprintf "%s: %s@." file) errs;

@@ -1477,21 +1477,77 @@ let mcheck_cmd =
     let doc = "Maximum oracle-injected message drops per execution." in
     Arg.(value & opt int 0 & info [ "fault-budget" ] ~docv:"K" ~doc)
   in
-  let no_reduce_arg =
+  let reduction_arg =
     let doc =
-      "Disable the commutative-delivery reduction (explore every same-tick \
-       ordering, including ones that only permute deliveries to distinct \
-       recipients)."
+      "Partial-order reduction: $(b,none) explores every same-tick ordering, \
+       $(b,sleep) collapses commuting deliveries to distinct recipients \
+       (default), $(b,dpor) adds vector-clock race analysis and explores \
+       only genuine reversals (with fingerprint caching when the model \
+       supports it) — never more schedules than sleep."
     in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", Mcheck.Explorer.Rnone);
+               ("sleep", Mcheck.Explorer.Rsleep);
+               ("dpor", Mcheck.Explorer.Rdpor);
+             ])
+          Mcheck.Explorer.Rsleep
+      & info [ "reduction" ] ~docv:"MODE" ~doc)
+  in
+  let no_reduce_arg =
+    let doc = "Alias for $(b,--reduction none)." in
     Arg.(value & flag & info [ "no-reduce" ] ~doc)
   in
   let prune_arg =
     let doc =
       "Enable fingerprint pruning (models without a fingerprint ignore it; \
-       only sound when the fingerprint captures the complete state — see \
-       DESIGN.md §11)."
+       sound at any fault budget for fingerprints that fold in wire state \
+       and remaining budget — see DESIGN.md §11 and §16)."
     in
     Arg.(value & flag & info [ "prune" ] ~doc)
+  in
+  let audit_arg =
+    let doc =
+      "Collision audit: continue every Nth would-be fingerprint prune under \
+       forced defaults and flag violations the pruned set would have missed \
+       (0 = off)."
+    in
+    Arg.(value & opt int 0 & info [ "audit" ] ~docv:"N" ~doc)
+  in
+  let frontier_arg =
+    let doc =
+      "Target number of work-stealing partitions the frontier expands to \
+       before parallel exploration; fixed per config, so reports are \
+       byte-identical at every $(b,--jobs)."
+    in
+    Arg.(value & opt int 16 & info [ "frontier" ] ~docv:"P" ~doc)
+  in
+  let pct_arg =
+    let doc =
+      "Sample randomized schedules with PCT priorities instead of \
+       exhaustive exploration ($(b,--schedules), $(b,--pct-d), \
+       $(b,--pct-steps), $(b,--pct-seed) configure the sampler)."
+    in
+    Arg.(value & flag & info [ "pct" ] ~doc)
+  in
+  let schedules_arg =
+    let doc = "PCT sample budget: how many randomized schedules to run." in
+    Arg.(value & opt int 1000 & info [ "schedules" ] ~docv:"S" ~doc)
+  in
+  let pct_d_arg =
+    let doc = "PCT bug depth (d-1 priority change points per schedule)." in
+    Arg.(value & opt int 3 & info [ "pct-d" ] ~docv:"D" ~doc)
+  in
+  let pct_steps_arg =
+    let doc = "PCT horizon the priority change points are drawn from." in
+    Arg.(value & opt int 64 & info [ "pct-steps" ] ~docv:"T" ~doc)
+  in
+  let pct_seed_arg =
+    let doc = "PCT base seed (schedule i uses a stream derived from seed+i)." in
+    Arg.(value & opt int 1 & info [ "pct-seed" ] ~docv:"SEED" ~doc)
   in
   let max_schedules_arg =
     let doc = "Cap executions per root partition (0 = unlimited)." in
@@ -1532,9 +1588,9 @@ let mcheck_cmd =
     let doc = "List the explorable models and exit." in
     Arg.(value & flag & info [ "list-models" ] ~doc)
   in
-  let run model n depth fault_budget no_reduce prune max_schedules
-      stop_at_first jobs report_out dump_ce replay_file expect_violation
-      list_models =
+  let run model n depth fault_budget reduction no_reduce prune audit frontier
+      pct schedules pct_d pct_steps pct_seed max_schedules stop_at_first jobs
+      report_out dump_ce replay_file expect_violation list_models =
     let finish ~violations_found =
       if expect_violation then
         if violations_found then begin
@@ -1577,13 +1633,62 @@ let mcheck_cmd =
             List.iter (Format.printf "    - %s@.") x.Mcheck.Explorer.x_violations
           end;
           finish ~violations_found:(x.Mcheck.Explorer.x_violations <> [])
+      | None when pct ->
+          let config =
+            {
+              Mcheck.Pct.schedules;
+              d = pct_d;
+              steps = pct_steps;
+              seed = pct_seed;
+              fault_budget;
+            }
+          in
+          let m = Mcheck.Models.of_name ?n model ~fault_budget in
+          let report = Mcheck.Pct.run ~jobs:(resolve_jobs jobs) ~config m in
+          Format.printf "%a" Mcheck.Pct.pp_report report;
+          Option.iter
+            (fun file ->
+              Out_channel.with_open_text file (fun oc ->
+                  let ppf = Format.formatter_of_out_channel oc in
+                  Mcheck.Pct.pp_report_stable ppf report;
+                  Format.pp_print_flush ppf ());
+              Format.printf "stable report written to %s@." file)
+            report_out;
+          Option.iter
+            (fun file ->
+              match report.Mcheck.Pct.pr_counterexample with
+              | None -> Format.printf "no counterexample to dump@."
+              | Some choices -> (
+                  let mconfig =
+                    { Mcheck.Explorer.default_config with depth; fault_budget }
+                  in
+                  let entries = Mcheck.Explorer.entries_of_choices choices in
+                  match Mcheck.Explorer.minimize ~config:mconfig m entries with
+                  | None ->
+                      Format.eprintf
+                        "counterexample did not reproduce under replay@."
+                  | Some entries ->
+                      Mcheck.Replay.save file
+                        (Mcheck.Replay.of_entries ~model:m.Mcheck.Models.name
+                           ~config:mconfig entries);
+                      Format.printf
+                        "minimized counterexample (%d choices, %d non-default) \
+                         written to %s@."
+                        (List.length entries)
+                        (Mcheck.Explorer.nondefault_count entries)
+                        file))
+            dump_ce;
+          finish ~violations_found:(report.Mcheck.Pct.pr_violating > 0)
       | None ->
           let config =
             {
               Mcheck.Explorer.depth;
               fault_budget;
-              reduce = not no_reduce;
+              reduction =
+                (if no_reduce then Mcheck.Explorer.Rnone else reduction);
               prune;
+              audit;
+              frontier;
               max_schedules =
                 (if max_schedules <= 0 then max_int else max_schedules);
               stop_at_first;
@@ -1631,17 +1736,19 @@ let mcheck_cmd =
   let term =
     Term.(
       const run $ model_arg $ n_opt_arg $ depth_arg $ fault_budget_arg
-      $ no_reduce_arg $ prune_arg $ max_schedules_arg $ stop_at_first_arg
-      $ jobs_arg $ report_out_arg $ dump_ce_arg $ replay_arg
-      $ expect_violation_arg $ list_models_arg)
+      $ reduction_arg $ no_reduce_arg $ prune_arg $ audit_arg $ frontier_arg
+      $ pct_arg $ schedules_arg $ pct_d_arg $ pct_steps_arg $ pct_seed_arg
+      $ max_schedules_arg $ stop_at_first_arg $ jobs_arg $ report_out_arg
+      $ dump_ce_arg $ replay_arg $ expect_violation_arg $ list_models_arg)
   in
   Cmd.v
     (Cmd.info "mcheck"
        ~doc:
          "Systematic schedule exploration: enumerate message-delivery orders \
-          and drop decisions up to a depth bound, check every execution with \
-          the property monitors, and minimize counterexamples into replay \
-          files.")
+          and drop decisions up to a depth bound (with sleep-set or DPOR \
+          partial-order reduction), or sample randomized PCT schedules; \
+          check every execution with the property monitors and minimize \
+          counterexamples into replay files.")
     term
 
 (* -------------------------------------------------------- experiments -- *)

@@ -33,6 +33,12 @@ type choice = {
   c_domain : string;
   c_arity : int;
   c_owners : int option array;
+  c_time : int;  (* virtual time of the tied events ("sched" only) *)
+  c_seqs : int array;  (* queue insertion seqs: stable per-run identity *)
+  c_creators : int array;
+      (* c_creators.(i) = seq of the event whose execution scheduled
+         tied event i, or -1 when scheduled during setup — the
+         creation-chain edges a DPOR happens-before analysis needs *)
 }
 
 type oracle = { choose : choice -> int }
@@ -68,6 +74,12 @@ type t = {
   bsent : bnode;  (* sentinel of the blocked list, newest first *)
   mutable oracle : oracle option;
   mutable batching : bool;
+  (* Event lineage, tracked only while an oracle is installed (the
+     DPOR analysis reads it through [c_creators]; the quiet hot path
+     pays one predictable branch in [schedule_kind]). *)
+  mutable lineage : bool;
+  mutable creators : int array;  (* seq -> creating event's seq, or -1 *)
+  mutable cur_seq : int;  (* seq of the event currently executing, -1 at setup *)
   mutable dispatch : (int -> unit) array;  (* kind -> handler of arg *)
   mutable kind_count : int;
   (* closure arena: pending [schedule]d thunks, freelist-threaded *)
@@ -206,6 +218,9 @@ let create ?(seed = 1L) ?trace_capacity ?(tracing = true) ?(queue = Equeue.Heap)
       bsent = make_sentinel ();
       oracle = None;
       batching;
+      lineage = false;
+      creators = [||];
+      cur_seq = -1;
       dispatch = Array.make 4 invalid_kind;
       kind_count = 0;
       cfns = [||];
@@ -237,17 +252,35 @@ let emit t ?pid ~tag detail =
 let emitk t ?pid ~tag detail =
   if t.tracing then Trace.emit t.tr ~time:t.now ?pid ~tag (detail ())
 
+(* Record who scheduled the event the last [Equeue.add] enqueued.  Seqs
+   are dense from 0, so a flat array indexed by seq suffices. *)
+let note_created t =
+  let s = Equeue.last_seq t.events in
+  let cap = Array.length t.creators in
+  if s >= cap then begin
+    let ncap = max 64 (max (s + 1) (2 * cap)) in
+    let nc = Array.make ncap (-1) in
+    Array.blit t.creators 0 nc 0 cap;
+    t.creators <- nc
+  end;
+  t.creators.(s) <- t.cur_seq
+
 let schedule_kind t ~owner ~delay ~kind arg =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  Equeue.add t.events ~key:(t.now + delay) (pack ~kind ~owner ~arg)
+  Equeue.add t.events ~key:(t.now + delay) (pack ~kind ~owner ~arg);
+  if t.lineage then note_created t
 
 let schedule t ?owner ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   let ow = match owner with None -> -1 | Some p -> p in
   let slot = alloc_closure t f in
-  Equeue.add t.events ~key:(t.now + delay) (pack ~kind:k_closure ~owner:ow ~arg:slot)
+  Equeue.add t.events ~key:(t.now + delay) (pack ~kind:k_closure ~owner:ow ~arg:slot);
+  if t.lineage then note_created t
 
-let set_oracle t o = t.oracle <- o
+let set_oracle t o =
+  t.oracle <- o;
+  t.lineage <- (match o with Some _ -> true | None -> false)
+
 let oracle t = t.oracle
 
 let proc t pid =
@@ -404,10 +437,19 @@ let finish t =
 (* With an oracle installed every tick where more than one event is
    enabled becomes an explicit choice point: the oracle sees the tied
    events' owners and picks which fires first. *)
+let creator_of t s =
+  if s >= 0 && s < Array.length t.creators then t.creators.(s) else -1
+
 let pop_next_oracle t o =
   match Equeue.min_key_count t.events with
   | 0 -> None
-  | 1 -> Equeue.pop t.events
+  | 1 ->
+      (* No choice to make, but the event still becomes the creator of
+         whatever its execution schedules. *)
+      (match Equeue.min_key_seqs t.events with
+      | [ s ] -> t.cur_seq <- s
+      | _ -> ());
+      Equeue.pop t.events
   | arity ->
       let owners =
         Array.of_list
@@ -417,7 +459,20 @@ let pop_next_oracle t o =
                if ow < 0 then None else Some ow)
              (Equeue.min_key_values t.events))
       in
-      let idx = o.choose { c_domain = "sched"; c_arity = arity; c_owners = owners } in
+      let seqs = Array.of_list (Equeue.min_key_seqs t.events) in
+      let creators = Array.map (fun s -> creator_of t s) seqs in
+      let idx =
+        o.choose
+          {
+            c_domain = "sched";
+            c_arity = arity;
+            c_owners = owners;
+            c_time = Equeue.peek_key_fast t.events;
+            c_seqs = seqs;
+            c_creators = creators;
+          }
+      in
+      t.cur_seq <- seqs.(idx);
       Equeue.pop_min_nth t.events idx
 
 let run ?until ?max_events t =

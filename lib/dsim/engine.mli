@@ -146,6 +146,21 @@ type choice = {
   c_owners : int option array;
       (** for ["sched"]: the tied events' owner labels, in the order
           {!pop_min_nth} indexes them; empty for other domains *)
+  c_time : int;
+      (** for ["sched"]: the virtual time the tied events fire at — two
+          consultations race-analyse against each other only when their
+          times are equal; 0 for other domains *)
+  c_seqs : int array;
+      (** for ["sched"]: the tied events' queue insertion seqs, parallel
+          to [c_owners].  Seqs are dense per run and deterministic given
+          the oracle's answers, so they identify an event across the
+          consultations of one execution; empty for other domains *)
+  c_creators : int array;
+      (** for ["sched"]: [c_creators.(i)] is the seq of the event whose
+          execution scheduled tied event [i], or [-1] when it was
+          scheduled during setup (spawns, initial sends).  Following
+          these edges transitively yields the creation-chain
+          happens-before relation DPOR needs; empty for other domains *)
 }
 
 type oracle = { choose : choice -> int }

@@ -37,6 +37,12 @@ let min_key_values = function
   | H h -> Heap.min_key_values h
   | W w -> Wheel.min_key_values w
 
+let min_key_seqs = function
+  | H h -> Heap.min_key_seqs h
+  | W w -> Wheel.min_key_seqs w
+
+let last_seq = function H h -> Heap.last_seq h | W w -> Wheel.last_seq w
+
 let pop_min_nth t n =
   match t with H h -> Heap.pop_min_nth h n | W w -> Wheel.pop_min_nth w n
 

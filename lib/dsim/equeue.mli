@@ -32,5 +32,15 @@ val peek_key_fast : t -> int
 val pop_run : t -> buf:int array ref -> dummy:int -> int
 val min_key_count : t -> int
 val min_key_values : t -> int list
+
+val min_key_seqs : t -> int list
+(** Insertion sequence numbers of the minimum-key tie set, in insertion
+    order (parallel to {!min_key_values}).  Identical on both backends
+    for the same add history; seqs are dense from 0 and reset by
+    {!clear}, giving queued events a stable per-run identity. *)
+
+val last_seq : t -> int
+(** The seq assigned by the most recent {!add} (-1 when none yet). *)
+
 val pop_min_nth : t -> int -> (int * int) option
 val clear : t -> unit

@@ -140,6 +140,11 @@ let min_entries_by_seq t =
 let min_key_values t =
   List.map (fun i -> t.vals.(i)) (min_entries_by_seq t)
 
+let min_key_seqs t =
+  List.map (fun i -> t.seqs.(i)) (min_entries_by_seq t)
+
+let last_seq t = t.next_seq - 1
+
 (* Swap-based sifts for interior removal (oracle mode only — cold). *)
 let precedes_ix t a b =
   t.keys.(a) < t.keys.(b) || (t.keys.(a) = t.keys.(b) && t.seqs.(a) < t.seqs.(b))

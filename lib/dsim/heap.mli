@@ -55,6 +55,17 @@ val min_key_values : t -> int list
 (** The elements tied for the smallest key, in insertion (seq) order —
     the order {!pop} would surface them.  Does not remove anything. *)
 
+val min_key_seqs : t -> int list
+(** The insertion sequence numbers of the elements tied for the smallest
+    key, in insertion order — positionally parallel to
+    {!min_key_values}.  Seqs are assigned densely from 0 by {!add}
+    (reset by {!clear}), so they give each queued element a stable
+    identity a schedule explorer can track across consultations. *)
+
+val last_seq : t -> int
+(** The sequence number assigned by the most recent {!add} (-1 before
+    the first add or after {!clear}). *)
+
 val pop_min_nth : t -> int -> (int * int) option
 (** [pop_min_nth t i] removes and returns the [i]-th element (insertion
     order, 0-based) among those tied for the smallest key.

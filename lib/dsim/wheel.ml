@@ -324,6 +324,21 @@ let min_key_values t =
     List.rev !acc
   end
 
+let min_key_seqs t =
+  if t.size = 0 then []
+  else begin
+    let s0 = settle t in
+    let acc = ref [] in
+    let e = ref t.head.(s0) in
+    while !e >= 0 do
+      acc := t.seq.(!e) :: !acc;
+      e := t.nxt.(!e)
+    done;
+    List.rev !acc
+  end
+
+let last_seq t = t.next_seq - 1
+
 let pop_min_nth t n =
   if t.size = 0 then None
   else begin

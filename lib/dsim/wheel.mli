@@ -52,5 +52,14 @@ val pop_min_nth : t -> int -> (int * int) option
 (** Tie-set operations with {!Heap}-identical semantics.
     @raise Invalid_argument when the index is outside the tied range. *)
 
+val min_key_seqs : t -> int list
+(** The insertion sequence numbers of the minimum-key tie set, in
+    insertion order — parallel to {!min_key_values} and identical to
+    what {!Heap.min_key_seqs} reports for the same add history. *)
+
+val last_seq : t -> int
+(** The sequence number assigned by the most recent {!add} (-1 before
+    the first add or after {!clear}). *)
+
 val clear : t -> unit
 (** Reset to empty at time 0, keeping backing storage for reuse. *)

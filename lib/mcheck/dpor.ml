@@ -1,0 +1,184 @@
+(* Dynamic partial-order reduction: the race analysis.
+
+   The explorer records one [meta] per "sched" consultation of an
+   execution (prefix and fresh alike): the tie set's stable identities
+   ([m_seqs], queue insertion seqs), owner labels, creation edges and
+   the index chosen.  After the run, [backtracks] reconstructs the
+   per-tick firing order, finds the genuinely racing pairs and returns
+   the backtrack points classic DPOR (Flanagan-Godefroid, POPL 2005)
+   would add: for each fired event j, the last event i fired before it
+   in the same tick such that i and j are dependent and not ordered by
+   happens-before gets j added to its backtrack set — or, when j was
+   not co-enabled at i's consultation, i's whole candidate universe
+   (the conservative "add all enabled" fallback).
+
+   Dependence is the engine's owner discipline: two same-tick events
+   conflict iff they touch the same process's state — same owner label,
+   or either unowned (an unowned event may touch anything).  Events at
+   different ticks never race: virtual time is not a scheduling choice,
+   so only same-tick reorderings exist.
+
+   Happens-before comes from creation chains: [m_creators] links every
+   queued event to the event whose execution scheduled it.  If j's
+   creation chain passes through an event fired at-or-after i, then j
+   cannot fire before i in any reordering of this tick, so the pair is
+   no race.
+
+   Silently fired events need care: the engine only consults the oracle
+   while two or more events are tied, so the last event of a tick (and
+   any singleton tick) fires without a consultation.  The per-tick
+   firing order is reconstructed from consecutive consultations — an
+   event present in one tie set and absent from the next fired silently
+   in between.  A silent event was the only enabled event when it
+   fired, which is exactly the case where classic DPOR's backtrack set
+   cannot be extended, so silent events act as race *sources* j but
+   never as backtrack *targets* i.
+
+   The tail of a tick that was cut short (pruned at a fingerprint hit,
+   or truncated at the depth bound) is treated as pseudo-fired: those
+   events would fire this tick in the cached/abandoned subtree, so the
+   races they form with already-fired events must still seed backtrack
+   points for the reversal to be explored from this trail.  This is
+   what makes DPOR sound in combination with fingerprint pruning. *)
+
+type meta = {
+  m_pos : int;  (* index of this consultation in the trail *)
+  m_time : int;  (* virtual time of the tie (c_time) *)
+  m_owners : int option array;
+  m_seqs : int array;
+  m_creators : int array;
+  m_cands : int array;
+      (* the candidate universe at this consultation: the same
+         owner-class indices sleep-set reduction would branch over.
+         DPOR's additions are capped to this set, which is what makes
+         its execution tree a subtree of sleep's. *)
+  m_chosen : int;  (* tie index actually fired *)
+}
+
+let dependent o1 o2 =
+  match (o1, o2) with
+  | None, _ | _, None -> true
+  | Some a, Some b -> a = b
+
+(* A fired (or pseudo-fired) event in the reconstructed order: identity,
+   owner, and the consultation that chose it ([None] = fired silently). *)
+type fired = { f_seq : int; f_owner : int option; f_meta : meta option }
+
+let array_index a v =
+  let n = Array.length a in
+  let rec go i = if i >= n then None else if a.(i) = v then Some i else go (i + 1) in
+  go 0
+
+(* Reconstruct the firing order of one tick from its consultations.
+   Between consultation m-1 and m, any event of the previous remainder
+   absent from m's tie set fired silently; after the last consultation
+   the remainder fires (or pseudo-fires) silently in queue order. *)
+let tick_firings (group : meta list) =
+  let fired = ref [] in
+  let remaining = ref [] in
+  List.iter
+    (fun m ->
+      let in_tie s = Array.exists (( = ) s) m.m_seqs in
+      List.iter
+        (fun (s, o) ->
+          if not (in_tie s) then
+            fired := { f_seq = s; f_owner = o; f_meta = None } :: !fired)
+        !remaining;
+      fired :=
+        {
+          f_seq = m.m_seqs.(m.m_chosen);
+          f_owner = m.m_owners.(m.m_chosen);
+          f_meta = Some m;
+        }
+        :: !fired;
+      let rest = ref [] in
+      Array.iteri
+        (fun i s -> if i <> m.m_chosen then rest := (s, m.m_owners.(i)) :: !rest)
+        m.m_seqs;
+      remaining := List.rev !rest)
+    group;
+  List.iter
+    (fun (s, o) -> fired := { f_seq = s; f_owner = o; f_meta = None } :: !fired)
+    !remaining;
+  List.rev !fired
+
+(* Consultations arrive in execution order, so virtual time is
+   nondecreasing: consecutive equal times form one tick. *)
+let group_by_time metas =
+  let acc =
+    List.fold_left
+      (fun groups m ->
+        match groups with
+        | (t, g) :: rest when t = m.m_time -> (t, m :: g) :: rest
+        | _ -> (m.m_time, [ m ]) :: groups)
+      [] metas
+  in
+  List.rev_map (fun (_, g) -> List.rev g) acc
+
+let backtracks (metas : meta list) : (int * int) list =
+  (* Creation edges, pooled across the whole run: an event's creator may
+     have fired ticks earlier than the tie it finally appears in. *)
+  let creator = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      Array.iteri
+        (fun i s ->
+          if not (Hashtbl.mem creator s) then Hashtbl.add creator s m.m_creators.(i))
+        m.m_seqs)
+    metas;
+  let adds = ref [] in
+  let seen = Hashtbl.create 16 in
+  let add pos idx =
+    if not (Hashtbl.mem seen (pos, idx)) then begin
+      Hashtbl.add seen (pos, idx) ();
+      adds := (pos, idx) :: !adds
+    end
+  in
+  List.iter
+    (fun group ->
+      let fired = Array.of_list (tick_firings group) in
+      let pos_of = Hashtbl.create 16 in
+      Array.iteri (fun p f -> Hashtbl.replace pos_of f.f_seq p) fired;
+      (* Does j's creation chain pass through an event fired at-or-after
+         position [ip] of this tick?  Then i -> j is happens-before. *)
+      let hb_after ip j =
+        let rec walk s =
+          s >= 0
+          && (match Hashtbl.find_opt pos_of s with
+             | Some p when p >= ip -> true
+             | _ -> (
+                 match Hashtbl.find_opt creator s with
+                 | Some c -> walk c
+                 | None -> false))
+        in
+        match Hashtbl.find_opt creator j.f_seq with Some c -> walk c | None -> false
+      in
+      Array.iteri
+        (fun jp j ->
+          (* Last-racer rule: scan backwards for the most recent event
+             dependent with j; creation-ordered pairs are skipped (they
+             are no race), silent racers end the scan (nothing to
+             extend at a choice-free point). *)
+          let rec scan ip =
+            if ip >= 0 then
+              let i = fired.(ip) in
+              if not (dependent i.f_owner j.f_owner) then scan (ip - 1)
+              else if hb_after ip j then scan (ip - 1)
+              else
+                match i.f_meta with
+                | None -> ()
+                | Some m -> (
+                    match array_index m.m_seqs j.f_seq with
+                    | Some k when Array.exists (( = ) k) m.m_cands ->
+                        add m.m_pos k
+                    | _ ->
+                        (* j not co-enabled at i (scheduled mid-tick),
+                           or outside the class cap: fall back to every
+                           class candidate — sound, and still within
+                           sleep's universe. *)
+                        Array.iter (fun c -> add m.m_pos c) m.m_cands)
+          in
+          scan (jp - 1))
+        fired)
+    (group_by_time metas);
+  List.rev !adds

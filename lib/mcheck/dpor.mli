@@ -1,0 +1,41 @@
+(** Dynamic partial-order reduction: the race analysis.
+
+    Pure post-hoc analysis of one execution's ["sched"] consultations.
+    The explorer records a {!meta} per consultation and calls
+    {!backtracks} after the run; the result is the set of backtrack
+    points — [(trail position, tie index)] pairs — that classic DPOR
+    (Flanagan-Godefroid, POPL 2005) adds for the races found, which the
+    explorer folds into its per-position todo sets.
+
+    Two same-tick events are {e dependent} when they share an owner
+    label or either is unowned; {e happens-before} is the transitive
+    creation-chain order carried by [c_creators].  A pair that is
+    dependent, co-located in time and unordered is a race: the
+    reversal must be explored, so the later event is added to the
+    earlier consultation's backtrack set (capped to the consultation's
+    candidate universe [m_cands], keeping DPOR's execution tree a
+    subtree of sleep-set reduction's). *)
+
+type meta = {
+  m_pos : int;  (** index of this consultation in the trail *)
+  m_time : int;  (** virtual time of the tie *)
+  m_owners : int option array;  (** tied events' owner labels *)
+  m_seqs : int array;  (** tied events' queue insertion seqs *)
+  m_creators : int array;  (** seq of each tied event's creator, -1 = setup *)
+  m_cands : int array;
+      (** candidate universe (sleep's owner-class indices): DPOR
+          additions are capped to this set *)
+  m_chosen : int;  (** tie index actually fired *)
+}
+
+val dependent : int option -> int option -> bool
+(** Owner-label dependence: same owner, or either unowned. *)
+
+val backtracks : meta list -> (int * int) list
+(** [backtracks metas] analyses one execution's consultations (in
+    execution order) and returns the backtrack points to add, each a
+    [(m_pos, tie index)] pair with the index drawn from that
+    consultation's [m_cands].  Deduplicated, in discovery order.
+    Events cut off by pruning or the depth bound are treated as
+    pseudo-fired so their races still seed reversals — required for
+    soundness when DPOR runs with fingerprint pruning. *)

@@ -14,11 +14,20 @@ let entries_of_choices choices =
 let choices_of_entries entries =
   List.map (fun e -> (e.e_domain, entry_value e)) entries
 
+type reduction = Rnone | Rsleep | Rdpor
+
+let reduction_name = function
+  | Rnone -> "none"
+  | Rsleep -> "sleep"
+  | Rdpor -> "dpor"
+
 type config = {
   depth : int;
   fault_budget : int;
-  reduce : bool;
+  reduction : reduction;
   prune : bool;
+  audit : int;
+  frontier : int;
   max_schedules : int;
   stop_at_first : bool;
 }
@@ -27,8 +36,10 @@ let default_config =
   {
     depth = 12;
     fault_budget = 0;
-    reduce = true;
+    reduction = Rsleep;
     prune = false;
+    audit = 0;
+    frontier = 16;
     max_schedules = max_int;
     stop_at_first = false;
   }
@@ -38,49 +49,105 @@ type exec = {
   x_branches : int;
   x_truncated : bool;
   x_pruned : bool;
+  x_audited : bool;
   x_violations : string list;
+  x_audit_violations : string list;
   x_digest : string;
 }
+
+let array_index a v =
+  let n = Array.length a in
+  let rec go i = if i >= n then None else if a.(i) = v then Some i else go (i + 1) in
+  go 0
 
 (* ------------------------------------------------------------ one run ---
 
    Stateless exploration: every execution re-runs the model from scratch.
    The oracle serves the [prefix] verbatim (the choices that pin this
    execution into its subtree), then makes fresh default choices, logging
-   every consultation into the trail.  Backtracking picks the deepest
-   fresh entry with an untried candidate and re-runs with a longer
-   prefix. *)
+   every consultation into the trail.  Under [Rdpor] every "sched"
+   consultation additionally records a {!Dpor.meta} so the caller can
+   race-analyse the finished run; the emitted trail entries are then
+   single-candidate (the DPOR loop owns branching), while branch
+   accounting still goes by the owner-class universe so depth, truncation
+   and prune bookkeeping line up exactly with sleep's.
 
-let run_once ~config ~memo ~prefix (model : Models.t) =
+   [memo], when present, enables fingerprint pruning: at each fresh
+   "sched" consultation the model's state hash (fed the unspent fault
+   budget, see {!Models.fp_ctx}) is looked up; a state already explored
+   with at least as much remaining depth aborts the run via {!Pruned}.
+   [actr] counts would-be prunes across a partition: with [config.audit]
+   = N > 0, every Nth one is *audited* instead — the execution continues
+   with schedule choices forced to defaults (no sched branching, no
+   further pruning, no race metas) while fault consultations stay eager,
+   and its violations are collected separately; a violation surfacing
+   only in audited continuations convicts the fingerprint of pruning
+   live subtrees. *)
+
+let run_once ~config ~memo ~actr ~prefix (model : Models.t) =
   let inst = model.Models.make () in
   let trail = ref [] in
+  let metas = ref [] in
   let len = ref 0 in
   let branches = ref 0 in
   let drops = ref 0 in
   let truncated = ref false in
+  let forced = ref false in
+  let audited = ref false in
   let prefix = Array.of_list prefix in
-  (* Candidate answers for a fresh consultation, default first. *)
+  let dpor = config.reduction = Rdpor in
+  (* The owner-class universe of a "sched" tie: the candidate answers
+     sleep-set-style reduction branches over.  Same-tick events owned by
+     distinct processes commute (deliveries land strictly later than the
+     tick that sends them), so only the orderings within the first
+     event's owner class need exploring; any unowned tied event disables
+     the reduction for this tick. *)
+  let class_universe (c : Engine.choice) =
+    let k = c.Engine.c_arity in
+    let all = Array.init k Fun.id in
+    match config.reduction with
+    | Rnone -> all
+    | Rsleep | Rdpor ->
+        let owners = c.Engine.c_owners in
+        if Array.exists Option.is_none owners then all
+        else
+          let o0 = owners.(0) in
+          Array.of_list (List.filter (fun i -> owners.(i) = o0) (Array.to_list all))
+  in
+  let record_meta (c : Engine.choice) ~pos ~cands ~chosen =
+    metas :=
+      {
+        Dpor.m_pos = pos;
+        m_time = c.Engine.c_time;
+        m_owners = c.Engine.c_owners;
+        m_seqs = c.Engine.c_seqs;
+        m_creators = c.Engine.c_creators;
+        m_cands = cands;
+        m_chosen = chosen;
+      }
+      :: !metas
+  in
+  (* DPOR-side accounting for one "sched" consultation answering [v]:
+     count the branchable point by the class universe (the emitted entry
+     is single-candidate), apply the depth bound, and record the meta —
+     with the universe collapsed to the chosen value past the bound, so
+     no backtrack point can ever target a truncated consultation. *)
+  let dpor_sched (c : Engine.choice) ~pos v =
+    let uni = class_universe c in
+    if Array.length uni > 1 then
+      if !branches >= config.depth then begin
+        truncated := true;
+        record_meta c ~pos ~cands:[| v |] ~chosen:v
+      end
+      else begin
+        incr branches;
+        record_meta c ~pos ~cands:uni ~chosen:v
+      end
+    else record_meta c ~pos ~cands:uni ~chosen:v
+  in
   let fresh_cands (c : Engine.choice) =
     match c.Engine.c_domain with
-    | "sched" ->
-        let k = c.Engine.c_arity in
-        let all = Array.init k Fun.id in
-        if not config.reduce then all
-        else begin
-          (* Sleep-set-style reduction: same-tick events owned by
-             distinct processes commute (deliveries land strictly later
-             than the tick that sends them), so only the orderings
-             within the first event's owner class need exploring.  Any
-             unowned event disables the reduction for this tick. *)
-          let owners = c.Engine.c_owners in
-          if Array.exists Option.is_none owners then all
-          else
-            let o0 = owners.(0) in
-            Array.of_list
-              (List.filter
-                 (fun i -> owners.(i) = o0)
-                 (Array.to_list all))
-        end
+    | "sched" -> class_universe c
     | "net.fault" -> if !drops < config.fault_budget then [| 0; 1 |] else [| 0 |]
     | _ -> [| 0 |] (* open-ended domains always take the default *)
   in
@@ -89,6 +156,33 @@ let run_once ~config ~memo ~prefix (model : Models.t) =
     if Array.length e.e_cands > 1 then incr branches;
     trail := e :: !trail;
     incr len
+  in
+  (* Audited continuation: schedule choices are forced to defaults — no
+     sched branching, no race metas, no further pruning — but fault
+     consultations keep their eager candidates.  Faults are input
+     nondeterminism, not ordering: collapsing them here would also hide
+     every drop-dependent subtree behind the collision from the
+     backtracking loop, which is exactly the class of masked bug the
+     audit exists to surface. *)
+  let forced_answer (c : Engine.choice) =
+    match c.Engine.c_domain with
+    | "net.fault" ->
+        let cands =
+          if !drops < config.fault_budget then [| 0; 1 |] else [| 0 |]
+        in
+        let cands =
+          if Array.length cands > 1 && !branches >= config.depth then begin
+            truncated := true;
+            [| cands.(0) |]
+          end
+          else cands
+        in
+        let e = { e_domain = c.Engine.c_domain; e_cands = cands; e_pos = 0 } in
+        note e;
+        entry_value e
+    | _ ->
+        note { e_domain = c.Engine.c_domain; e_cands = [| 0 |]; e_pos = 0 };
+        0
   in
   let choose (c : Engine.choice) =
     let i = !len in
@@ -103,49 +197,70 @@ let run_once ~config ~memo ~prefix (model : Models.t) =
         else v
       in
       let e =
-        if v = entry_value e then e
-        else { e with e_cands = [| v |]; e_pos = 0 }
+        if v = entry_value e then e else { e with e_cands = [| v |]; e_pos = 0 }
       in
+      if dpor && c.Engine.c_domain = "sched" then dpor_sched c ~pos:i v;
       note e;
       v
     end
+    else if !forced then forced_answer c
     else begin
-      (if config.prune && c.Engine.c_domain = "sched" then
+      (if c.Engine.c_domain = "sched" then
          match (memo, inst.Models.fingerprint) with
          | Some tbl, Some fp ->
-             let h = fp () in
+             let h = fp { Models.drops_left = config.fault_budget - !drops } in
              let remaining = config.depth - !branches in
              (match Hashtbl.find_opt tbl h with
-             | Some r when r >= remaining -> raise_notrace Pruned
+             | Some r when r >= remaining ->
+                 incr actr;
+                 if config.audit > 0 && !actr mod config.audit = 0 then begin
+                   forced := true;
+                   audited := true
+                 end
+                 else raise_notrace Pruned
              | _ -> Hashtbl.replace tbl h remaining)
          | _ -> ());
-      let cands = fresh_cands c in
-      let cands =
-        if Array.length cands > 1 && !branches >= config.depth then begin
-          truncated := true;
-          [| cands.(0) |]
-        end
-        else cands
-      in
-      let e = { e_domain = c.Engine.c_domain; e_cands = cands; e_pos = 0 } in
-      note e;
-      entry_value e
+      if !forced then forced_answer c
+      else if dpor && c.Engine.c_domain = "sched" then begin
+        let uni = class_universe c in
+        let v = uni.(0) in
+        dpor_sched c ~pos:i v;
+        note { e_domain = "sched"; e_cands = [| v |]; e_pos = 0 };
+        v
+      end
+      else begin
+        let cands = fresh_cands c in
+        let cands =
+          if Array.length cands > 1 && !branches >= config.depth then begin
+            truncated := true;
+            [| cands.(0) |]
+          end
+          else cands
+        in
+        let e = { e_domain = c.Engine.c_domain; e_cands = cands; e_pos = 0 } in
+        note e;
+        entry_value e
+      end
     end
   in
-  let pruned =
+  let cut =
     try
       inst.Models.run { Engine.choose };
       false
     with Pruned -> true
   in
-  {
-    x_trail = List.rev !trail;
-    x_branches = !branches;
-    x_truncated = !truncated;
-    x_pruned = pruned;
-    x_violations = (if pruned then [] else inst.Models.violations ());
-    x_digest = (if pruned then "pruned" else inst.Models.digest ());
-  }
+  let pruned = cut || !audited in
+  ( {
+      x_trail = List.rev !trail;
+      x_branches = !branches;
+      x_truncated = !truncated;
+      x_pruned = pruned;
+      x_audited = !audited;
+      x_violations = (if pruned then [] else inst.Models.violations ());
+      x_audit_violations = (if !audited then inst.Models.violations () else []);
+      x_digest = (if pruned then "pruned" else inst.Models.digest ());
+    },
+    List.rev !metas )
 
 (* Deepest entry at index >= [pin] with an untried candidate; the next
    prefix replays everything before it and takes that candidate. *)
@@ -157,8 +272,7 @@ let next_prefix ~pin trail =
       let e = arr.(i) in
       if e.e_pos + 1 < Array.length e.e_cands then
         Some
-          (Array.to_list (Array.sub arr 0 i)
-          @ [ { e with e_pos = e.e_pos + 1 } ])
+          (Array.to_list (Array.sub arr 0 i) @ [ { e with e_pos = e.e_pos + 1 } ])
       else find (i - 1)
   in
   find (Array.length arr - 1)
@@ -172,10 +286,12 @@ type report = {
   r_executions : int;
   r_truncated : int;
   r_pruned : int;
+  r_audited : int;
   r_capped : bool;
   r_max_branches : int;
   r_violating : int;
   r_violations : string list;
+  r_audit_failures : string list;
   r_counterexample : exec option;
   r_wall : float;
 }
@@ -184,24 +300,77 @@ type part = {
   p_execs : int;
   p_trunc : int;
   p_pruned : int;
+  p_audited : int;
   p_capped : bool;
   p_max_branches : int;
   p_violating : int;
   p_violations : string list;
+  p_audit_violations : string list;
   p_ce : exec option;
 }
 
+(* Shared per-partition counters + the fold both exploration loops use. *)
+type counters = {
+  mutable k_execs : int;
+  mutable k_trunc : int;
+  mutable k_pruned : int;
+  mutable k_audited : int;
+  mutable k_capped : bool;
+  mutable k_max_branches : int;
+  mutable k_violating : int;
+  mutable k_violations : string list;
+  mutable k_audit_violations : string list;
+  mutable k_ce : exec option;
+}
+
+let fresh_counters () =
+  {
+    k_execs = 0;
+    k_trunc = 0;
+    k_pruned = 0;
+    k_audited = 0;
+    k_capped = false;
+    k_max_branches = 0;
+    k_violating = 0;
+    k_violations = [];
+    k_audit_violations = [];
+    k_ce = None;
+  }
+
+let count_exec k (x : exec) =
+  k.k_execs <- k.k_execs + 1;
+  if x.x_truncated then k.k_trunc <- k.k_trunc + 1;
+  if x.x_pruned then k.k_pruned <- k.k_pruned + 1;
+  if x.x_audited then begin
+    k.k_audited <- k.k_audited + 1;
+    k.k_audit_violations <- List.rev_append x.x_audit_violations k.k_audit_violations
+  end;
+  if x.x_branches > k.k_max_branches then k.k_max_branches <- x.x_branches;
+  if x.x_violations <> [] then begin
+    k.k_violating <- k.k_violating + 1;
+    k.k_violations <- List.rev_append x.x_violations k.k_violations;
+    if k.k_ce = None then k.k_ce <- Some x
+  end
+
+let part_of_counters k =
+  {
+    p_execs = k.k_execs;
+    p_trunc = k.k_trunc;
+    p_pruned = k.k_pruned;
+    p_audited = k.k_audited;
+    p_capped = k.k_capped;
+    p_max_branches = k.k_max_branches;
+    p_violating = k.k_violating;
+    p_violations = k.k_violations;
+    p_audit_violations = k.k_audit_violations;
+    p_ce = k.k_ce;
+  }
+
 let explore_partition ~config (model : Models.t) prefix0 =
   let memo = if config.prune then Some (Hashtbl.create 1024) else None in
-  let execs = ref 0 in
-  let trunc = ref 0 in
-  let pruned = ref 0 in
-  let capped = ref false in
-  let max_branches = ref 0 in
-  let violating = ref 0 in
-  let violations = ref [] in
-  let ce = ref None in
-  (* Root choices below [pin] belong to other partitions: never backtrack
+  let actr = ref 0 in
+  let k = fresh_counters () in
+  (* Choices below [pin] belong to other partitions: never backtrack
      into them. *)
   let pin = List.length prefix0 in
   let next = ref (Some prefix0) in
@@ -210,41 +379,161 @@ let explore_partition ~config (model : Models.t) prefix0 =
     match !next with
     | None -> continue := false
     | Some prefix ->
-        if !execs >= config.max_schedules then begin
-          capped := true;
+        if k.k_execs >= config.max_schedules then begin
+          k.k_capped <- true;
           continue := false
         end
         else begin
-          let x = run_once ~config ~memo ~prefix model in
-          incr execs;
-          if x.x_truncated then incr trunc;
-          if x.x_pruned then incr pruned;
-          if x.x_branches > !max_branches then max_branches := x.x_branches;
-          if x.x_violations <> [] then begin
-            incr violating;
-            violations := List.rev_append x.x_violations !violations;
-            if !ce = None then ce := Some x
-          end;
-          if config.stop_at_first && !ce <> None then continue := false
+          let x, _metas = run_once ~config ~memo ~actr ~prefix model in
+          count_exec k x;
+          if config.stop_at_first && k.k_ce <> None then continue := false
           else next := next_prefix ~pin x.x_trail
         end
   done;
-  {
-    p_execs = !execs;
-    p_trunc = !trunc;
-    p_pruned = !pruned;
-    p_capped = !capped;
-    p_max_branches = !max_branches;
-    p_violating = !violating;
-    p_violations = !violations;
-    p_ce = !ce;
-  }
+  part_of_counters k
+
+(* ------------------------------------------------- DPOR partition loop --
+
+   Stateful DPOR: instead of enumerating every candidate at every choice
+   point (the sleep loop's [next_prefix]), keep an explicit stack of
+   choice points with done/todo sets.  "sched" points start with an
+   empty todo — only the race analysis ({!Dpor.backtracks}) adds
+   reversals, and only from within the consultation's class universe, so
+   the DPOR tree is a subtree of sleep's.  Eager domains ("net.fault")
+   still enumerate all candidates up front: drops are not schedule races
+   and have no commutativity structure to exploit.
+
+   Fingerprint caching is always on here (a memo table is created
+   unconditionally; it is inert for models without a fingerprint): DPOR
+   revisits states more bluntly than sleep when races abound, and the
+   budget-sound fingerprint makes cutting those revisits safe.  The
+   combination stays sound because pruned/truncated runs treat the
+   unfired remainder of their last tick as pseudo-fired in the analysis
+   (see {!Dpor}), so every reversal into the cached subtree is seeded
+   before the run is abandoned. *)
+
+type dnode = {
+  dn_domain : string;
+  dn_cands : int array;  (* trail entry's candidate array (eager domains) *)
+  mutable dn_value : int;
+  mutable dn_done : int list;
+  mutable dn_todo : int list;
+}
+
+let entry_of_node nd =
+  if nd.dn_domain = "sched" then
+    { e_domain = "sched"; e_cands = [| nd.dn_value |]; e_pos = 0 }
+  else
+    match array_index nd.dn_cands nd.dn_value with
+    | Some p -> { e_domain = nd.dn_domain; e_cands = nd.dn_cands; e_pos = p }
+    | None -> { e_domain = nd.dn_domain; e_cands = [| nd.dn_value |]; e_pos = 0 }
+
+let explore_partition_dpor ~config (model : Models.t) prefix0 =
+  let memo = Some (Hashtbl.create 1024) in
+  let actr = ref 0 in
+  let k = fresh_counters () in
+  let pin = List.length prefix0 in
+  let stack = ref [] in
+  let stack_len = ref 0 in
+  let push nd =
+    stack := !stack @ [ nd ];
+    incr stack_len
+  in
+  List.iter
+    (fun e ->
+      push
+        {
+          dn_domain = e.e_domain;
+          dn_cands = e.e_cands;
+          dn_value = entry_value e;
+          dn_done = [ entry_value e ];
+          dn_todo = [];
+        })
+    prefix0;
+  let next = ref (Some prefix0) in
+  let continue = ref true in
+  while !continue do
+    match !next with
+    | None -> continue := false
+    | Some prefix ->
+        if k.k_execs >= config.max_schedules then begin
+          k.k_capped <- true;
+          continue := false
+        end
+        else begin
+          let x, metas = run_once ~config ~memo ~actr ~prefix model in
+          count_exec k x;
+          (* grow the stack with this run's fresh choice points *)
+          List.iteri
+            (fun pos e ->
+              if pos >= !stack_len then begin
+                let v = entry_value e in
+                let todo =
+                  if e.e_domain = "sched" then []
+                  else List.filter (fun c -> c <> v) (Array.to_list e.e_cands)
+                in
+                push
+                  {
+                    dn_domain = e.e_domain;
+                    dn_cands = e.e_cands;
+                    dn_value = v;
+                    dn_done = [ v ];
+                    dn_todo = todo;
+                  }
+              end)
+            x.x_trail;
+          (* fold the race analysis into the todo sets *)
+          List.iter
+            (fun (pos, cand) ->
+              if pos >= pin && pos < !stack_len then begin
+                let nd = List.nth !stack pos in
+                if
+                  nd.dn_domain = "sched"
+                  && (not (List.mem cand nd.dn_done))
+                  && not (List.mem cand nd.dn_todo)
+                then nd.dn_todo <- nd.dn_todo @ [ cand ]
+              end)
+            (Dpor.backtracks metas);
+          if config.stop_at_first && k.k_ce <> None then continue := false
+          else begin
+            (* backtrack to the deepest pending reversal *)
+            let rec deepest i best = function
+              | [] -> best
+              | nd :: rest ->
+                  deepest (i + 1)
+                    (if i >= pin && nd.dn_todo <> [] then Some i else best)
+                    rest
+            in
+            match deepest 0 None !stack with
+            | None -> next := None
+            | Some pos ->
+                let nd = List.nth !stack pos in
+                let cand = List.hd nd.dn_todo in
+                nd.dn_todo <- List.tl nd.dn_todo;
+                nd.dn_done <- cand :: nd.dn_done;
+                nd.dn_value <- cand;
+                stack := List.filteri (fun i _ -> i <= pos) !stack;
+                stack_len := pos + 1;
+                next := Some (List.map entry_of_node !stack)
+          end
+        end
+  done;
+  part_of_counters k
 
 let merge_parts ~model ~config ~started parts =
   let sum f = Array.fold_left (fun acc p -> acc + f p) 0 parts in
   let violations =
     List.sort_uniq compare
       (Array.fold_left (fun acc p -> List.rev_append p.p_violations acc) [] parts)
+  in
+  let audit_violations =
+    List.sort_uniq compare
+      (Array.fold_left
+         (fun acc p -> List.rev_append p.p_audit_violations acc)
+         [] parts)
+  in
+  let audit_failures =
+    List.filter (fun v -> not (List.mem v violations)) audit_violations
   in
   let ce =
     Array.fold_left
@@ -258,69 +547,104 @@ let merge_parts ~model ~config ~started parts =
     r_executions = sum (fun p -> p.p_execs);
     r_truncated = sum (fun p -> p.p_trunc);
     r_pruned = sum (fun p -> p.p_pruned);
+    r_audited = sum (fun p -> p.p_audited);
     r_capped = Array.exists (fun p -> p.p_capped) parts;
     r_max_branches =
       Array.fold_left (fun acc p -> max acc p.p_max_branches) 0 parts;
     r_violating = sum (fun p -> p.p_violating);
     r_violations = violations;
+    r_audit_failures = audit_failures;
     r_counterexample = ce;
     r_wall = Unix.gettimeofday () -. started;
   }
 
+(* --------------------------------------------------- frontier expansion --
+
+   Parallelism needs more partitions than the root branch point alone
+   provides (its arity caps the useful job count and its subtrees can be
+   wildly unbalanced).  Discovery runs expand the frontier breadth-first:
+   split the first position with more than one candidate (under DPOR,
+   more than one class candidate — reversals at pinned positions are
+   covered by splitting the full universe eagerly), replacing the prefix
+   by one child per candidate, until [config.frontier] work items exist
+   or nothing splits.  The target is a config constant — never derived
+   from the job count — and the final list is sorted by choice values,
+   so the partition list, and with it every count and the chosen
+   counterexample, is identical at every [--jobs].  Discovery runs are
+   not counted: each is re-run by exactly one partition. *)
+
+let expand_frontier ~config (model : Models.t) =
+  let target = max 1 config.frontier in
+  let split prefix =
+    let x, metas = run_once ~config ~memo:None ~actr:(ref 0) ~prefix model in
+    let mcands = Hashtbl.create 16 in
+    List.iter (fun m -> Hashtbl.replace mcands m.Dpor.m_pos m.Dpor.m_cands) metas;
+    let trail = Array.of_list x.x_trail in
+    let universe pos e =
+      if config.reduction = Rdpor && e.e_domain = "sched" then
+        match Hashtbl.find_opt mcands pos with
+        | Some u -> u
+        | None -> [| entry_value e |]
+      else e.e_cands
+    in
+    let plen = List.length prefix in
+    let rec find pos =
+      if pos >= Array.length trail then None
+      else
+        let e = trail.(pos) in
+        let u = universe pos e in
+        if Array.length u > 1 then Some (pos, e, u) else find (pos + 1)
+    in
+    match find plen with
+    | None -> None
+    | Some (pos, e, u) ->
+        let head = Array.to_list (Array.sub trail 0 pos) in
+        Some
+          (List.init (Array.length u) (fun j ->
+               let child =
+                 if config.reduction = Rdpor && e.e_domain = "sched" then
+                   { e_domain = "sched"; e_cands = [| u.(j) |]; e_pos = 0 }
+                 else { e with e_pos = j }
+               in
+               head @ [ child ]))
+  in
+  let leaves = ref [] in
+  let queue = ref [ [] ] in
+  let continue = ref true in
+  while !continue do
+    if List.length !leaves + List.length !queue >= target then continue := false
+    else
+      match !queue with
+      | [] -> continue := false
+      | p :: rest -> (
+          match split p with
+          | None ->
+              queue := rest;
+              leaves := p :: !leaves
+          | Some children -> queue := rest @ children)
+  done;
+  List.sort
+    (fun a b -> compare (choices_of_entries a) (choices_of_entries b))
+    (!leaves @ !queue)
+
 let explore ?(jobs = 1) ~config (model : Models.t) =
   let started = Unix.gettimeofday () in
-  (* Discovery: one default execution finds the root branch point.  Its
-     results are not counted — partition 0 re-runs the same execution. *)
-  let disco =
-    run_once ~config:{ config with prune = false } ~memo:None ~prefix:[] model
+  let partitions = Array.of_list (expand_frontier ~config model) in
+  let run_partition =
+    match config.reduction with
+    | Rdpor -> explore_partition_dpor ~config model
+    | Rnone | Rsleep -> explore_partition ~config model
   in
-  let root_index =
-    let rec find i = function
-      | [] -> None
-      | e :: rest ->
-          if Array.length e.e_cands > 1 then Some i else find (i + 1) rest
-    in
-    find 0 disco.x_trail
-  in
-  match root_index with
-  | None ->
-      (* Branch-free space: the discovery run is the whole exploration. *)
-      let part =
-        {
-          p_execs = 1;
-          p_trunc = (if disco.x_truncated then 1 else 0);
-          p_pruned = 0;
-          p_capped = false;
-          p_max_branches = disco.x_branches;
-          p_violating = (if disco.x_violations <> [] then 1 else 0);
-          p_violations = disco.x_violations;
-          p_ce = (if disco.x_violations <> [] then Some disco else None);
-        }
-      in
-      merge_parts ~model:model.Models.name ~config ~started [| part |]
-  | Some root_index ->
-      let head = Array.of_list disco.x_trail in
-      let root = head.(root_index) in
-      let prefixes =
-        Array.init
-          (Array.length root.e_cands)
-          (fun j ->
-            Array.to_list (Array.sub head 0 root_index)
-            @ [ { root with e_pos = j } ])
-      in
-      let parts =
-        Exec.Pool.map ~jobs
-          (fun prefix -> explore_partition ~config model prefix)
-          prefixes
-      in
-      merge_parts ~model:model.Models.name ~config ~started parts
+  let parts = Exec.Pool.map ~jobs run_partition partitions in
+  merge_parts ~model:model.Models.name ~config ~started parts
 
 (* ------------------------------------------------------------- replay -- *)
 
 let replay ~config (model : Models.t) entries =
-  run_once
-    ~config:{ config with prune = false; stop_at_first = false }
-    ~memo:None ~prefix:entries model
+  fst
+    (run_once
+       ~config:{ config with prune = false; audit = 0; stop_at_first = false }
+       ~memo:None ~actr:(ref 0) ~prefix:entries model)
 
 (* --------------------------------------------------------- minimization --
 
@@ -379,8 +703,9 @@ let nondefault_count entries =
 
 let pp_config ppf c =
   Format.fprintf ppf
-    "depth=%d fault-budget=%d reduce=%b prune=%b%s%s" c.depth c.fault_budget
-    c.reduce c.prune
+    "depth=%d fault-budget=%d reduction=%s prune=%b frontier=%d%s%s%s" c.depth
+    c.fault_budget (reduction_name c.reduction) c.prune c.frontier
+    (if c.audit > 0 then Printf.sprintf " audit=%d" c.audit else "")
     (if c.max_schedules = max_int then ""
      else Printf.sprintf " max-schedules=%d" c.max_schedules)
     (if c.stop_at_first then " stop-at-first" else "")
@@ -388,10 +713,18 @@ let pp_config ppf c =
 let pp_report_stable ppf r =
   Format.fprintf ppf "mcheck report: model=%s@." r.r_model;
   Format.fprintf ppf "  config: %a@." pp_config r.r_config;
-  Format.fprintf ppf "  root partitions: %d@." r.r_partitions;
+  Format.fprintf ppf "  partitions: %d@." r.r_partitions;
   Format.fprintf ppf "  executions: %d (truncated %d, pruned %d%s)@."
     r.r_executions r.r_truncated r.r_pruned
     (if r.r_capped then ", CAPPED" else "");
+  if r.r_config.audit > 0 then begin
+    Format.fprintf ppf "  collision audit: %d continuations, %d failures@."
+      r.r_audited
+      (List.length r.r_audit_failures);
+    List.iter
+      (fun v -> Format.fprintf ppf "    ! unreported pruned violation: %s@." v)
+      r.r_audit_failures
+  end;
   Format.fprintf ppf "  exhaustive within bounds: %b@."
     ((not r.r_capped) && (not r.r_config.stop_at_first) && r.r_truncated = 0);
   Format.fprintf ppf "  max branch points in one execution: %d@."

@@ -14,20 +14,43 @@
       every schedule that differs from the default in at most [depth]
       choice points".
     - [fault_budget] caps oracle-injected message drops.
-    - [reduce] collapses same-tick events owned by distinct processes
-      (network deliveries to distinct recipients) to a single ordering —
-      sleep-set-style partial-order reduction, sound under the
-      recipient-locality of deliveries; any unowned tied event disables
-      it for that tick.
+    - [reduction] picks the partial-order reduction:
+      {ul
+      {- [Rnone] — enumerate every ordering of every tie.}
+      {- [Rsleep] — collapse same-tick events owned by distinct
+         processes (network deliveries to distinct recipients) to a
+         single ordering; sound under the recipient-locality of
+         deliveries; any unowned tied event disables it for that tick.}
+      {- [Rdpor] — dynamic partial-order reduction: explore only the
+         default ordering plus the reversals the post-run race analysis
+         ({!Dpor.backtracks}) demands, each capped to the sleep class
+         universe, so the DPOR tree is always a subtree of sleep's.
+         Fingerprint caching is enabled automatically when the model
+         has a fingerprint — it is what lets DPOR revisit strictly
+         fewer schedules than sleep on models whose canonical states
+         converge across within-class permutations.}}
     - [prune] memoizes model fingerprints with their remaining depth and
       abandons executions whose state was already explored at least as
-      deeply.  Opt-in: it needs a model fingerprint that captures the
-      {e complete} state (see {!Models.instance.fingerprint}).
+      deeply.  Sound at any fault budget {e provided} the fingerprint
+      folds in the wire state and remaining budget (see
+      {!Models.instance.fingerprint}).
+    - [audit] (N > 0) re-checks the fingerprint: every Nth would-be
+      prune continues instead, with schedule choices forced to defaults
+      but fault consultations kept eager (faults are input
+      nondeterminism — collapsing them would hide drop-dependent
+      subtrees from the backtracking loop, exactly the masked bugs the
+      audit hunts).  A violation found only by such a continuation is
+      reported as an audit failure — evidence the fingerprint collides
+      (or omits live state) and pruning lost a bug.  An audited run
+      replaces a pruned one 1:1, though its eager fault entries can open
+      subtrees a plain prune would have hidden; the Nth-counter is
+      per-partition, so reports stay deterministic at every job count.
 
-    Parallelism splits the frontier at the root branch point: each root
-    candidate becomes a partition explored independently (own memo
-    table), and partitions run through {!Exec.Pool} — results merge in
-    partition order, so reports are byte-identical at every job count. *)
+    Parallelism: discovery runs expand a breadth-first frontier of
+    [frontier] prefix partitions (a config constant, never derived from
+    the job count); partitions run through {!Exec.Pool} and merge in
+    sorted prefix order, so reports are byte-identical at every job
+    count. *)
 
 exception Pruned
 (** Raised by the oracle (outside any process fiber) to abandon a
@@ -49,24 +72,40 @@ val entries_of_choices : (string * int) list -> entry list
 
 val choices_of_entries : entry list -> (string * int) list
 
+(** Which partial-order reduction the sweep applies. *)
+type reduction = Rnone | Rsleep | Rdpor
+
+val reduction_name : reduction -> string
+(** ["none"], ["sleep"], ["dpor"] — the CLI spelling. *)
+
 type config = {
   depth : int;  (** max branchable choice points per execution *)
   fault_budget : int;  (** max oracle-injected drops per execution *)
-  reduce : bool;  (** commutative-delivery reduction *)
-  prune : bool;  (** fingerprint pruning (needs a model fingerprint) *)
-  max_schedules : int;  (** cap per root partition; [max_int] = none *)
+  reduction : reduction;  (** partial-order reduction mode *)
+  prune : bool;  (** fingerprint pruning (needs a model fingerprint);
+                     [Rdpor] enables it implicitly *)
+  audit : int;  (** audit every Nth would-be prune; 0 = off *)
+  frontier : int;  (** target number of parallel partitions *)
+  max_schedules : int;  (** cap per partition; [max_int] = none *)
   stop_at_first : bool;  (** stop each partition at its first violation *)
 }
 
 val default_config : config
-(** depth 12, no faults, reduction on, pruning off, no caps. *)
+(** depth 12, no faults, sleep reduction, pruning off, audit off,
+    frontier 16, no caps. *)
 
 type exec = {
   x_trail : entry list;  (** every consultation, in order *)
-  x_branches : int;  (** how many had more than one candidate *)
+  x_branches : int;  (** how many were branchable choice points *)
   x_truncated : bool;  (** hit the depth bound *)
-  x_pruned : bool;  (** abandoned by fingerprint pruning *)
+  x_pruned : bool;  (** abandoned by fingerprint pruning (audited
+                        continuations count here too) *)
+  x_audited : bool;  (** a would-be prune that ran on under forced
+                         defaults to audit the fingerprint *)
   x_violations : string list;
+  x_audit_violations : string list;
+      (** violations found by the audited continuation only — not part
+          of the report's violation set; compared against it instead *)
   x_digest : string;  (** the model's outcome summary *)
 }
 
@@ -74,13 +113,17 @@ type report = {
   r_model : string;
   r_config : config;
   r_partitions : int;
-  r_executions : int;  (** executions run (discovery probe excluded) *)
+  r_executions : int;  (** executions run (discovery probes excluded) *)
   r_truncated : int;
   r_pruned : int;
+  r_audited : int;  (** audited continuations among the pruned *)
   r_capped : bool;  (** some partition hit [max_schedules] *)
   r_max_branches : int;
   r_violating : int;  (** executions with at least one violation *)
   r_violations : string list;  (** distinct violation lines, sorted *)
+  r_audit_failures : string list;
+      (** violations audited continuations found that the sweep's
+          violation set misses — each one convicts the fingerprint *)
   r_counterexample : exec option;
       (** first violating execution, in deterministic partition order *)
   r_wall : float;
@@ -94,7 +137,9 @@ val explore : ?jobs:int -> config:config -> Models.t -> report
 val replay : config:config -> Models.t -> entry list -> exec
 (** Re-execute one trail: the entries answer the oracle verbatim (sched
     answers are clamped into the tied range if the trail drifted), every
-    later consultation takes the default.  Pruning is disabled. *)
+    later consultation takes the default.  Pruning and auditing are
+    disabled; works for trails from any reduction mode and from the PCT
+    sampler, since all record plain (domain, answer) sequences. *)
 
 val minimize :
   config:config -> ?max_replays:int -> Models.t -> entry list -> entry list option

@@ -3,11 +3,13 @@ module Async_net = Netsim.Async_net
 module Types = Consensus.Types
 module Bool_monitor = Consensus.Monitor.Make (Consensus.Objects.Bool_value)
 
+type fp_ctx = { drops_left : int }
+
 type instance = {
   run : Engine.oracle -> unit;
   violations : unit -> string list;
   digest : unit -> string;
-  fingerprint : (unit -> int) option;
+  fingerprint : (fp_ctx -> int) option;
 }
 
 type t = { name : string; describe : string; make : unit -> instance }
@@ -435,29 +437,61 @@ let toy_ac ?(broken = false) ?(n = 3) ?inputs ~check_termination () =
                  outputs)))
         (match !outcome with Some o -> outcome_str o | None -> "unrun")
     in
-    (* The fingerprint hashes what determines the protocol's future when
-       no messages can be lost: every delivered envelope per node, each
-       process's phase, and the outputs so far (sent-but-undelivered
-       messages are a function of phases and inboxes when nothing drops).
-       With a positive fault budget two equal-looking states can differ
-       in which in-flight messages were dropped, so pruning is only
-       sound at budget 0 — the explorer documents this and keeps pruning
-       opt-in. *)
-    let fingerprint () =
+    (* The fingerprint hashes what determines the protocol's future —
+       at ANY fault budget, not just 0: per-node inbox views, phases,
+       outputs so far, the envelopes still on the wire, and the drops
+       the explorer may still inject ([ctx.drops_left]).  Two states
+       that differ only in which in-flight message was dropped have
+       different wire multisets, and two states reached by spending
+       different fractions of the budget differ in [drops_left], so
+       equal hashes really do mean equal reachable futures.
+
+       Inbox views are canonicalized by phase, which is where DPOR's
+       strict win over sleep-set reduction on this model comes from:
+       - stage 3 (done): the inbox can never be read again — drop it.
+       - stage 2 (flags awaited): the proposal prefix was consumed into
+         the already-broadcast flag; only Flag envelopes, in arrival
+         order, can still influence the process.
+       - stages 0-1: the full inbox in arrival order (proposal order
+         decides the flag about to be computed).
+       Distinct within-class delivery permutations that sleep must
+       enumerate converge on equal canonical states once the consumed
+       prefix stops mattering, and the fingerprint cache cuts them. *)
+    let fingerprint (ctx : fp_ctx) =
       match !netref with
       | None -> 0
       | Some net ->
           let snapshot =
             List.init n (fun i ->
-                List.map
-                  (fun env -> (env.Async_net.src, env.Async_net.payload))
-                  (Async_net.inbox net i))
+                match stages.(i) with
+                | 3 -> []
+                | 2 ->
+                    List.filter_map
+                      (fun env ->
+                        match env.Async_net.payload with
+                        | Flag _ -> Some (env.Async_net.src, env.Async_net.payload)
+                        | Propose _ -> None)
+                      (Async_net.inbox net i)
+                | _ ->
+                    List.map
+                      (fun env -> (env.Async_net.src, env.Async_net.payload))
+                      (Async_net.inbox net i))
+          in
+          let wire =
+            List.map
+              (fun env ->
+                (env.Async_net.src, env.Async_net.dst, env.Async_net.payload))
+              (Async_net.in_flight net)
           in
           (* Not [Hashtbl.hash]: its default limits examine only ~10
              meaningful leaves, so two states differing deep in an inbox
              hash equal and the explorer would prune live subtrees. *)
           Hashtbl.hash_param 4096 4096
-            (snapshot, Array.to_list stages, Array.to_list outputs)
+            ( snapshot,
+              wire,
+              ctx.drops_left,
+              Array.to_list stages,
+              Array.to_list outputs )
     in
     { run; violations; digest; fingerprint = Some fingerprint }
   in

@@ -7,6 +7,13 @@
     single-use and must be deterministic given the oracle's answers —
     that is what makes executions replayable from a choice trail alone. *)
 
+type fp_ctx = { drops_left : int }
+(** Explorer-side context a fingerprint must fold in: [drops_left] is
+    the unspent fault budget at the consultation point.  Two states
+    with equal protocol state but different remaining budgets have
+    different reachable futures (one can still lose a message), so a
+    fingerprint that ignored it would prune live subtrees. *)
+
 type instance = {
   run : Dsim.Engine.oracle -> unit;
       (** one full execution; must build its own engine, install the
@@ -18,10 +25,12 @@ type instance = {
       (** one-line summary of the observable outcome (decisions, final
           outputs, engine outcome) — what the determinism regression
           compares across replays *)
-  fingerprint : (unit -> int) option;
+  fingerprint : (fp_ctx -> int) option;
       (** state hash usable {e mid-run} for pruning: equal fingerprints
-          must imply equal reachable futures.  [None] when the model
-          cannot capture its full state (pruning is then unavailable). *)
+          must imply equal reachable futures at any fault budget, which
+          requires hashing in-flight messages and [fp_ctx.drops_left]
+          alongside delivered state.  [None] when the model cannot
+          capture its full state (pruning is then unavailable). *)
 }
 
 type t = {
@@ -60,8 +69,11 @@ val toy_ac :
 (** A two-phase message-passing adopt-commit ([2t < n]) whose [broken]
     variant commits on a single agreement flag — correct on the default
     FIFO schedule, incoherent under reordering.  The designated mutant
-    for "the explorer must catch this".  The only model with a
-    {!instance.fingerprint} (sound at fault budget 0). *)
+    for "the explorer must catch this".  The only built-in model with a
+    {!instance.fingerprint}; the hash folds in the wire state and the
+    remaining fault budget, so pruning is sound at any budget, and
+    canonicalizes consumed inbox prefixes by phase, which is what lets
+    DPOR + caching beat sleep-set reduction's execution count. *)
 
 val uc_queue : ?broken:bool -> ?n:int -> unit -> t
 (** Herlihy's universal construction over registers + consensus cells,

@@ -1,0 +1,199 @@
+module Engine = Dsim.Engine
+module Rng = Dsim.Rng
+
+(* Probabilistic concurrency testing (Burckhardt et al., ASPLOS 2010):
+   instead of enumerating schedules, sample them from a distribution
+   with a proven lower bound on the probability of hitting any bug of
+   depth d.  Each schedule assigns every scheduling unit (here: an
+   event-owner label) a random high priority, always runs the
+   highest-priority enabled event, and at d-1 pre-drawn steps demotes
+   the currently chosen owner to a low band.  A bug needing k ordering
+   constraints is then found with probability >= 1/(n * steps^(d-1))
+   per schedule — so the sampler complements exhaustive exploration
+   when the bounded space is too big to sweep.
+
+   Scheduling units map to PCT threads through the creation edge: tied
+   events scheduled by the same earlier event (all messages one process
+   sent in one step) form one unit, the message-passing analog of a
+   thread — the chain-based reading of PCT for distributed programs
+   (Ozkan et al., OOPSLA 2018).  Owner labels alone would be too
+   coarse: deliveries to one recipient all share an owner, so a
+   per-owner priority could never reorder a recipient's inbox, which is
+   exactly where ordering bugs live.  Setup-scheduled events (creator
+   -1, e.g. process spawns) fall back to per-owner units.  The fault
+   dimension rides along as a coin flip per "net.fault" consultation
+   while the budget lasts.
+
+   Every consultation is recorded as a (domain, answer) pair, so a
+   violating schedule replays (and minimizes) through {!Explorer}
+   exactly like an explorer trail — the sampler finds bugs, the
+   stateless machinery shrinks and stores them. *)
+
+type config = {
+  schedules : int;  (* how many randomized schedules to sample *)
+  d : int;  (* PCT bug depth: d-1 priority change points per schedule *)
+  steps : int;  (* horizon the change points are drawn from *)
+  seed : int;
+  fault_budget : int;
+}
+
+let default_config =
+  { schedules = 1000; d = 3; steps = 64; seed = 1; fault_budget = 0 }
+
+type schedule_result = {
+  s_violations : string list;
+  s_digest : string;
+  s_trail : (string * int) list;  (* kept only for violating schedules *)
+}
+
+let mix seed idx =
+  let open Int64 in
+  let z = add (mul (of_int (seed + 1)) 0x9E3779B97F4A7C15L) (of_int idx) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  logxor z (shift_right_logical z 27)
+
+let run_schedule ~config (model : Models.t) idx =
+  let inst = model.Models.make () in
+  let rng = Rng.create (mix config.seed idx) in
+  (* The k-th change point demotes the owner chosen at that sched step
+     to low-band priority k: lower than every initial priority and than
+     earlier demotions, per the PCT construction. *)
+  let change =
+    Array.init (max 0 (config.d - 1)) (fun _ -> 1 + Rng.int rng (max 1 config.steps))
+  in
+  let prio = Hashtbl.create 16 in
+  let fresh = config.d + 1 in
+  let priority owner =
+    match Hashtbl.find_opt prio owner with
+    | Some p -> p
+    | None ->
+        let p = fresh + Rng.int rng 1_000_000 in
+        Hashtbl.add prio owner p;
+        p
+  in
+  let step = ref 0 in
+  let drops = ref 0 in
+  let trail = ref [] in
+  let choose (c : Engine.choice) =
+    let v =
+      match c.Engine.c_domain with
+      | "sched" ->
+          incr step;
+          (* Creator seq when the event was scheduled by another event;
+             owner-keyed negatives for setup-scheduled events (spawns),
+             -1 for setup-scheduled unowned ones.  Seqs are
+             non-negative, so the ranges cannot collide. *)
+          let unit_key i =
+            let cr =
+              if i < Array.length c.Engine.c_creators then
+                c.Engine.c_creators.(i)
+              else -1
+            in
+            if cr >= 0 then cr
+            else
+              match c.Engine.c_owners.(i) with
+              | Some o -> -(o + 2)
+              | None -> -1
+          in
+          let best = ref 0 in
+          let best_p = ref (priority (unit_key 0)) in
+          for i = 1 to c.Engine.c_arity - 1 do
+            let p = priority (unit_key i) in
+            if p > !best_p then begin
+              best := i;
+              best_p := p
+            end
+          done;
+          Array.iteri
+            (fun k at -> if at = !step then Hashtbl.replace prio (unit_key !best) k)
+            change;
+          !best
+      | "net.fault" ->
+          if !drops < config.fault_budget && Rng.bool rng then begin
+            incr drops;
+            1
+          end
+          else 0
+      | _ -> 0
+    in
+    trail := (c.Engine.c_domain, v) :: !trail;
+    v
+  in
+  inst.Models.run { Engine.choose };
+  let violations = inst.Models.violations () in
+  {
+    s_violations = violations;
+    s_digest = inst.Models.digest ();
+    s_trail = (if violations = [] then [] else List.rev !trail);
+  }
+
+type report = {
+  pr_model : string;
+  pr_config : config;
+  pr_schedules : int;
+  pr_violating : int;
+  pr_first : int option;  (* lowest violating schedule index *)
+  pr_violations : string list;  (* distinct, sorted *)
+  pr_probability : float;  (* violating / schedules *)
+  pr_counterexample : (string * int) list option;
+  pr_wall : float;
+}
+
+let run ?(jobs = 1) ~config (model : Models.t) =
+  let started = Unix.gettimeofday () in
+  let n = max 0 config.schedules in
+  let results =
+    Exec.Pool.map ~jobs
+      (fun idx -> run_schedule ~config model idx)
+      (Array.init n Fun.id)
+  in
+  let violating = ref 0 in
+  let first = ref None in
+  let violations = ref [] in
+  let ce = ref None in
+  Array.iteri
+    (fun idx r ->
+      if r.s_violations <> [] then begin
+        incr violating;
+        if !first = None then first := Some idx;
+        violations := List.rev_append r.s_violations !violations;
+        if !ce = None then ce := Some r.s_trail
+      end)
+    results;
+  {
+    pr_model = model.Models.name;
+    pr_config = config;
+    pr_schedules = n;
+    pr_violating = !violating;
+    pr_first = !first;
+    pr_violations = List.sort_uniq compare !violations;
+    pr_probability = (if n = 0 then 0. else float_of_int !violating /. float_of_int n);
+    pr_counterexample = !ce;
+    pr_wall = Unix.gettimeofday () -. started;
+  }
+
+let pp_config ppf c =
+  Format.fprintf ppf "schedules=%d d=%d steps=%d seed=%d fault-budget=%d"
+    c.schedules c.d c.steps c.seed c.fault_budget
+
+let pp_report_stable ppf r =
+  Format.fprintf ppf "pct report: model=%s@." r.pr_model;
+  Format.fprintf ppf "  config: %a@." pp_config r.pr_config;
+  Format.fprintf ppf "  violating schedules: %d of %d (probability %.4f)@."
+    r.pr_violating r.pr_schedules r.pr_probability;
+  (match r.pr_first with
+  | None -> ()
+  | Some i -> Format.fprintf ppf "  first violating schedule: #%d@." i);
+  if r.pr_violations <> [] then begin
+    Format.fprintf ppf "  distinct violations:@.";
+    List.iter (fun v -> Format.fprintf ppf "    - %s@." v) r.pr_violations
+  end;
+  match r.pr_counterexample with
+  | None -> ()
+  | Some trail ->
+      Format.fprintf ppf "  first counterexample: %d choices@." (List.length trail)
+
+let pp_report ppf r =
+  pp_report_stable ppf r;
+  Format.fprintf ppf "  wall: %.3fs (%.0f schedules/sec)@." r.pr_wall
+    (if r.pr_wall > 0. then float_of_int r.pr_schedules /. r.pr_wall else 0.)

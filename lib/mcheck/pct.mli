@@ -1,0 +1,58 @@
+(** Probabilistic concurrency testing — randomized schedule sampling
+    with the PCT priority discipline (Burckhardt et al., ASPLOS 2010).
+
+    Where {!Explorer} enumerates a bounded schedule space exhaustively,
+    the PCT sampler draws [schedules] independent randomized schedules:
+    every scheduling unit — tied events grouped by the event that
+    created them, the message-passing analog of a thread — gets a
+    random high priority, the highest-priority tied event always fires,
+    and [d - 1] pre-drawn steps demote the just-chosen unit to a low
+    band.  PCT's guarantee:
+    a bug requiring [d] ordering constraints is hit with probability at
+    least [1 / (n * steps^(d-1))] per schedule, independent of how
+    large the full schedule space is — the regime where exhaustive
+    sweeps are hopeless.
+
+    Sampling is deterministic given [(seed, schedule index)] and
+    schedules are independent, so the sampler parallelizes over
+    {!Exec.Pool} with results merged in index order: reports are
+    byte-identical at every job count.  A violating schedule's trail is
+    a plain (domain, answer) list replayable — and minimizable —
+    through {!Explorer.replay} / {!Explorer.minimize} via
+    {!Explorer.entries_of_choices}. *)
+
+type config = {
+  schedules : int;  (** sample budget *)
+  d : int;  (** PCT bug depth: [d - 1] priority change points *)
+  steps : int;  (** horizon the change points are drawn from *)
+  seed : int;
+  fault_budget : int;  (** coin-flip message drops per schedule, capped *)
+}
+
+val default_config : config
+(** 1000 schedules, d = 3, steps = 64, seed 1, no faults. *)
+
+type report = {
+  pr_model : string;
+  pr_config : config;
+  pr_schedules : int;
+  pr_violating : int;  (** schedules with at least one violation *)
+  pr_first : int option;  (** lowest violating schedule index *)
+  pr_violations : string list;  (** distinct violation lines, sorted *)
+  pr_probability : float;
+      (** empirical bug-finding probability per schedule:
+          [violating / schedules] — the number the bench tracks *)
+  pr_counterexample : (string * int) list option;
+      (** the first violating schedule's full choice trail *)
+  pr_wall : float;
+}
+
+val run : ?jobs:int -> config:config -> Models.t -> report
+(** Sample the configured number of schedules.  Deterministic for a
+    given [config] at every [jobs] value. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Full report including wall time and schedules/sec. *)
+
+val pp_report_stable : Format.formatter -> report -> unit
+(** The report without timing — byte-identical across job counts. *)

@@ -162,7 +162,14 @@ let send t ~src ~dst msg =
              consulted at all under an oracle. *)
           1 + extra
           + o.Dsim.Engine.choose
-              { Dsim.Engine.c_domain = "net.delay"; c_arity = 0; c_owners = [||] }
+              {
+                Dsim.Engine.c_domain = "net.delay";
+                c_arity = 0;
+                c_owners = [||];
+                c_time = 0;
+                c_seqs = [||];
+                c_creators = [||];
+              }
       | None -> extra + Latency.draw t.latency ~src ~dst ~rng:t.rng
     in
     match t.policy env with
@@ -178,7 +185,14 @@ let send t ~src ~dst msg =
           match oracle with
           | Some o ->
               o.Dsim.Engine.choose
-                { Dsim.Engine.c_domain = "net.fault"; c_arity = 2; c_owners = [||] }
+                {
+                  Dsim.Engine.c_domain = "net.fault";
+                  c_arity = 2;
+                  c_owners = [||];
+                  c_time = 0;
+                  c_seqs = [||];
+                  c_creators = [||];
+                }
               = 1
           | None -> false
         in
@@ -203,6 +217,22 @@ let broadcast_to t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) 
 let inbox t id =
   check_id t id "inbox";
   List.rev t.nodes.(id).delivered
+
+(* Scheduled-but-undelivered envelopes, in env_id order.  Walks the
+   pending arena minus its freelist — O(arena); meant for model-checker
+   fingerprints, not hot paths. *)
+let in_flight t =
+  let free = Array.make t.ptop false in
+  let f = ref t.pfree in
+  while !f >= 0 do
+    if !f < t.ptop then free.(!f) <- true;
+    f := t.pnext.(!f)
+  done;
+  let acc = ref [] in
+  for slot = t.ptop - 1 downto 0 do
+    if not free.(slot) then acc := t.pend.(slot) :: !acc
+  done;
+  List.sort (fun a b -> compare a.env_id b.env_id) !acc
 
 let inbox_count t id pred =
   check_id t id "inbox_count";

@@ -72,6 +72,14 @@ val broadcast_to : 'msg t -> src:int -> dsts:int list -> 'msg -> unit
 val inbox : 'msg t -> int -> 'msg envelope list
 (** All messages delivered to this node so far, in delivery order. *)
 
+val in_flight : 'msg t -> 'msg envelope list
+(** Every envelope scheduled for delivery but not yet delivered, in
+    send ([env_id]) order.  Model-checker fingerprints fold this in so
+    two states that look alike but differ in what is still on the wire
+    (e.g. after an explored message drop) hash differently — the
+    soundness requirement for pruning at a positive fault budget.
+    O(in-flight arena); not a hot-path call. *)
+
 val inbox_count : 'msg t -> int -> ('msg envelope -> bool) -> int
 (** Number of delivered messages satisfying the predicate. *)
 

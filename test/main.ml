@@ -35,5 +35,6 @@ let () =
       ("nemesis", Test_nemesis.suite);
       ("detect", Test_detect.suite);
       ("mcheck", Test_mcheck.suite);
+      ("dpor", Test_dpor.suite);
       ("exec", Test_exec.suite);
     ]

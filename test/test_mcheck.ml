@@ -131,7 +131,7 @@ let reduction_preserves_the_bug () =
   let off =
     explore
       (M.toy_ac ~broken:true ~check_termination:false ())
-      ~config:{ config with reduce = false }
+      ~config:{ config with reduction = E.Rnone }
   in
   check Alcotest.bool "caught with reduction" true (on.E.r_violating > 0);
   check Alcotest.bool "caught without reduction" true (off.E.r_violating > 0);
